@@ -1,0 +1,54 @@
+//! Microbench: one-sided DDI primitives (get / acc / nxtval) on both
+//! backends — the communication substrate's own overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fci_ddi::{Backend, CommStats, Ddi, DistMatrix};
+
+fn bench_ops(c: &mut Criterion) {
+    let m = DistMatrix::zeros(4096, 16, 4);
+    let mut g = c.benchmark_group("ddi_ops");
+    for &(name, col) in &[("local", 0usize), ("remote", 15usize)] {
+        g.bench_with_input(BenchmarkId::new("get_col", name), &col, |b, &col| {
+            let mut buf = vec![0.0; 4096];
+            let mut st = CommStats::default();
+            b.iter(|| m.get_col(0, col, &mut buf, &mut st));
+        });
+        g.bench_with_input(BenchmarkId::new("acc_col", name), &col, |b, &col| {
+            let buf = vec![1.0; 4096];
+            let mut st = CommStats::default();
+            b.iter(|| m.acc_col(0, col, &buf, &mut st));
+        });
+    }
+    g.finish();
+}
+
+fn bench_nxtval(c: &mut Criterion) {
+    let ddi = Ddi::new(8, Backend::Serial);
+    c.bench_function("nxtval", |b| {
+        let mut st = CommStats::default();
+        b.iter(|| ddi.nxtval(&mut st));
+    });
+}
+
+fn bench_run_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddi_run");
+    g.sample_size(10);
+    for backend in [Backend::Serial, Backend::Threads] {
+        g.bench_with_input(BenchmarkId::new("acc_storm", format!("{backend:?}")), &backend, |b, &backend| {
+            b.iter(|| {
+                let ddi = Ddi::new(4, backend);
+                let m = DistMatrix::zeros(512, 16, 4);
+                ddi.run(|rank, st| {
+                    let buf = vec![rank as f64; 512];
+                    for col in 0..16 {
+                        m.acc_col(rank, col, &buf, st);
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_nxtval, bench_run_backends);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbench: the owned DGEMM kernel vs the naive triple loop, across the
+//! matrix sizes the σ routines actually produce. (Real wall-clock, not the
+//! xsim model — this is the one place we measure the host.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fci_linalg::{dgemm, dgemm_naive, Matrix, Trans};
+
+fn rand_mat(nr: usize, nc: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Matrix::from_fn(nr, nc, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    for &n in &[32usize, 96, 192] {
+        let a = rand_mat(n, n, 1);
+        let b = rand_mat(n, n, 2);
+        let mut out = Matrix::zeros(n, n);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| dgemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut out));
+        });
+        if n <= 96 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| dgemm_naive(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut out));
+            });
+        }
+    }
+    // The σ-shaped case: tall-skinny E = G · D (npair × nloc).
+    let npair = 66;
+    let nloc = 8;
+    let gmat = rand_mat(npair, npair, 3);
+    let d = rand_mat(npair, nloc, 4);
+    let mut e = Matrix::zeros(npair, nloc);
+    g.bench_function("sigma_shape_66x66x8", |bench| {
+        bench.iter(|| dgemm(Trans::No, Trans::No, 1.0, &gmat, &d, 0.0, &mut e));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dgemm);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Microbench: one full diagonalization per method on a fixed random
+//! Hamiltonian — end-to-end eigensolver cost (host wall-clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fci_core::{diagonalize, random_hamiltonian, DetSpace, DiagMethod, DiagOptions, PoolParams, SigmaCtx, SigmaMethod};
+use fci_ddi::{Backend, Ddi};
+use fci_xsim::MachineModel;
+
+fn bench_diag(c: &mut Criterion) {
+    let ham = random_hamiltonian(6, 13);
+    let space = DetSpace::c1(6, 3, 3);
+    let ddi = Ddi::new(2, Backend::Serial);
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let opts = DiagOptions { tol: 1e-8, ..Default::default() };
+    let mut g = c.benchmark_group("diagonalize_6o_3a3b");
+    g.sample_size(10);
+    for method in [DiagMethod::Davidson, DiagMethod::AutoAdjust, DiagMethod::OlsenDamped] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{method:?}")), &method, |b, &m| {
+            b.iter(|| diagonalize(&ctx, SigmaMethod::Dgemm, m, &opts));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diag);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbench: the integral engine — Boys function, ERI shell quartets,
+//! full small-molecule tensors, and the AO→MO transformation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fci_ints::{eri_tensor, overlap, BasisSet, Molecule};
+
+fn bench_boys(c: &mut Criterion) {
+    c.bench_function("boys_m8_sweep", |b| {
+        let mut out = [0.0; 9];
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut t = 0.01;
+            while t < 60.0 {
+                fci_ints::boys::boys(8, t, &mut out);
+                acc += out[0];
+                t *= 1.5;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_eri(c: &mut Criterion) {
+    let water = Molecule::from_symbols_bohr(
+        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+        0,
+    );
+    let b_sto = BasisSet::build(&water, "sto-3g");
+    let mut g = c.benchmark_group("integrals");
+    g.sample_size(10);
+    g.bench_function("eri_water_sto3g", |b| b.iter(|| eri_tensor(&b_sto)));
+    g.bench_function("overlap_water_sto3g", |b| b.iter(|| overlap(&b_sto)));
+    let carbon = Molecule::from_symbols_bohr(&[("C", [0.0; 3])], 0);
+    let b_svp = BasisSet::build(&carbon, "svp");
+    g.bench_function("eri_c_svp_with_d", |b| b.iter(|| eri_tensor(&b_svp)));
+    g.finish();
+}
+
+fn bench_scf(c: &mut Criterion) {
+    let water = Molecule::from_symbols_bohr(
+        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+        0,
+    );
+    let basis = BasisSet::build(&water, "sto-3g");
+    let mut g = c.benchmark_group("scf");
+    g.sample_size(10);
+    g.bench_function("rhf_water_sto3g", |b| {
+        b.iter(|| fci_scf::rhf(&water, &basis, &fci_scf::RhfOptions::default()))
+    });
+    let r = fci_scf::rhf(&water, &basis, &fci_scf::RhfOptions::default());
+    g.bench_function("motran_water_sto3g", |b| {
+        b.iter(|| fci_scf::transform_integrals(&r.h_ao, &r.eri_ao, &r.mo_coeffs, water.nuclear_repulsion(), 1, 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_boys, bench_eri, bench_scf);
+criterion_main!(benches);

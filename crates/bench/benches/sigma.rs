@@ -1,0 +1,49 @@
+//! Microbench: full σ evaluations — DGEMM algorithm vs MOC vs the dense
+//! Slater–Condon reference (real wall-clock on the host).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fci_core::{apply_sigma, random_hamiltonian, DetSpace, PoolParams, SigmaCtx, SigmaMethod};
+use fci_ddi::{Backend, Ddi};
+use fci_xsim::MachineModel;
+
+fn bench_sigma(c: &mut Criterion) {
+    let ham = random_hamiltonian(8, 7);
+    let space = DetSpace::c1(8, 3, 3); // 56² = 3136 determinants
+    let ddi = Ddi::new(4, Backend::Serial);
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let cvec = space.guess(&ham, 4);
+
+    let mut g = c.benchmark_group("sigma_8o_3a3b");
+    g.sample_size(20);
+    g.bench_function("dgemm", |b| {
+        b.iter(|| apply_sigma(&ctx, &cvec, SigmaMethod::Dgemm));
+    });
+    g.bench_function("moc", |b| {
+        b.iter(|| apply_sigma(&ctx, &cvec, SigmaMethod::Moc));
+    });
+    g.bench_function("dense_slater_condon", |b| {
+        let dense = cvec.to_dense();
+        b.iter(|| fci_core::slater::sigma_dense(&space, &ham, &dense));
+    });
+    g.finish();
+}
+
+fn bench_sigma_larger(c: &mut Criterion) {
+    // A Table-3-class space: 12 orbitals, 4+4 electrons (245k dets).
+    let ham = random_hamiltonian(12, 3);
+    let space = DetSpace::c1(12, 4, 4);
+    let ddi = Ddi::new(8, Backend::Serial);
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let cvec = space.guess(&ham, 8);
+    let mut g = c.benchmark_group("sigma_12o_4a4b");
+    g.sample_size(10);
+    g.bench_function("dgemm", |b| {
+        b.iter(|| apply_sigma(&ctx, &cvec, SigmaMethod::Dgemm));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sigma, bench_sigma_larger);
+criterion_main!(benches);

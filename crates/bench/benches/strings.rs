@@ -1,0 +1,36 @@
+//! Microbench: string-space construction and coupling-table generation —
+//! the replicated setup cost every processor pays once per calculation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fci_strings::{Nm1Families, Nm2Families, SinglesTable, SpinStrings};
+
+fn bench_spaces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strings");
+    for &(n, ne) in &[(12usize, 4usize), (14, 5), (16, 4)] {
+        g.bench_with_input(BenchmarkId::new("space", format!("{n}o{ne}e")), &(n, ne), |b, &(n, ne)| {
+            b.iter(|| SpinStrings::c1(n, ne));
+        });
+    }
+    let space = SpinStrings::c1(12, 4);
+    g.bench_function("singles_table_12o4e", |b| b.iter(|| SinglesTable::new(&space)));
+    g.bench_function("nm1_families_12o4e", |b| b.iter(|| Nm1Families::new(&space)));
+    g.bench_function("nm2_families_12o4e", |b| b.iter(|| Nm2Families::new(&space)));
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let space = SpinStrings::c1(16, 5);
+    let masks: Vec<u64> = (0..space.len()).map(|i| space.mask(i)).collect();
+    c.bench_function("index_of_16o5e_all", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &m in &masks {
+                acc += space.index_of(m).unwrap();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_spaces, bench_lookup);
+criterion_main!(benches);

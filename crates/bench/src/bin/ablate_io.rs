@@ -1,0 +1,87 @@
+//! **Ablation** — the I/O bottleneck that motivates the single-vector
+//! diagonalizer (paper §2.2).
+//!
+//! "On most supercomputers, the I/O bandwidth is so limited that storing
+//! the subspace vectors on disk implies a huge waste of computing
+//! resources." This harness quantifies that trade on the simulated X1:
+//! a Davidson run whose subspace is disk-resident pays, per iteration,
+//! one write of the new expansion/σ pair plus a read of the whole stored
+//! subspace (for the Ritz/residual assembly), at the measured X1 disk
+//! rates (293 MB/s read, 246 MB/s write, Table 3). The auto-adjusted
+//! single-vector method keeps O(1) vectors in memory and pays nothing.
+
+use fci_bench::{fmt_s, row, table2_systems};
+use fci_core::{solve, DiagMethod, DiagOptions, FciOptions};
+use fci_xsim::MachineModel;
+
+fn main() {
+    let sys = &table2_systems()[0]; // H2O analogue
+    let model = MachineModel::cray_x1();
+    println!("Ablation — disk-resident Davidson subspace vs single-vector method");
+    println!("system: {}\n", sys.name);
+
+    let w = [22usize, 8, 14, 16, 16, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "method".into(),
+                "iters".into(),
+                "σ time [s]".into(),
+                "disk I/O [s]".into(),
+                "total [s]".into(),
+                "mem vectors".into(),
+            ],
+            &w
+        )
+    );
+
+    let vec_bytes = |dim: usize| (dim * 8) as f64;
+
+    for (name, method, disk_subspace) in [
+        ("Davidson (in-core)", DiagMethod::Davidson, false),
+        ("Davidson (disk)", DiagMethod::Davidson, true),
+        ("AutoAdjust", DiagMethod::AutoAdjust, false),
+    ] {
+        let opts = FciOptions { method, ..Default::default() };
+        let r = solve(&sys.mo, sys.na, sys.nb, sys.state_irrep, &opts);
+        let sigma_t = r.sigma_cost.total().elapsed();
+        // Disk model: iteration k stores basis+σ vectors (2 per iter,
+        // within the subspace cap) and re-reads the whole current
+        // subspace each iteration.
+        let mut io_t = 0.0;
+        let mem_vectors;
+        if disk_subspace {
+            let cap = opts.diag.max_subspace;
+            for k in 1..=r.iterations {
+                let stored = 2 * k.min(cap);
+                io_t += 2.0 * vec_bytes(r.dim) / model.disk_write; // write b_k, σ_k
+                io_t += stored as f64 * vec_bytes(r.dim) / model.disk_read;
+            }
+            mem_vectors = "2 (+disk)".to_string();
+        } else if method == DiagMethod::Davidson {
+            mem_vectors = format!("{}", 2 * opts.diag.max_subspace);
+        } else {
+            mem_vectors = "4".to_string();
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{}", r.iterations),
+                    fmt_s(sigma_t),
+                    fmt_s(io_t),
+                    fmt_s(sigma_t + io_t),
+                    mem_vectors,
+                ],
+                &w
+            )
+        );
+    }
+    println!("\nreading: the disk-resident subspace multiplies wall-clock while the");
+    println!("single-vector method gets subspace-free memory *without* the I/O tax —");
+    println!("the §2.2 argument, quantified. (At the paper's 65e9-determinant scale");
+    println!("one vector is 520 GB; a 12-vector subspace would be 6.2 TB on disk,");
+    println!("~7 hours of I/O per iteration at the X1's measured 250 MB/s.)");
+}

@@ -1,0 +1,63 @@
+//! **Ablation** — task aggregation in the dynamic load balancer (Fig. 3).
+//!
+//! Compares three pool shapes for the mixed-spin routine at fixed MSP
+//! count: coarse static-like chunks (1 task/proc), the paper's aggregated
+//! decreasing-size pool, and a flat fine-grained pool. Reports the load
+//! imbalance and the counter (SHMEM_SWAP) traffic — the trade-off the
+//! aggregation scheme is designed to balance.
+
+use fci_bench::{fig5_system, row};
+use fci_core::{run_phase, DetSpace, Hamiltonian, PoolParams, SigmaCtx};
+use fci_ddi::{Backend, Ddi};
+use fci_xsim::MachineModel;
+
+fn main() {
+    let sys = fig5_system();
+    let ham = Hamiltonian::new(&sys.mo);
+    let space = DetSpace::for_hamiltonian(&ham, sys.na, sys.nb, sys.state_irrep);
+    let model = MachineModel::cray_x1();
+    let p = 96usize;
+    println!("Ablation — task pool shape for the α-β routine ({} on {p} MSPs)\n", sys.name);
+    let w = [26usize, 10, 14, 14, 14];
+    println!(
+        "{}",
+        row(
+            &["pool".into(), "tasks".into(), "elapsed [s]".into(), "imbalance [s]".into(), "nxtval msgs".into()],
+            &w
+        )
+    );
+
+    let shapes: [(&str, PoolParams); 4] = [
+        ("coarse (1/proc)", PoolParams { fine_per_proc: 1, large_per_proc: 1, small_per_proc: 0 }),
+        ("aggregated (paper)", PoolParams::default()),
+        ("flat fine (64/proc)", PoolParams { fine_per_proc: 64, large_per_proc: 64, small_per_proc: 0 }),
+        ("flat fine (256/proc)", PoolParams { fine_per_proc: 256, large_per_proc: 256, small_per_proc: 0 }),
+    ];
+    for (name, pool) in shapes {
+        let ddi = Ddi::new(p, Backend::Serial);
+        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool };
+        let c = space.guess(&ham, p);
+        let sigma = space.zeros_ci(p);
+        let rep = fci_core::sigma::mixed::mixed_spin_dgemm(&ctx, &c, &sigma);
+        // Count nxtval messages with a dedicated probe phase (they are
+        // folded into total_msgs; re-derive from the pool size instead).
+        let npool = fci_core::TaskPool::aggregated(space.alpha_nm1.len(), p, pool).len();
+        let nxtval = npool + p; // every task claim + one terminating probe per rank
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{npool}"),
+                    format!("{:.4}", rep.elapsed()),
+                    format!("{:.4}", rep.load_imbalance()),
+                    format!("{nxtval}"),
+                ],
+                &w
+            )
+        );
+        let _ = run_phase(&ddi, &model, |_r, _s, _c| {}); // keep API exercised
+    }
+    println!("\nexpected: coarse pools show the worst imbalance; very fine pools pay");
+    println!("counter latency; the aggregated decreasing-size pool sits at the knee.");
+}

@@ -1,0 +1,63 @@
+//! **Table 1** — performance model of the α-β routine: operation counts
+//! and communication counts of the MOC and DGEMM algorithms, analytic
+//! model next to *measured* instrumented counters.
+
+use fci_bench::{fig4_system, row};
+use fci_core::{apply_sigma, DetSpace, Hamiltonian, PerfModel, PoolParams, SigmaCtx, SigmaMethod};
+use fci_ddi::{Backend, Ddi};
+use fci_xsim::MachineModel;
+
+fn main() {
+    let sys = fig4_system();
+    let ham = Hamiltonian::new(&sys.mo);
+    let space = DetSpace::for_hamiltonian(&ham, sys.na, sys.nb, sys.state_irrep);
+    let (n, na, nb) = (sys.mo.n_orb, sys.na, sys.nb);
+    let nci = space.dim() as f64;
+    let pm = PerfModel::new(nci, n, na, nb);
+
+    // Measured: run one σ of each algorithm with every column remote-ish
+    // (many ranks) and read the instrumented counters for the α-β phase.
+    let p = 64usize;
+    let ddi = Ddi::new(p, Backend::Serial);
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let c = space.guess(&ham, p);
+    let (_x, bd_dg) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
+    let (_y, bd_moc) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
+
+    let meas_ops_dg: f64 = bd_dg.alpha_beta.clocks.iter().map(|k| k.flops()).sum();
+    let meas_ops_moc: f64 = bd_moc.alpha_beta.clocks.iter().map(|k| k.flops()).sum();
+    // Communication scaled to "all remote": measured bytes × P/(P−1) / 8.
+    let scale = p as f64 / (p as f64 - 1.0);
+    let meas_comm_dg = bd_dg.alpha_beta.total_net_bytes() / 8.0 * scale;
+    let meas_comm_moc = bd_moc.alpha_beta.total_net_bytes() / 8.0 * scale;
+    // DDI_ACC moves 2× the payload; the model's words count payloads, so
+    // fold that in when comparing get+acc mixes? The Table 1 DGEMM count
+    // (3 Nci Nα) already includes the 2× for the accumulate — our byte
+    // counters do too, so the numbers are directly comparable.
+
+    println!("Table 1 — α-β routine performance model (model vs measured)");
+    println!("system: {} (Nci={nci:.3e}, n={n}, Nα={na}, Nβ={nb}), measured at P={p}\n", sys.name);
+    let w = [26usize, 16, 16, 10];
+    println!("{}", row(&["quantity".into(), "model".into(), "measured".into(), "meas/mod".into()], &w));
+    for (name, m, meas) in [
+        ("MOC ops (flops)", pm.moc_ops(), meas_ops_moc),
+        ("DGEMM ops (flops)", pm.dgemm_ops(), meas_ops_dg),
+        ("MOC comm (words)", 2.0 * pm.moc_comm_words(), meas_comm_moc),
+        ("DGEMM comm (words)", pm.dgemm_comm_words(), meas_comm_dg),
+    ] {
+        println!(
+            "{}",
+            row(
+                &[name.into(), format!("{m:.3e}"), format!("{meas:.3e}"), format!("{:.2}", meas / m)],
+                &w
+            )
+        );
+    }
+    println!("\ncommunication ratio MOC/DGEMM: model {:.1}×, measured {:.1}×", 2.0 * pm.moc_comm_words() / pm.dgemm_comm_words(), meas_comm_moc / meas_comm_dg);
+    println!("(MOC comm is modelled at 2× Nci·Nα·(n−Nα) words because our MOC");
+    println!(" mixed-spin routine pushes updates with DDI_ACC, which moves 2× the");
+    println!(" payload — the paper's collective-gather variant moves 1×.)");
+    println!("\nkernels: MOC = indexed multiply-add (DAXPY class, ~2 GF/s/MSP)");
+    println!("         DGEMM = dense multiply (~10-11 GF/s/MSP beyond 300x300)");
+}

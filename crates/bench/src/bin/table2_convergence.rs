@@ -1,0 +1,78 @@
+//! **Table 2** — iterations required by the four diagonalization methods.
+//!
+//! Paper: Davidson subspace vs Olsen vs modified Olsen (λ = 0.7) vs the
+//! automatically adjusted single-vector method, on H3COH, H2O2, CN⁺ and
+//! the O atom, converged to a 1e-10-class criterion. Plain Olsen fails to
+//! converge tightly ("NC"); λ = 0.7 fixes some cases but not CN⁺; the
+//! auto-adjusted method matches or beats the subspace method.
+//!
+//! Here: the same four methods on the scaled-down analogues (see
+//! `fci-bench` docs). Prints iterations (σ evaluations) per method plus
+//! the converged energies.
+
+use fci_bench::{row, table2_systems};
+use fci_core::{solve, DiagMethod, DiagOptions, FciOptions};
+
+fn main() {
+    println!("Table 2 — diagonalization method comparison (analogue systems)");
+    println!("convergence: residual 2-norm < 1e-5 (the paper's criterion); NC = not converged in 60 iterations\n");
+    let widths = [18usize, 6, 10, 10, 9, 10, 7, 12, 6, 16];
+    println!(
+        "{}",
+        row(
+            &[
+                "system".into(),
+                "group".into(),
+                "dim".into(),
+                "sector".into(),
+                "Davidson".into(),
+                "2-vector".into(),
+                "Olsen".into(),
+                "Ol(0.7)".into(),
+                "Auto".into(),
+                "E(FCI) [Eh]".into(),
+            ],
+            &widths
+        )
+    );
+
+    for sys in table2_systems() {
+        let space = sys.space();
+        let mut cells = vec![
+            sys.name.clone(),
+            sys.group.clone(),
+            format!("{}", space.dim()),
+            format!("{}", space.sector_dim()),
+        ];
+        let mut energy = f64::NAN;
+        for method in [
+            DiagMethod::Davidson,
+            DiagMethod::TwoVector,
+            DiagMethod::Olsen,
+            DiagMethod::OlsenDamped,
+            DiagMethod::AutoAdjust,
+        ] {
+            let opts = FciOptions {
+                method,
+                diag: DiagOptions { max_iter: 60, tol: 1e-5, ..Default::default() },
+                ..Default::default()
+            };
+            let r = solve(&sys.mo, sys.na, sys.nb, sys.state_irrep, &opts);
+            cells.push(if r.converged { format!("{}", r.iterations) } else { "NC".into() });
+            if r.converged {
+                energy = r.energy;
+            }
+        }
+        cells.push(format!("{energy:.8}"));
+        println!("{}", row(&cells, &widths));
+        if let Some(e_scf) = sys.e_scf {
+            println!("    (RHF = {e_scf:.8} Eh, correlation = {:.6} Eh)", energy - e_scf);
+        }
+    }
+    println!("\n(\"2-vector\" is the paper's Table 2 \"Davidson\" comparator: the exact 2x2");
+    println!("subspace of {{C, t}} with H*t stored — the memory doubling the auto method avoids.)");
+    println!("\npaper's qualitative claims to check against the table above:");
+    println!("  * plain Olsen struggles/fails on the multireference case (CN+)");
+    println!("  * the auto-adjusted method converges everywhere, with no subspace storage");
+    println!("  * auto-adjusted iteration counts <= Davidson subspace counts (or close)");
+}

@@ -1,0 +1,301 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; the
+//! Criterion microbenches live in `benches/`. This library prepares the
+//! benchmark *systems* — molecule → integrals → orbitals → active-space
+//! MO integrals with symmetry labels — and provides small table-printing
+//! helpers so every harness reports in the same format.
+//!
+//! Scaled-down analogues of the paper's systems (see DESIGN.md §2 for the
+//! substitution rationale):
+//!
+//! | paper | here |
+//! |---|---|
+//! | H3COH / cc-pVDZ-class | H2O / svp (frozen core) |
+//! | H2O2 | HOOH / sto-3g (frozen cores) |
+//! | CN⁺ (strong multireference) | CN⁺ / sto-3g (frozen cores) |
+//! | O ³P / aug-cc-pVQZ | O ³P / svp window |
+//! | O⁻ / aug-cc-pVQZ (Fig. 5) | O⁻ / svp window |
+//! | C2 X¹Σg⁺ / cc-pVTZ(+) 65e9 dets | C2 / svp window, D2h blocked |
+
+use fci_core::{DetSpace, Hamiltonian};
+use fci_ints::{detect_point_group, eri_tensor, kinetic, nuclear_attraction, overlap, BasisSet, Molecule};
+use fci_scf::{core_orbitals, rhf, symmetry_adapt, transform_integrals, uhf, MoIntegrals, RhfOptions};
+
+/// A fully prepared benchmark system.
+pub struct System {
+    pub name: String,
+    /// Point-group name ("D2h", "C2v", …).
+    pub group: String,
+    /// Active-space MO integrals with orbital irreps.
+    pub mo: MoIntegrals,
+    /// Active-space α/β electron counts.
+    pub na: usize,
+    pub nb: usize,
+    /// Spatial irrep of the target state.
+    pub state_irrep: u8,
+    /// RHF total energy if an SCF was converged.
+    pub e_scf: Option<f64>,
+}
+
+impl System {
+    /// Determinant space of the system over `1` processor (for sizing).
+    pub fn space(&self) -> DetSpace {
+        let ham = Hamiltonian::new(&self.mo);
+        DetSpace::for_hamiltonian(&ham, self.na, self.nb, self.state_irrep)
+    }
+}
+
+/// Orbital source for [`prepare`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orbitals {
+    /// Converged RHF orbitals (closed shell); falls back to core orbitals
+    /// if the SCF fails to converge (FCI is orbital-invariant).
+    Rhf,
+    /// Core-Hamiltonian orbitals (open-shell systems).
+    Core,
+    /// Unrestricted HF α orbitals for `(n_alpha, n_beta)` occupation —
+    /// the better open-shell reference (relaxed in the majority-spin
+    /// field); FCI remains exact in any case, only convergence changes.
+    Uhf(usize, usize),
+}
+
+/// Build a benchmark system.
+///
+/// * `n_frozen` — doubly occupied orbitals folded into the core;
+/// * `n_active` — active orbital count (`None` = all remaining);
+/// * `na`/`nb` — active-space electron counts (after freezing);
+/// * `use_symmetry` — detect the point group and label orbitals.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare(
+    name: &str,
+    molecule: &Molecule,
+    basis_name: &str,
+    orbitals: Orbitals,
+    n_frozen: usize,
+    n_active: Option<usize>,
+    na: usize,
+    nb: usize,
+    use_symmetry: bool,
+) -> System {
+    let basis = BasisSet::build(molecule, basis_name);
+    let nao = basis.n_basis();
+    let s = overlap(&basis);
+
+    let (c, e_scf, h_ao, eri_ao) = match orbitals {
+        Orbitals::Rhf if molecule.n_electrons() % 2 == 0 => {
+            let r = rhf(molecule, &basis, &RhfOptions::default());
+            if r.converged {
+                (r.mo_coeffs, Some(r.energy), r.h_ao, r.eri_ao)
+            } else {
+                // Multireference cases (CN⁺, stretched C2) may defeat RHF;
+                // core orbitals are exact for FCI, only convergence-rate
+                // relevant.
+                let (c, _) = core_orbitals(&basis, molecule);
+                (c, None, r.h_ao, r.eri_ao)
+            }
+        }
+        Orbitals::Uhf(tot_a, tot_b) => {
+            let u = uhf(molecule, &basis, tot_a, tot_b, &RhfOptions { max_iter: 300, ..Default::default() });
+            if u.converged {
+                (u.c_alpha, Some(u.energy), u.h_ao, u.eri_ao)
+            } else {
+                let (c, _) = core_orbitals(&basis, molecule);
+                (c, None, u.h_ao, u.eri_ao)
+            }
+        }
+        _ => {
+            let (c, _) = core_orbitals(&basis, molecule);
+            let h = {
+                let mut t = kinetic(&basis);
+                t.axpy(1.0, &nuclear_attraction(&basis, molecule));
+                t
+            };
+            (c, None, h, eri_tensor(&basis))
+        }
+    };
+
+    // Symmetry-adapt and label orbitals.
+    let (c, irreps, group, n_irrep) = if use_symmetry {
+        let pg = detect_point_group(molecule);
+        let (cad, irr) = symmetry_adapt(&pg, &basis, &s, &c);
+        (cad, irr, pg.name().to_string(), pg.n_irrep())
+    } else {
+        (c, vec![0u8; nao], "C1".to_string(), 1)
+    };
+
+    let n_act = n_active.unwrap_or(nao - n_frozen);
+    assert!(
+        na + nb + 2 * n_frozen == molecule.n_electrons(),
+        "electron bookkeeping: {na}α + {nb}β active + {n_frozen} frozen pairs ≠ {} electrons",
+        molecule.n_electrons()
+    );
+    let mo = transform_integrals(&h_ao, &eri_ao, &c, molecule.nuclear_repulsion(), n_frozen, n_act);
+    let mo = mo.with_symmetry(irreps[n_frozen..n_frozen + n_act].to_vec(), n_irrep);
+
+    // Target state irrep: that of the lowest-diagonal determinant.
+    let ham = Hamiltonian::new(&mo);
+    let state_irrep = lowest_det_irrep(&ham, na, nb);
+
+    System { name: name.to_string(), group, mo, na, nb, state_irrep, e_scf }
+}
+
+/// Combined spatial irrep of the lowest-diagonal determinant.
+pub fn lowest_det_irrep(ham: &Hamiltonian, na: usize, nb: usize) -> u8 {
+    let space = DetSpace::new(ham.n, na, nb, &ham.orb_sym, ham.n_irrep, 0);
+    let mut best = (f64::INFINITY, 0u8);
+    for ia in 0..space.alpha.len() {
+        for ib in 0..space.beta.len() {
+            let d = ham.diagonal_element(space.alpha.mask(ia), space.beta.mask(ib));
+            if d < best.0 {
+                best = (d, space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib));
+            }
+        }
+    }
+    best.1
+}
+
+// ---------------- benchmark system catalogue ----------------
+
+/// H2O in its equilibrium-ish geometry.
+pub fn water() -> Molecule {
+    Molecule::from_symbols_bohr(
+        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        0,
+    )
+}
+
+/// Hydrogen peroxide, HOOH (planar-trans model geometry, Cs→C2h-ish but
+/// deliberately aligned to keep a C2 axis).
+pub fn hooh() -> Molecule {
+    Molecule::from_symbols_bohr(
+        &[
+            ("O", [0.0, 1.37, 0.0]),
+            ("O", [0.0, -1.37, 0.0]),
+            ("H", [1.6, 1.9, 0.0]),
+            ("H", [-1.6, -1.9, 0.0]),
+        ],
+        0,
+    )
+}
+
+/// CN⁺ — the strongly multi-reference cation from Table 2.
+pub fn cn_plus() -> Molecule {
+    Molecule::from_symbols_bohr(&[("C", [0.0, 0.0, -1.1]), ("N", [0.0, 0.0, 1.1])], 1)
+}
+
+/// Atomic oxygen.
+pub fn o_atom(charge: i32) -> Molecule {
+    Molecule::from_symbols_bohr(&[("O", [0.0, 0.0, 0.0])], charge)
+}
+
+/// C2 at its ~1.24 Å bond length.
+pub fn c2() -> Molecule {
+    Molecule::from_symbols_bohr(&[("C", [0.0, 0.0, -1.17]), ("C", [0.0, 0.0, 1.17])], 0)
+}
+
+/// The four Table 2 convergence-study systems (scaled-down analogues).
+pub fn table2_systems() -> Vec<System> {
+    vec![
+        prepare("H2O/svp fc", &water(), "svp", Orbitals::Rhf, 1, Some(8), 4, 4, true),
+        prepare("HOOH/sto-3g fc", &hooh(), "sto-3g", Orbitals::Rhf, 2, None, 7, 7, true),
+        prepare("CN+/sto-3g fc", &cn_plus(), "sto-3g", Orbitals::Rhf, 2, None, 4, 4, true),
+        prepare("O 3P/svp", &o_atom(0), "svp", Orbitals::Core, 1, Some(12), 4, 2, true),
+    ]
+}
+
+/// O-atom analogue used for the Fig. 4 strong-scaling comparison.
+pub fn fig4_system() -> System {
+    prepare("O 3P/svp(12)", &o_atom(0), "svp", Orbitals::Core, 1, Some(12), 4, 2, false)
+}
+
+/// O⁻ analogue used for the Fig. 5 speedup study (larger space: 9
+/// electrons in 14 orbitals, 2 004 002 determinants).
+pub fn fig5_system() -> System {
+    prepare("O-/svp(14)", &o_atom(-1), "svp", Orbitals::Core, 0, Some(14), 5, 4, false)
+}
+
+/// C2 X¹Σg⁺ analogue for the Table 3 capability run (D2h blocked,
+/// FCI(8,16): 3.3 million determinants — large enough that the 432
+/// virtual MSPs all hold work, with C(16,3) = 560 mixed-spin task units).
+pub fn c2_system() -> System {
+    prepare("C2 X1Sg+/svp(16)", &c2(), "svp", Orbitals::Rhf, 2, Some(16), 4, 4, true)
+}
+
+// ---------------- reporting helpers ----------------
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Format seconds with engineering sanity.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0} s")
+    } else if t >= 1.0 {
+        format!("{t:.1} s")
+    } else if t >= 1e-3 {
+        format!("{:.1} ms", t * 1e3)
+    } else {
+        format!("{:.1} µs", t * 1e6)
+    }
+}
+
+/// Format bytes.
+pub fn fmt_bytes(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_molecules_sane() {
+        assert_eq!(water().n_electrons(), 10);
+        assert_eq!(hooh().n_electrons(), 18);
+        assert_eq!(cn_plus().n_electrons(), 12);
+        assert_eq!(o_atom(-1).n_electrons(), 9);
+        assert_eq!(c2().n_electrons(), 12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(2048.0), "2.00 KB");
+        assert_eq!(fmt_s(0.5), "500.0 ms");
+        assert_eq!(fmt_s(2.0), "2.0 s");
+    }
+
+    #[test]
+    fn prepare_with_uhf_orbitals() {
+        let sys = prepare("o-uhf", &o_atom(0), "sto-3g", Orbitals::Uhf(5, 3), 1, None, 4, 2, true);
+        assert_eq!(sys.mo.n_orb, 4);
+        assert!(sys.e_scf.is_some(), "UHF should converge for O/sto-3g");
+        assert_eq!(sys.group, "D2h");
+    }
+
+    #[test]
+    fn prepare_small_system() {
+        // The cheapest catalogue entry end-to-end.
+        let sys = prepare("h2", &Molecule::from_symbols_bohr(&[("H", [0.0, 0.0, -0.7]), ("H", [0.0, 0.0, 0.7])], 0), "sto-3g", Orbitals::Rhf, 0, None, 1, 1, true);
+        assert_eq!(sys.mo.n_orb, 2);
+        assert!(sys.e_scf.is_some());
+        assert_eq!(sys.group, "D2h");
+        // σg ⊗ σg ground state is totally symmetric.
+        assert_eq!(sys.state_irrep, 0);
+        assert_eq!(sys.space().sector_dim(), 2);
+    }
+}

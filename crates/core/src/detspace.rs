@@ -1,0 +1,283 @@
+//! The determinant (product) space and its coupling tables.
+//!
+//! The FCI coefficient vector is stored as a matrix `C(Iβ, Iα)` — rows
+//! indexed by β strings, columns by α strings — distributed by columns
+//! (paper §3.1, Fig. 1). Spatial symmetry is handled *logically*: the full
+//! product space is stored, but only determinants whose combined irrep
+//! equals the target irrep are populated. Because H is totally symmetric,
+//! σ of an in-sector vector stays in-sector automatically, so the kernels
+//! need no symmetry branches; the initial guess and the preconditioner
+//! apply the sector mask. (The paper blocks the *storage* too — a memory
+//! optimization our problem sizes don't need; see DESIGN.md.)
+
+use crate::hamiltonian::Hamiltonian;
+use fci_ddi::DistMatrix;
+use fci_strings::{Nm1Families, Nm2Families, SinglesTable, SpinStrings};
+
+/// Excitation-level restriction relative to a reference determinant —
+/// turns the solver into truncated CI (CISD, CISDT, …) while reusing the
+/// full-space σ machinery (the subspace eigenproblem is `P·H·P` with the
+/// projector applied after each σ evaluation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExcitationFilter {
+    /// Reference α occupation mask.
+    pub ref_alpha: u64,
+    /// Reference β occupation mask.
+    pub ref_beta: u64,
+    /// Maximum total excitation level (2 = CISD, 3 = CISDT, …).
+    pub max_level: u32,
+}
+
+impl ExcitationFilter {
+    /// Combined excitation degree of a determinant w.r.t. the reference.
+    #[inline]
+    pub fn level(&self, amask: u64, bmask: u64) -> u32 {
+        ((amask ^ self.ref_alpha).count_ones() + (bmask ^ self.ref_beta).count_ones()) / 2
+    }
+}
+
+/// String spaces and coupling tables for one (Nα, Nβ, irrep) FCI problem.
+#[derive(Clone, Debug)]
+pub struct DetSpace {
+    /// α string space.
+    pub alpha: SpinStrings,
+    /// β string space.
+    pub beta: SpinStrings,
+    /// Single-excitation table over α strings.
+    pub alpha_singles: SinglesTable,
+    /// Single-excitation table over β strings.
+    pub beta_singles: SinglesTable,
+    /// Nα−1 electron intermediate families.
+    pub alpha_nm1: Nm1Families,
+    /// Nβ−1 electron intermediate families.
+    pub beta_nm1: Nm1Families,
+    /// `None` when the spin has fewer than two electrons.
+    pub alpha_nm2: Option<Nm2Families>,
+    /// Nβ−2 electron intermediate families (`None` below 2 electrons).
+    pub beta_nm2: Option<Nm2Families>,
+    /// Target spatial irrep of the state.
+    pub target_irrep: u8,
+    /// Optional excitation-level truncation (None = full CI).
+    pub excitation: Option<ExcitationFilter>,
+}
+
+impl DetSpace {
+    /// Build all string spaces and tables.
+    pub fn new(
+        n_orb: usize,
+        n_alpha: usize,
+        n_beta: usize,
+        orb_sym: &[u8],
+        n_irrep: usize,
+        target_irrep: u8,
+    ) -> Self {
+        assert!(n_alpha >= 1, "need at least one alpha electron");
+        assert!((target_irrep as usize) < n_irrep);
+        let alpha = SpinStrings::new(n_orb, n_alpha, orb_sym, n_irrep);
+        let beta = SpinStrings::new(n_orb, n_beta, orb_sym, n_irrep);
+        let alpha_singles = SinglesTable::new(&alpha);
+        let beta_singles = SinglesTable::new(&beta);
+        let alpha_nm1 = Nm1Families::new(&alpha);
+        let beta_nm1 = if n_beta >= 1 {
+            Nm1Families::new(&beta)
+        } else {
+            // Degenerate but well-formed: zero families.
+            Nm1Families::new(&SpinStrings::new(n_orb, 1, orb_sym, n_irrep))
+        };
+        let alpha_nm2 = (n_alpha >= 2).then(|| Nm2Families::new(&alpha));
+        let beta_nm2 = (n_beta >= 2).then(|| Nm2Families::new(&beta));
+        DetSpace {
+            alpha,
+            beta,
+            alpha_singles,
+            beta_singles,
+            alpha_nm1,
+            beta_nm1,
+            alpha_nm2,
+            beta_nm2,
+            target_irrep,
+            excitation: None,
+        }
+    }
+
+    /// Restrict the space to determinants within `max_level` total
+    /// excitations of the reference `(ref_alpha, ref_beta)` — truncated CI
+    /// (2 = CISD, 3 = CISDT, …). The reference masks must have the right
+    /// electron counts.
+    pub fn with_excitation_limit(mut self, ref_alpha: u64, ref_beta: u64, max_level: u32) -> Self {
+        assert_eq!(ref_alpha.count_ones() as usize, self.alpha.n_elec());
+        assert_eq!(ref_beta.count_ones() as usize, self.beta.n_elec());
+        self.excitation = Some(ExcitationFilter { ref_alpha, ref_beta, max_level });
+        self
+    }
+
+    /// Convenience constructor without symmetry.
+    pub fn c1(n_orb: usize, n_alpha: usize, n_beta: usize) -> Self {
+        Self::new(n_orb, n_alpha, n_beta, &vec![0u8; n_orb], 1, 0)
+    }
+
+    /// Build for a Hamiltonian's orbital symmetry labels.
+    pub fn for_hamiltonian(ham: &Hamiltonian, n_alpha: usize, n_beta: usize, target_irrep: u8) -> Self {
+        Self::new(ham.n, n_alpha, n_beta, &ham.orb_sym, ham.n_irrep, target_irrep)
+    }
+
+    /// Number of orbitals.
+    pub fn n_orb(&self) -> usize {
+        self.alpha.n_orb()
+    }
+
+    /// Full product dimension (rows × cols of the stored CI matrix).
+    pub fn dim(&self) -> usize {
+        self.alpha.len() * self.beta.len()
+    }
+
+    /// Number of determinants in the (symmetry × excitation) sector.
+    pub fn sector_dim(&self) -> usize {
+        if self.excitation.is_none() {
+            let mut d = 0;
+            for ga in 0..self.alpha.n_irrep() as u8 {
+                let gb = ga ^ self.target_irrep;
+                d += self.alpha.block_len(ga) * self.beta.block_len(gb);
+            }
+            return d;
+        }
+        let mut d = 0;
+        for ia in 0..self.alpha.len() {
+            for ib in 0..self.beta.len() {
+                if self.in_sector(ib, ia) {
+                    d += 1;
+                }
+            }
+        }
+        d
+    }
+
+    /// Is the determinant `(row = iβ index, col = iα index)` in the sector?
+    #[inline]
+    pub fn in_sector(&self, ib: usize, ia: usize) -> bool {
+        if self.alpha.irrep_of_index(ia) ^ self.beta.irrep_of_index(ib) != self.target_irrep {
+            return false;
+        }
+        match &self.excitation {
+            None => true,
+            Some(f) => f.level(self.alpha.mask(ia), self.beta.mask(ib)) <= f.max_level,
+        }
+    }
+
+    /// Allocate a zero CI vector distributed over `nproc` ranks.
+    pub fn zeros_ci(&self, nproc: usize) -> DistMatrix {
+        DistMatrix::zeros(self.beta.len(), self.alpha.len(), nproc)
+    }
+
+    /// The Hamiltonian diagonal (without `E_core`) as a CI-shaped matrix,
+    /// with out-of-sector entries set to `f64::INFINITY` (so that
+    /// `1/(d − E)` vanishes and preconditioning never leaks out of the
+    /// sector).
+    pub fn diagonal(&self, ham: &Hamiltonian, nproc: usize) -> DistMatrix {
+        let d = self.zeros_ci(nproc);
+        d.map_inplace(|ib, ia, _| {
+            if self.in_sector(ib, ia) {
+                ham.diagonal_element(self.alpha.mask(ia), self.beta.mask(ib))
+            } else {
+                f64::INFINITY
+            }
+        });
+        d
+    }
+
+    /// Zero every out-of-sector coefficient of a CI vector.
+    pub fn project_sector(&self, c: &DistMatrix) {
+        c.map_inplace(|ib, ia, v| if self.in_sector(ib, ia) { v } else { 0.0 });
+    }
+
+    /// Unit guess vector on the lowest-diagonal in-sector determinant.
+    pub fn guess(&self, ham: &Hamiltonian, nproc: usize) -> DistMatrix {
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for ia in 0..self.alpha.len() {
+            for ib in 0..self.beta.len() {
+                if !self.in_sector(ib, ia) {
+                    continue;
+                }
+                let d = ham.diagonal_element(self.alpha.mask(ia), self.beta.mask(ib));
+                if d < best.0 {
+                    best = (d, ib, ia);
+                }
+            }
+        }
+        assert!(best.0.is_finite(), "no determinant in the requested symmetry sector");
+        let c = self.zeros_ci(nproc);
+        c.map_inplace(|ib, ia, _| if (ib, ia) == (best.1, best.2) { 1.0 } else { 0.0 });
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::random_hamiltonian;
+    use fci_strings::binomial;
+
+    #[test]
+    fn dims_no_symmetry() {
+        let s = DetSpace::c1(6, 3, 2);
+        assert_eq!(s.dim(), binomial(6, 3) * binomial(6, 2));
+        assert_eq!(s.sector_dim(), s.dim());
+        assert!(s.in_sector(0, 0));
+    }
+
+    #[test]
+    fn sector_partition_with_symmetry() {
+        let sym = [0u8, 1, 0, 1];
+        let mut total = 0;
+        for g in 0..2u8 {
+            let s = DetSpace::new(4, 2, 1, &sym, 2, g);
+            total += s.sector_dim();
+        }
+        let s = DetSpace::new(4, 2, 1, &sym, 2, 0);
+        assert_eq!(total, s.dim());
+    }
+
+    #[test]
+    fn guess_is_unit_in_sector() {
+        let ham = random_hamiltonian(5, 1);
+        let s = DetSpace::c1(5, 2, 2);
+        let g = s.guess(&ham, 3);
+        assert!((g.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_matches_hamiltonian() {
+        let ham = random_hamiltonian(4, 9);
+        let s = DetSpace::c1(4, 2, 1);
+        let d = s.diagonal(&ham, 2);
+        let dd = d.to_dense();
+        let nb = s.beta.len();
+        for ia in 0..s.alpha.len() {
+            for ib in 0..nb {
+                let expect = ham.diagonal_element(s.alpha.mask(ia), s.beta.mask(ib));
+                assert!((dd[ib + ia * nb] - expect).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_zeroes_out_of_sector() {
+        let sym = [0u8, 1, 0, 1];
+        let s = DetSpace::new(4, 1, 1, &sym, 2, 1);
+        let c = s.zeros_ci(1);
+        c.map_inplace(|_, _, _| 1.0);
+        s.project_sector(&c);
+        let dense = c.to_dense();
+        let in_count = dense.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(in_count, s.sector_dim());
+        assert!(in_count < s.dim());
+    }
+
+    #[test]
+    fn zero_beta_electrons_supported() {
+        let s = DetSpace::c1(4, 2, 0);
+        assert_eq!(s.beta.len(), 1);
+        assert_eq!(s.dim(), binomial(4, 2));
+        assert!(s.beta_nm2.is_none());
+    }
+}

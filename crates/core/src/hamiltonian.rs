@@ -1,0 +1,227 @@
+//! The second-quantized Hamiltonian in the forms the σ kernels consume.
+//!
+//! The spin-free Hamiltonian (paper eq. 2) decomposes exactly (by normal
+//! ordering within each spin) into
+//!
+//! ```text
+//! H = E_core
+//!   + Σ_pq h_pq (E^α_pq + E^β_pq)                       (one-electron)
+//!   + Σ_{p>r, q>s} G_{(pr),(qs)} a†_p a†_r a_s a_q       (αα and ββ)
+//!   + Σ_{pqrs} (pq|rs) E^α_pq E^β_rs                     (αβ)
+//! ```
+//!
+//! with `G_{(pr),(qs)} = (pq|rs) − (ps|rq)`. This module materializes the
+//! dense coupling matrices those kernels multiply against:
+//!
+//! * [`Hamiltonian::g`] — the antisymmetrized pair–pair matrix **G**
+//!   (`npair × npair`) used by the same-spin DGEMM routine (paper eq. 8),
+//! * [`Hamiltonian::v`] — the full `(pq)×(rs)` integral matrix **V** used
+//!   by the mixed-spin routine (paper eq. 5),
+//!
+//! plus diagonal elements for preconditioning.
+
+use fci_ints::EriTensor;
+use fci_linalg::Matrix;
+use fci_scf::MoIntegrals;
+use fci_strings::pair_index;
+
+/// Hamiltonian data over an active orbital set.
+#[derive(Clone, Debug)]
+pub struct Hamiltonian {
+    /// Number of active orbitals.
+    pub n: usize,
+    /// Core constant (nuclear repulsion + frozen core).
+    pub e_core: f64,
+    /// One-electron integrals `h_pq`.
+    pub h: Matrix,
+    /// Raw two-electron integrals `(pq|rs)` (kept for Slater–Condon).
+    pub eri: EriTensor,
+    /// Mixed-spin integral matrix `V[(p·n+q), (r·n+s)] = (pq|rs)`.
+    pub v: Matrix,
+    /// Same-spin antisymmetrized pair matrix
+    /// `G[pair(p,r), pair(q,s)] = (pq|rs) − (ps|rq)`, `p>r`, `q>s`.
+    pub g: Matrix,
+    /// Irrep of each orbital.
+    pub orb_sym: Vec<u8>,
+    /// Number of irreps.
+    pub n_irrep: usize,
+}
+
+impl Hamiltonian {
+    /// Build from MO integrals.
+    pub fn new(mo: &MoIntegrals) -> Self {
+        let n = mo.n_orb;
+        let v = Matrix::from_fn(n * n, n * n, |row, col| {
+            let (p, q) = (row / n, row % n);
+            let (r, s) = (col / n, col % n);
+            mo.eri.get(p, q, r, s)
+        });
+        let npair = n * (n - 1) / 2;
+        let mut g = Matrix::zeros(npair, npair);
+        for p in 1..n {
+            for r in 0..p {
+                let row = pair_index(p, r);
+                for q in 1..n {
+                    for s in 0..q {
+                        g[(row, pair_index(q, s))] = mo.eri.get(p, q, r, s) - mo.eri.get(p, s, r, q);
+                    }
+                }
+            }
+        }
+        Hamiltonian {
+            n,
+            e_core: mo.e_core,
+            h: mo.h.clone(),
+            eri: mo.eri.clone(),
+            v,
+            g,
+            orb_sym: mo.orb_sym.clone(),
+            n_irrep: mo.n_irrep,
+        }
+    }
+
+    /// Diagonal element `⟨D|H|D⟩ − E_core` for the determinant with α
+    /// occupation `amask` and β occupation `bmask`.
+    pub fn diagonal_element(&self, amask: u64, bmask: u64) -> f64 {
+        let aocc = fci_strings::occ_list(amask);
+        let bocc = fci_strings::occ_list(bmask);
+        let mut e = 0.0;
+        for &p in &aocc {
+            e += self.h[(p, p)];
+        }
+        for &p in &bocc {
+            e += self.h[(p, p)];
+        }
+        // Same-spin pairs.
+        for occ in [&aocc, &bocc] {
+            for (i, &p) in occ.iter().enumerate() {
+                for &q in occ.iter().skip(i + 1) {
+                    e += self.eri.get(p, p, q, q) - self.eri.get(p, q, q, p);
+                }
+            }
+        }
+        // Opposite-spin pairs.
+        for &p in &aocc {
+            for &q in &bocc {
+                e += self.eri.get(p, p, q, q);
+            }
+        }
+        e
+    }
+
+    /// Number of ordered orbital pairs `p > r`.
+    pub fn npair(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+}
+
+/// A synthetic Hamiltonian with random but *physically structured*
+/// integrals: an ascending orbital-energy ladder on the diagonal with
+/// weaker random couplings and two-electron terms — the single-reference
+/// character of a molecule near equilibrium. Used by tests both for
+/// σ-algorithm equivalence (structure-independent) and for diagonalizer
+/// convergence (which, as in real FCI codes, presumes a dominant
+/// reference determinant; see [`crate::diag`]).
+pub fn random_hamiltonian(n: usize, seed: u64) -> Hamiltonian {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut h = Matrix::zeros(n, n);
+    for p in 0..n {
+        for q in 0..=p {
+            let v = 0.25 * next();
+            h[(p, q)] = v;
+            h[(q, p)] = v;
+        }
+        // Orbital-energy ladder: the lowest determinant dominates.
+        h[(p, p)] = -2.0 + 1.5 * p as f64 + 0.3 * next();
+    }
+    let mut eri = EriTensor::zeros(n);
+    for p in 0..n {
+        for q in 0..=p {
+            for r in 0..=p {
+                let smax = if r == p { q } else { r };
+                for s in 0..=smax {
+                    eri.set(p, q, r, s, 0.3 * next());
+                }
+            }
+        }
+    }
+    let mo = MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    };
+    Hamiltonian::new(&mo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_matrix_symmetries() {
+        let ham = random_hamiltonian(4, 7);
+        let n = 4;
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for s in 0..n {
+                        let v = ham.v[(p * n + q, r * n + s)];
+                        // (pq|rs) = (qp|rs) = (pq|sr) = (rs|pq)
+                        assert_eq!(v, ham.v[(q * n + p, r * n + s)]);
+                        assert_eq!(v, ham.v[(p * n + q, s * n + r)]);
+                        assert_eq!(v, ham.v[(r * n + s, p * n + q)]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn g_matrix_antisymmetrized() {
+        let ham = random_hamiltonian(5, 3);
+        // G[(p,r),(q,s)] = (pq|rs) − (ps|rq)
+        let (p, r, q, s) = (3usize, 1usize, 4usize, 0usize);
+        let expect = ham.eri.get(p, q, r, s) - ham.eri.get(p, s, r, q);
+        assert_eq!(ham.g[(pair_index(p, r), pair_index(q, s))], expect);
+        // Swapping both pairs (Hermiticity of the real operator):
+        // G[(q,s),(p,r)] = (qp|sr) − (qr|sp) = (pq|rs) − (ps|rq)? Only when
+        // the exchange term matches: (qr|sp) = (rq|ps) = (ps|rq)? yes by
+        // full 8-fold symmetry of real integrals.
+        assert!((ham.g[(pair_index(q, s), pair_index(p, r))] - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_two_electron_count() {
+        // For a two-α-electron determinant in orbitals {0,1}:
+        // E = h00 + h11 + (00|11) − (01|10).
+        let ham = random_hamiltonian(3, 11);
+        let amask = 0b011u64;
+        let e = ham.diagonal_element(amask, 0);
+        let expect = ham.h[(0, 0)] + ham.h[(1, 1)] + ham.eri.get(0, 0, 1, 1) - ham.eri.get(0, 1, 1, 0);
+        assert!((e - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_mixed_spin_no_exchange() {
+        // One α in 0, one β in 1: E = h00 + h11 + (00|11), no exchange.
+        let ham = random_hamiltonian(3, 13);
+        let e = ham.diagonal_element(0b001, 0b010);
+        let expect = ham.h[(0, 0)] + ham.h[(1, 1)] + ham.eri.get(0, 0, 1, 1);
+        assert!((e - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn random_hamiltonian_is_reproducible() {
+        let a = random_hamiltonian(4, 42);
+        let b = random_hamiltonian(4, 42);
+        assert_eq!(a.h, b.h);
+        assert!(a.v.max_abs_diff(&b.v) == 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The DGEMM-based mixed-spin (α-β) routine (paper eqs. 4–6, Fig. 2b).
+//!
+//! Work units are Nα−1 electron α occupations Kα, claimed from the
+//! dynamic task pool. For each Kα with family {(q, sgn_q, Jα)}:
+//!
+//! 1. **gather** the remote C columns of the family, sign-folded
+//!    (`DDI_GET` — the only read communication of the whole σ),
+//! 2. build `D((q̃, s), Kβ) = sgn_s · C(Jα(q̃), Jβ(s, Kβ))` by a vector
+//!    gather over the β N−1 families,
+//! 3. one dense multiply `E = V_K · D`, where `V_K[(p̃,r),(q̃,s)] =
+//!    (p_{p̃} q_{q̃} | r s)` is the integral block restricted to the
+//!    family's orbitals (the "INT" box of Fig. 2b),
+//! 4. scatter `E` through the β families into the update buffer and
+//!    remote-accumulate each α column of it (`DDI_ACC`, 2× bytes).
+//!
+//! Communication per Kα is O(family × Nβ-strings) — in total `3·Nci·Nα`
+//! words versus the MOC routine's `Nci·Nα·(n−Nα)` (Table 1).
+//!
+//! ### Scheduling simulation
+//!
+//! Under the threads backend every worker claims tasks from the shared
+//! counter for real. Under the (default, deterministic) serial backend the
+//! ranks execute one after another, so a naive claim loop would let rank 0
+//! drain the whole pool; instead the routine simulates the self-scheduling
+//! exactly: the rank whose simulated clock is lowest claims the next task
+//! — greedy list scheduling, which is what `SHMEM_SWAP` self-scheduling
+//! produces on the real machine.
+
+use super::SigmaCtx;
+use crate::phase::charge_comm;
+use crate::taskpool::TaskPool;
+use fci_ddi::{Backend, CommStats, DistMatrix};
+use fci_linalg::{dgemm, Matrix, Trans};
+use fci_xsim::{Clock, MachineModel, RunReport};
+use parking_lot::Mutex;
+
+/// Per-rank working storage for the mixed-spin routine (the paper's
+/// "working area to store the gathered C vector coefficients and the
+/// computed update coefficients", §3.1).
+struct WorkBufs {
+    colbuf: Vec<f64>,
+    cg: Vec<f64>,
+    u: Vec<f64>,
+    d: Matrix,
+    e_mat: Matrix,
+    vk: Matrix,
+}
+
+impl WorkBufs {
+    fn new(nbstr: usize, nq: usize, n: usize, nkb: usize) -> Self {
+        let nd = nq * n;
+        WorkBufs {
+            colbuf: vec![0.0; nbstr],
+            cg: vec![0.0; nbstr * nq],
+            u: vec![0.0; nbstr * nq],
+            d: Matrix::zeros(nd, nkb),
+            e_mat: Matrix::zeros(nd, nkb),
+            vk: Matrix::zeros(nd, nd),
+        }
+    }
+}
+
+/// Execute the work of one Kα family on `rank`.
+#[allow(clippy::too_many_arguments)]
+fn process_task(
+    ctx: &SigmaCtx,
+    c: &DistMatrix,
+    sigma: &DistMatrix,
+    ka: usize,
+    rank: usize,
+    bufs: &mut WorkBufs,
+    stats: &mut CommStats,
+    clock: &mut Clock,
+) {
+    let space = ctx.space;
+    let ham = ctx.ham;
+    let model = ctx.model;
+    let n = space.n_orb();
+    let nbstr = space.beta.len();
+    let nkb = space.beta_nm1.len();
+    let fam = space.alpha_nm1.of(ka);
+    let nq = fam.len();
+    let nd = nq * n;
+
+    // (1) gather C columns of the family.
+    for (slot, e) in fam.iter().enumerate() {
+        c.get_col(rank, e.to as usize, &mut bufs.colbuf, stats);
+        let sgn = e.sign as f64;
+        for (i, &v) in bufs.colbuf.iter().enumerate() {
+            bufs.cg[i + slot * nbstr] = sgn * v;
+        }
+    }
+    clock.charge_gather(model, (nq * nbstr) as f64);
+
+    // (2) build D through the β N−1 families.
+    bufs.d.fill_zero();
+    clock.charge_memcpy(model, (nd * nkb * 8) as f64);
+    let mut touched = 0usize;
+    for kb in 0..nkb {
+        for eb in space.beta_nm1.of(kb) {
+            let s = eb.p as usize;
+            let sgn = eb.sign as f64;
+            let jb = eb.to as usize;
+            for slot in 0..nq {
+                bufs.d[(slot * n + s, kb)] = sgn * bufs.cg[jb + slot * nbstr];
+            }
+            touched += nq;
+        }
+    }
+    clock.charge_gather(model, touched as f64);
+
+    // (3) the integral block and the DGEMM.
+    for (qi, eq) in fam.iter().enumerate() {
+        for (pi, ep) in fam.iter().enumerate() {
+            let vrow = ep.p as usize * n + eq.p as usize;
+            for r in 0..n {
+                for s in 0..n {
+                    bufs.vk[(pi * n + r, qi * n + s)] = ham.v[(vrow, r * n + s)];
+                }
+            }
+        }
+    }
+    clock.charge_memcpy(model, (nd * nd * 8) as f64);
+    dgemm(Trans::No, Trans::No, 1.0, &bufs.vk, &bufs.d, 0.0, &mut bufs.e_mat);
+    clock.charge_dgemm(model, nd, nkb, nd);
+
+    // (4) scatter through β families and accumulate.
+    bufs.u.iter_mut().for_each(|x| *x = 0.0);
+    let mut scat = 0usize;
+    for kb in 0..nkb {
+        for eb in space.beta_nm1.of(kb) {
+            let r = eb.p as usize;
+            let sgn = eb.sign as f64;
+            let ib = eb.to as usize;
+            for pi in 0..nq {
+                bufs.u[ib + pi * nbstr] += sgn * bufs.e_mat[(pi * n + r, kb)];
+            }
+            scat += nq;
+        }
+    }
+    clock.charge_gather(model, scat as f64);
+    for (slot, e) in fam.iter().enumerate() {
+        let sgn = e.sign as f64;
+        for (i, cb) in bufs.colbuf.iter_mut().enumerate() {
+            *cb = sgn * bufs.u[i + slot * nbstr];
+        }
+        sigma.acc_col(rank, e.to as usize, &bufs.colbuf, stats);
+    }
+    clock.charge_gather(model, (nq * nbstr) as f64);
+    clock.charge_scalar(model, (2 * nq + 2 * nkb) as f64);
+}
+
+/// Apply the mixed-spin contribution: `sigma += H_αβ · c`.
+pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> RunReport {
+    let space = ctx.space;
+    let model = ctx.model;
+    let n = space.n_orb();
+    let nbstr = space.beta.len();
+    let nka = space.alpha_nm1.len();
+    let nkb = space.beta_nm1.len();
+    let nq = n - (space.alpha.n_elec() - 1);
+    let nproc = ctx.ddi.nproc();
+    let pool = TaskPool::aggregated(nka, nproc, ctx.pool);
+    ctx.ddi.reset_counter();
+
+    match ctx.ddi.backend() {
+        Backend::Serial => {
+            // Deterministic simulation of self-scheduling: the rank whose
+            // clock is lowest claims the next task (greedy list schedule).
+            let mut clocks = vec![Clock::default(); nproc];
+            let mut stats = vec![CommStats::default(); nproc];
+            let mut bufs = WorkBufs::new(nbstr, nq, n, nkb);
+            for t in 0..pool.len() {
+                let rank = argmin_clock(&clocks, model, &stats);
+                stats[rank].nxtval_msgs += 1;
+                for ka in pool.task(t) {
+                    process_task(ctx, c, sigma, ka, rank, &mut bufs, &mut stats[rank], &mut clocks[rank]);
+                }
+            }
+            // Every rank's terminating counter probe.
+            for st in stats.iter_mut() {
+                st.nxtval_msgs += 1;
+            }
+            for (ck, st) in clocks.iter_mut().zip(&stats) {
+                charge_comm(ck, st, model);
+            }
+            RunReport::new(clocks)
+        }
+        Backend::Threads => {
+            let clocks = Mutex::new(vec![Clock::default(); nproc]);
+            let stats_out = ctx.ddi.run(|rank, stats| {
+                let mut clock = Clock::default();
+                let mut bufs = WorkBufs::new(nbstr, nq, n, nkb);
+                loop {
+                    let t = ctx.ddi.nxtval(stats);
+                    if t >= pool.len() {
+                        break;
+                    }
+                    for ka in pool.task(t) {
+                        process_task(ctx, c, sigma, ka, rank, &mut bufs, stats, &mut clock);
+                    }
+                }
+                clocks.lock()[rank] = clock;
+            });
+            let mut clocks = clocks.into_inner();
+            for (ck, st) in clocks.iter_mut().zip(&stats_out) {
+                charge_comm(ck, st, model);
+            }
+            RunReport::new(clocks)
+        }
+    }
+}
+
+/// Rank with the smallest simulated time so far (clock + comm implied by
+/// its statistics, which have not been folded into the clock yet).
+fn argmin_clock(clocks: &[Clock], model: &MachineModel, stats: &[CommStats]) -> usize {
+    let mut best = 0;
+    let mut bt = f64::INFINITY;
+    for (r, ck) in clocks.iter().enumerate() {
+        let mut trial = *ck;
+        charge_comm(&mut trial, &stats[r], model);
+        let t = trial.total();
+        if t < bt {
+            bt = t;
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detspace::DetSpace;
+    use crate::hamiltonian::random_hamiltonian;
+    use crate::slater;
+    use crate::taskpool::PoolParams;
+    use fci_ddi::Ddi;
+    use fci_xsim::MachineModel;
+
+    /// Mixed-spin reference: Slater–Condon elements where both spins are
+    /// singly excited, plus the αβ Coulomb pieces of diagonal and
+    /// single-excitation elements.
+    fn reference_mixed(space: &DetSpace, ham: &crate::hamiltonian::Hamiltonian, c: &[f64]) -> Vec<f64> {
+        let na = space.alpha.len();
+        let nb = space.beta.len();
+        let mut out = vec![0.0; na * nb];
+        for ia in 0..na {
+            let am = space.alpha.mask(ia);
+            for ib in 0..nb {
+                let bm = space.beta.mask(ib);
+                for ja in 0..na {
+                    let jam = space.alpha.mask(ja);
+                    let da = (am ^ jam).count_ones() / 2;
+                    if da > 1 {
+                        continue;
+                    }
+                    for jb in 0..nb {
+                        let jbm = space.beta.mask(jb);
+                        let db = (bm ^ jbm).count_ones() / 2;
+                        let v = match (da, db) {
+                            (1, 1) => slater::element(ham, am, bm, jam, jbm),
+                            (0, 0) if ia == ja && ib == jb => {
+                                let mut acc = 0.0;
+                                for &p in &fci_strings::occ_list(am) {
+                                    for &q in &fci_strings::occ_list(bm) {
+                                        acc += ham.eri.get(p, p, q, q);
+                                    }
+                                }
+                                acc
+                            }
+                            (1, 0) if ib == jb => {
+                                let p = fci_strings::occ_list(am & !jam)[0];
+                                let q = fci_strings::occ_list(jam & !am)[0];
+                                let (s1, m1) = fci_strings::annihilate(jam, q).unwrap();
+                                let (s2, _) = fci_strings::create(m1, p).unwrap();
+                                let mut acc = 0.0;
+                                for &r in &fci_strings::occ_list(bm) {
+                                    acc += ham.eri.get(p, q, r, r);
+                                }
+                                acc * (s1 * s2) as f64
+                            }
+                            (0, 1) if ia == ja => {
+                                let p = fci_strings::occ_list(bm & !jbm)[0];
+                                let q = fci_strings::occ_list(jbm & !bm)[0];
+                                let (s1, m1) = fci_strings::annihilate(jbm, q).unwrap();
+                                let (s2, _) = fci_strings::create(m1, p).unwrap();
+                                let mut acc = 0.0;
+                                for &r in &fci_strings::occ_list(am) {
+                                    acc += ham.eri.get(p, q, r, r);
+                                }
+                                acc * (s1 * s2) as f64
+                            }
+                            _ => 0.0,
+                        };
+                        if v != 0.0 {
+                            out[ib + ia * nb] += v * c[jb + ja * nb];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mixed_matches_slater_condon() {
+        let ham = random_hamiltonian(5, 41);
+        let space = DetSpace::c1(5, 2, 2);
+        for nproc in [1usize, 4] {
+            let ddi = Ddi::new(nproc, Backend::Serial);
+            let model = MachineModel::cray_x1();
+            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let c = space.zeros_ci(nproc);
+            let mut seed = 5u64;
+            c.map_inplace(|_, _, _| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+                ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            });
+            let sigma = space.zeros_ci(nproc);
+            mixed_spin_dgemm(&ctx, &c, &sigma);
+            let reference = reference_mixed(&space, &ham, &c.to_dense());
+            let got = sigma.to_dense();
+            for (a, b) in got.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-11, "{a} vs {b} nproc={nproc}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_acc_volume_matches_table1_model() {
+        // Table 1: DGEMM α-β communication ≈ 3·Nci·Nα words (1× gather +
+        // 2× accumulate), approached when nearly all columns are remote.
+        let ham = random_hamiltonian(6, 3);
+        let space = DetSpace::c1(6, 3, 2);
+        let nproc = space.alpha.len();
+        let ddi = Ddi::new(nproc, Backend::Serial);
+        let model = MachineModel::cray_x1();
+        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let c = space.guess(&ham, nproc);
+        let sigma = space.zeros_ci(nproc);
+        let rep = mixed_spin_dgemm(&ctx, &c, &sigma);
+        let nci = space.dim() as f64;
+        let na = space.alpha.n_elec() as f64;
+        let expect_words = 3.0 * nci * na;
+        let got_words = rep.total_net_bytes() / 8.0;
+        assert!(
+            (got_words - expect_words).abs() < 0.2 * expect_words,
+            "words {got_words} vs model {expect_words}"
+        );
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_work() {
+        // The simulated self-scheduling must spread the α-β work: no rank
+        // may be idle while another holds more than two tasks' worth of
+        // surplus (uniform task costs here).
+        let ham = random_hamiltonian(8, 5);
+        let space = DetSpace::c1(8, 3, 3);
+        let p = 8;
+        let ddi = Ddi::new(p, Backend::Serial);
+        let model = MachineModel::cray_x1();
+        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let c = space.guess(&ham, p);
+        let sigma = space.zeros_ci(p);
+        let rep = mixed_spin_dgemm(&ctx, &c, &sigma);
+        let times: Vec<f64> = rep.clocks.iter().map(|k| k.total()).collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.0, "an MSP sat completely idle: {times:?}");
+        assert!(max < 3.0 * min, "imbalance too large: {times:?}");
+    }
+
+    #[test]
+    fn mixed_phase_scales_with_processors() {
+        let ham = random_hamiltonian(8, 9);
+        let space = DetSpace::c1(8, 3, 3);
+        let model = MachineModel::cray_x1();
+        let mut t = Vec::new();
+        for p in [2usize, 8] {
+            let ddi = Ddi::new(p, Backend::Serial);
+            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let c = space.guess(&ham, p);
+            let sigma = space.zeros_ci(p);
+            t.push(mixed_spin_dgemm(&ctx, &c, &sigma).elapsed());
+        }
+        assert!(t[1] < 0.5 * t[0], "mixed-spin speedup 2→8 too small: {t:?}");
+    }
+}

@@ -1,0 +1,458 @@
+//! Column-distributed dense matrices with one-sided access.
+
+use crate::stats::CommStats;
+use parking_lot::Mutex;
+
+/// A dense `nrows × ncols` matrix distributed by contiguous column blocks
+/// over `nproc` virtual processors.
+///
+/// This mirrors the paper's layout: the CI matrix has rows indexed by β
+/// strings and columns by α strings, "distributed by columns evenly among
+/// all the processors" (§3.1). Each processor's segment sits behind its own
+/// mutex — the same per-node lock `DDI_ACC` takes on the X1.
+#[derive(Debug)]
+pub struct DistMatrix {
+    nrows: usize,
+    ncols: usize,
+    nproc: usize,
+    /// `col_offsets[p]..col_offsets[p+1]` = columns owned by rank p.
+    col_offsets: Vec<usize>,
+    /// Per-rank column-major segments.
+    segments: Vec<Mutex<Vec<f64>>>,
+}
+
+impl DistMatrix {
+    /// Zero matrix distributed over `nproc` ranks (block column layout,
+    /// remainders spread over the first ranks).
+    pub fn zeros(nrows: usize, ncols: usize, nproc: usize) -> Self {
+        assert!(nproc >= 1);
+        let base = ncols / nproc;
+        let extra = ncols % nproc;
+        let mut col_offsets = Vec::with_capacity(nproc + 1);
+        col_offsets.push(0);
+        let mut acc = 0;
+        for p in 0..nproc {
+            acc += base + usize::from(p < extra);
+            col_offsets.push(acc);
+        }
+        let segments = (0..nproc)
+            .map(|p| Mutex::new(vec![0.0; nrows * (col_offsets[p + 1] - col_offsets[p])]))
+            .collect();
+        DistMatrix { nrows, ncols, nproc, col_offsets, segments }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of virtual processors the columns are distributed over.
+    pub fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    /// Owner rank of a column.
+    #[inline]
+    pub fn owner(&self, col: usize) -> usize {
+        debug_assert!(col < self.ncols);
+        // Block distribution: binary search the offsets.
+        match self.col_offsets.binary_search(&col) {
+            Ok(p) => p.min(self.nproc - 1),
+            Err(p) => p - 1,
+        }
+    }
+
+    /// Columns owned by rank `p`.
+    pub fn local_cols(&self, p: usize) -> std::ops::Range<usize> {
+        self.col_offsets[p]..self.col_offsets[p + 1]
+    }
+
+    /// Run `f` with rank `p`'s segment locked (column-major slab of the
+    /// locally owned columns).
+    pub fn with_local<R>(&self, p: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        let mut seg = self.segments[p].lock();
+        f(&mut seg)
+    }
+
+    /// One-sided `DDI_GET` of a single column into `buf`.
+    ///
+    /// `rank` is the calling processor; traffic is counted only when the
+    /// column is remote.
+    pub fn get_col(&self, rank: usize, col: usize, buf: &mut [f64], stats: &mut CommStats) {
+        assert_eq!(buf.len(), self.nrows);
+        let owner = self.owner(col);
+        let local0 = col - self.col_offsets[owner];
+        {
+            let seg = self.segments[owner].lock();
+            buf.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
+        }
+        if owner != rank {
+            stats.get_msgs += 1;
+            stats.get_bytes += (self.nrows * 8) as u64;
+        }
+    }
+
+    /// One-sided `DDI_ACC`: `column += buf`.
+    ///
+    /// Remote accumulation counts 2× the payload bytes (fetch + write-back,
+    /// exactly the SHMEM protocol the paper describes) plus one mutex
+    /// acquisition. Local accumulation still takes the lock (the X1 code
+    /// does too — the lock protects against concurrent remote updates) but
+    /// costs no network bytes.
+    pub fn acc_col(&self, rank: usize, col: usize, buf: &[f64], stats: &mut CommStats) {
+        assert_eq!(buf.len(), self.nrows);
+        let owner = self.owner(col);
+        let local0 = col - self.col_offsets[owner];
+        {
+            let mut seg = self.segments[owner].lock();
+            let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
+            for (d, s) in dst.iter_mut().zip(buf) {
+                *d += s;
+            }
+        }
+        stats.mutex_acquires += 1;
+        if owner != rank {
+            stats.acc_msgs += 1;
+            stats.acc_bytes += (self.nrows * 16) as u64;
+        }
+    }
+
+    /// One-sided `DDI_PUT`: overwrite a column.
+    pub fn put_col(&self, rank: usize, col: usize, buf: &[f64], stats: &mut CommStats) {
+        assert_eq!(buf.len(), self.nrows);
+        let owner = self.owner(col);
+        let local0 = col - self.col_offsets[owner];
+        {
+            let mut seg = self.segments[owner].lock();
+            seg[local0 * self.nrows..(local0 + 1) * self.nrows].copy_from_slice(buf);
+        }
+        if owner != rank {
+            stats.put_msgs += 1;
+            stats.put_bytes += (self.nrows * 8) as u64;
+        }
+    }
+
+    /// Zero all elements.
+    pub fn fill_zero(&self) {
+        for s in &self.segments {
+            s.lock().iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Gather the whole matrix into a local column-major buffer
+    /// (test/diagnostic helper; not part of the scalable path).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows * self.ncols];
+        for p in 0..self.nproc {
+            let seg = self.segments[p].lock();
+            let c0 = self.col_offsets[p];
+            out[c0 * self.nrows..(c0 + seg.len() / self.nrows.max(1)) * self.nrows]
+                .copy_from_slice(&seg);
+        }
+        out
+    }
+
+    /// Load from a local column-major buffer.
+    pub fn from_dense(nrows: usize, ncols: usize, nproc: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        let m = Self::zeros(nrows, ncols, nproc);
+        for p in 0..nproc {
+            let mut seg = m.segments[p].lock();
+            let c0 = m.col_offsets[p];
+            let n = seg.len();
+            seg.copy_from_slice(&data[c0 * nrows..c0 * nrows + n]);
+            drop(seg);
+        }
+        m
+    }
+
+    // ----- distributed vector algebra (treats the matrix as one long
+    // vector; every op runs segment-local and reduces) -----
+
+    /// Global Frobenius inner product `⟨self, other⟩`.
+    ///
+    /// Safe to call with `other` aliasing `self` (the per-segment mutexes
+    /// are not reentrant, so the aliased case takes each lock once).
+    pub fn dot(&self, other: &DistMatrix) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        assert_eq!(self.nproc, other.nproc);
+        let aliased = std::ptr::eq(self, other);
+        let mut acc = 0.0;
+        for p in 0..self.nproc {
+            let a = self.segments[p].lock();
+            if aliased {
+                acc += a.iter().map(|x| x * x).sum::<f64>();
+            } else {
+                let b = other.segments[p].lock();
+                acc += a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>();
+            }
+        }
+        acc
+    }
+
+    /// Global 2-norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// `self += a · other`.
+    pub fn axpy(&self, a: f64, other: &DistMatrix) {
+        assert!(!std::ptr::eq(self, other), "axpy operands must not alias (non-reentrant locks)");
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        assert_eq!(self.nproc, other.nproc);
+        for p in 0..self.nproc {
+            let mut x = self.segments[p].lock();
+            let y = other.segments[p].lock();
+            for (xi, yi) in x.iter_mut().zip(y.iter()) {
+                *xi += a * yi;
+            }
+        }
+    }
+
+    /// `self *= a`.
+    pub fn scale(&self, a: f64) {
+        for p in 0..self.nproc {
+            self.segments[p].lock().iter_mut().for_each(|x| *x *= a);
+        }
+    }
+
+    /// Copy `other` into `self`.
+    pub fn copy_from(&self, other: &DistMatrix) {
+        assert!(!std::ptr::eq(self, other), "copy_from operands must not alias (non-reentrant locks)");
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        assert_eq!(self.nproc, other.nproc);
+        for p in 0..self.nproc {
+            let mut x = self.segments[p].lock();
+            let y = other.segments[p].lock();
+            x.copy_from_slice(&y);
+        }
+    }
+
+    /// Read one element (diagnostic / small-model-space use; takes the
+    /// owner's lock per call).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols);
+        let p = self.owner(col);
+        let local0 = col - self.col_offsets[p];
+        self.segments[p].lock()[local0 * self.nrows + row]
+    }
+
+    /// Write one element (diagnostic / small-model-space use).
+    pub fn set(&self, row: usize, col: usize, v: f64) {
+        assert!(row < self.nrows && col < self.ncols);
+        let p = self.owner(col);
+        let local0 = col - self.col_offsets[p];
+        self.segments[p].lock()[local0 * self.nrows + row] = v;
+    }
+
+    /// Weighted inner product `Σ_i w_i a_i b_i`, skipping entries whose
+    /// weight is not finite (used with sector-masked diagonals, where
+    /// out-of-sector weights are ∞ against structurally zero vectors).
+    pub fn dot3(&self, w: &DistMatrix, other: &DistMatrix) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        assert_eq!((self.nrows, self.ncols), (w.nrows, w.ncols));
+        assert_eq!(self.nproc, other.nproc);
+        // The per-segment mutexes are not reentrant — handle aliasing
+        // among the three operands explicitly.
+        let mut acc = 0.0;
+        for p in 0..self.nproc {
+            let a = self.segments[p].lock();
+            let ww = if std::ptr::eq(w, self) { None } else { Some(w.segments[p].lock()) };
+            let b = if std::ptr::eq(other, self) {
+                None
+            } else if std::ptr::eq(other, w) {
+                None
+            } else {
+                Some(other.segments[p].lock())
+            };
+            for i in 0..a.len() {
+                let wv = ww.as_ref().map_or(a[i], |s| s[i]);
+                let bv = if std::ptr::eq(other, self) {
+                    a[i]
+                } else if std::ptr::eq(other, w) {
+                    wv
+                } else {
+                    b.as_ref().unwrap()[i]
+                };
+                if wv.is_finite() {
+                    acc += wv * a[i] * bv;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&self, mut f: impl FnMut(usize, usize, f64) -> f64) {
+        for p in 0..self.nproc {
+            let c0 = self.col_offsets[p];
+            let mut seg = self.segments[p].lock();
+            for (k, v) in seg.iter_mut().enumerate() {
+                let col = c0 + k / self.nrows;
+                let row = k % self.nrows;
+                *v = f(row, col, *v);
+            }
+        }
+    }
+
+    /// Distributed transpose: returns a new `ncols × nrows` matrix with the
+    /// same processor count. Bytes for every element whose source and
+    /// destination rank differ are charged to the *destination* rank's
+    /// stats entry, modelling an all-to-all built from one-sided gets.
+    pub fn transpose(&self, stats: &mut [CommStats]) -> DistMatrix {
+        assert_eq!(stats.len(), self.nproc);
+        let t = DistMatrix::zeros(self.ncols, self.nrows, self.nproc);
+        let dense = self.to_dense();
+        for p in 0..self.nproc {
+            let mut remote = 0u64;
+            let mut sources = vec![false; self.nproc];
+            let cols = t.local_cols(p);
+            let mut seg = t.segments[p].lock();
+            for (k, newcol) in cols.clone().enumerate() {
+                // New column `newcol` is old row `newcol`.
+                for oldcol in 0..self.ncols {
+                    seg[k * t.nrows + oldcol] = dense[newcol + oldcol * self.nrows];
+                    let o = self.owner(oldcol);
+                    if o != p {
+                        remote += 8;
+                        sources[o] = true;
+                    }
+                }
+            }
+            stats[p].get_bytes += remote;
+            // One strided SHMEM_GET per remote source rank (the X1's
+            // vector gather hardware makes strided remote reads a single
+            // operation, so we do not charge per-element latency).
+            stats[p].get_msgs += sources.iter().filter(|&&b| b).count() as u64;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_covers_columns() {
+        let m = DistMatrix::zeros(3, 10, 4);
+        // 10 cols over 4 ranks: 3,3,2,2.
+        assert_eq!(m.local_cols(0), 0..3);
+        assert_eq!(m.local_cols(1), 3..6);
+        assert_eq!(m.local_cols(2), 6..8);
+        assert_eq!(m.local_cols(3), 8..10);
+        for c in 0..10 {
+            let p = m.owner(c);
+            assert!(m.local_cols(p).contains(&c), "col {c} owner {p}");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_columns() {
+        let m = DistMatrix::zeros(2, 2, 5);
+        assert_eq!(m.local_cols(0), 0..1);
+        assert_eq!(m.local_cols(1), 1..2);
+        assert_eq!(m.local_cols(4), 2..2);
+        assert_eq!(m.owner(1), 1);
+    }
+
+    #[test]
+    fn get_put_acc_roundtrip() {
+        let m = DistMatrix::zeros(4, 6, 3);
+        let mut st = CommStats::default();
+        let v = [1.0, 2.0, 3.0, 4.0];
+        m.put_col(0, 5, &v, &mut st); // remote put (owner = 2)
+        assert_eq!(st.put_msgs, 1);
+        assert_eq!(st.put_bytes, 32);
+        let mut buf = [0.0; 4];
+        m.get_col(0, 5, &mut buf, &mut st);
+        assert_eq!(buf, v);
+        assert_eq!(st.get_msgs, 1);
+        m.acc_col(0, 5, &v, &mut st);
+        m.get_col(2, 5, &mut buf, &mut st); // local get for owner: free
+        assert_eq!(buf, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(st.acc_msgs, 1);
+        assert_eq!(st.acc_bytes, 64); // 2× payload
+        assert_eq!(st.get_msgs, 1); // unchanged by the local get
+    }
+
+    #[test]
+    fn local_ops_are_free() {
+        let m = DistMatrix::zeros(4, 6, 3);
+        let mut st = CommStats::default();
+        let v = [1.0; 4];
+        let own = m.owner(1);
+        m.put_col(own, 1, &v, &mut st);
+        m.acc_col(own, 1, &v, &mut st);
+        let mut buf = [0.0; 4];
+        m.get_col(own, 1, &mut buf, &mut st);
+        assert_eq!(st.total_bytes(), 0);
+        assert_eq!(st.get_msgs + st.acc_msgs + st.put_msgs, 0);
+        assert_eq!(st.mutex_acquires, 1);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let data: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let m = DistMatrix::from_dense(3, 4, 3, &data);
+        assert_eq!(m.to_dense(), data);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = DistMatrix::from_dense(2, 2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = DistMatrix::from_dense(2, 2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.dot(&b), 10.0);
+        assert!((a.norm() - 30.0_f64.sqrt()).abs() < 1e-14);
+        b.axpy(2.0, &a);
+        assert_eq!(b.to_dense(), vec![3.0, 5.0, 7.0, 9.0]);
+        b.scale(0.5);
+        assert_eq!(b.to_dense(), vec![1.5, 2.5, 3.5, 4.5]);
+        b.copy_from(&a);
+        assert_eq!(b.to_dense(), a.to_dense());
+        b.fill_zero();
+        assert_eq!(b.norm(), 0.0);
+    }
+
+    #[test]
+    fn transpose_correct_and_counts() {
+        let data: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let m = DistMatrix::from_dense(3, 4, 2, &data);
+        let mut stats = vec![CommStats::default(); 2];
+        let t = m.transpose(&mut stats);
+        assert_eq!((t.nrows(), t.ncols()), (4, 3));
+        let td = t.to_dense();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(td[j + i * 4], data[i + j * 3]);
+            }
+        }
+        // Some bytes must have moved.
+        assert!(stats.iter().map(|s| s.get_bytes).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn self_dot_and_norm_do_not_deadlock() {
+        // Regression: norm() aliases dot(self, self); the segment mutexes
+        // are non-reentrant, so aliasing must be special-cased.
+        let a = DistMatrix::from_dense(2, 2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let w = DistMatrix::from_dense(2, 2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a.dot3(&w, &a), 25.0);
+        assert_eq!(a.dot3(&a, &a), 27.0 + 64.0);
+        assert_eq!(w.dot3(&a, &a), 25.0);
+    }
+
+    #[test]
+    fn map_inplace_indexing() {
+        let m = DistMatrix::zeros(2, 3, 2);
+        m.map_inplace(|r, c, _| (r * 10 + c) as f64);
+        assert_eq!(m.to_dense(), vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Simulated Distributed Data Interface (DDI).
+//!
+//! The paper's program distributes the CI coefficient matrix by α-string
+//! columns and performs all remote traffic through one-sided operations of
+//! the Distributed Data Interface (a Global Arrays derivative), which on
+//! the Cray-X1 maps onto SHMEM:
+//!
+//! * `DDI_GET` — one-sided remote gather of columns (`SHMEM_GET`),
+//! * `DDI_ACC` — remote accumulate: acquire the target node's mutex, fetch
+//!   the data (`SHMEM_GET`), add locally, write back (`SHMEM_PUT`), fence
+//!   (`SHMEM_QUIET`), release. Accumulation therefore moves **twice** the
+//!   bytes of a get — a property the paper calls out explicitly (§3.1) and
+//!   which our communication accounting reproduces,
+//! * `SHMEM_SWAP` — the atomic counter behind the dynamic load-balancing
+//!   task server (`nxtval` here).
+//!
+//! This crate reimplements those semantics over shared memory. "Processors"
+//! are virtual ranks; a [`Ddi`] world runs a closure once per rank, either
+//! serially (deterministic, the default — correct because the σ algorithms
+//! only ever *read* C and *accumulate* into σ, both order-insensitive) or
+//! on real OS threads (used by tests to validate the locking protocol).
+//! Every operation updates per-rank [`CommStats`] so harnesses can report
+//! communication volumes the way Table 3 does.
+
+pub mod dist;
+pub mod stats;
+pub mod world;
+
+pub use dist::DistMatrix;
+pub use stats::CommStats;
+pub use world::{Backend, Ddi};

@@ -1,0 +1,67 @@
+//! Per-rank communication statistics.
+
+/// Counts of one-sided traffic issued by one rank.
+///
+/// Byte counts follow the paper's accounting: a remote `get` of n doubles
+/// moves `8n` bytes; a remote `acc` moves `16n` (fetch + write-back); local
+/// operations are free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Bytes fetched by remote gets.
+    pub get_bytes: u64,
+    /// Bytes moved by remote accumulates (2× the payload).
+    pub acc_bytes: u64,
+    /// Bytes written by remote puts.
+    pub put_bytes: u64,
+    /// Number of remote get operations.
+    pub get_msgs: u64,
+    /// Number of remote accumulate operations.
+    pub acc_msgs: u64,
+    /// Number of remote put operations.
+    pub put_msgs: u64,
+    /// Number of atomic counter (SHMEM_SWAP-style) operations.
+    pub nxtval_msgs: u64,
+    /// Number of mutex acquisitions performed for accumulates.
+    pub mutex_acquires: u64,
+}
+
+impl CommStats {
+    /// Total bytes moved over the (simulated) interconnect.
+    pub fn total_bytes(&self) -> u64 {
+        self.get_bytes + self.acc_bytes + self.put_bytes
+    }
+
+    /// Total message count (including counter traffic).
+    pub fn total_msgs(&self) -> u64 {
+        self.get_msgs + self.acc_msgs + self.put_msgs + self.nxtval_msgs
+    }
+
+    /// Elementwise sum.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.get_bytes += other.get_bytes;
+        self.acc_bytes += other.acc_bytes;
+        self.put_bytes += other.put_bytes;
+        self.get_msgs += other.get_msgs;
+        self.acc_msgs += other.acc_msgs;
+        self.put_msgs += other.put_msgs;
+        self.nxtval_msgs += other.nxtval_msgs;
+        self.mutex_acquires += other.mutex_acquires;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let a = CommStats { get_bytes: 100, acc_bytes: 40, put_bytes: 4, get_msgs: 2, acc_msgs: 1, put_msgs: 1, nxtval_msgs: 5, mutex_acquires: 1 };
+        assert_eq!(a.total_bytes(), 144);
+        assert_eq!(a.total_msgs(), 9);
+        let mut b = CommStats::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.get_bytes, 200);
+        assert_eq!(b.nxtval_msgs, 10);
+    }
+}

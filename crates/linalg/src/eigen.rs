@@ -1,0 +1,222 @@
+//! Symmetric eigensolvers.
+//!
+//! * [`eigh`] — the front door: dispatches between the robust cyclic
+//!   Jacobi solver ([`eigh_jacobi`]) for small matrices and the faster
+//!   Householder + implicit-QL route ([`crate::tridiag::eigh_tridiag`])
+//!   for larger ones (SCF Fock matrices, Davidson subspaces, dense sector
+//!   references).
+//! * [`eigh_2x2`] — the analytic 2×2 symmetric solve. The paper's
+//!   automatically adjusted single-vector method derives its step length λ
+//!   from exactly this 2×2 diagonalization (eqs. 13–15), so it gets a
+//!   dedicated, branch-stable routine.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: `a = V diag(w) Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, in the order of `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix.
+///
+/// Dispatches to cyclic Jacobi ([`eigh_jacobi`]) for small matrices and to
+/// Householder + implicit QL ([`crate::tridiag::eigh_tridiag`]) above a
+/// cutoff where the two-stage method is decisively faster. Reads the upper
+/// triangle; panics if `a` is not square.
+pub fn eigh(a: &Matrix) -> Eigh {
+    if a.nrows() > 24 {
+        crate::tridiag::eigh_tridiag(a)
+    } else {
+        eigh_jacobi(a)
+    }
+}
+
+/// Cyclic Jacobi diagonalization of a symmetric matrix.
+///
+/// Panics if `a` is not square; the strictly lower triangle is ignored
+/// (the matrix is assumed symmetric and read from the upper triangle).
+pub fn eigh_jacobi(a: &Matrix) -> Eigh {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigh requires a square matrix");
+    // Work on a symmetrized copy.
+    let mut m = Matrix::from_fn(n, n, |i, j| if i <= j { a[(i, j)] } else { a[(j, i)] });
+    let mut v = Matrix::eye(n);
+
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for j in 0..n {
+            for i in 0..j {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frob(&m)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable computation of the rotation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Eigh { eigenvalues, eigenvectors }
+}
+
+fn frob(m: &Matrix) -> f64 {
+    m.norm()
+}
+
+/// Analytic eigendecomposition of the symmetric 2×2 matrix
+/// `[[a, b], [b, d]]`.
+///
+/// Returns `(w_lo, (x, y))`: the lower eigenvalue and its normalized
+/// eigenvector. The eigenvector sign is fixed so that `x >= 0`, which makes
+/// the λ = y/x mixing ratio used by the single-vector diagonalizer
+/// well-defined across iterations.
+pub fn eigh_2x2(a: f64, b: f64, d: f64) -> (f64, (f64, f64)) {
+    if b == 0.0 {
+        return if a <= d { (a, (1.0, 0.0)) } else { (d, (0.0, 1.0)) };
+    }
+    let tr = a + d;
+    let det_disc = ((a - d) * 0.5).hypot(b);
+    let w = 0.5 * tr - det_disc; // lower eigenvalue
+    // Eigenvector from the numerically safer of the two rows.
+    let (mut x, mut y) = if (a - w).abs() > (d - w).abs() {
+        (-b, a - w)
+    } else {
+        (d - w, -b)
+    };
+    let nrm = x.hypot(y);
+    x /= nrm;
+    y /= nrm;
+    if x < 0.0 {
+        x = -x;
+        y = -y;
+    }
+    (w, (x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, e: &Eigh) -> f64 {
+        // ‖A V − V diag(w)‖
+        let av = a.matmul(&e.eigenvectors);
+        let n = a.nrows();
+        let vw = Matrix::from_fn(n, n, |i, j| e.eigenvectors[(i, j)] * e.eigenvalues[j]);
+        av.max_abs_diff(&vw)
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = eigh(&a);
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-14);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigh(&a);
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-13);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-13);
+        assert!(residual(&a, &e) < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_consistency() {
+        let n = 20;
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let raw = Matrix::from_fn(n, n, |_, _| next());
+        let a = Matrix::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)]);
+        let e = eigh(&a);
+        assert!(residual(&a, &e) < 1e-10, "residual {}", residual(&a, &e));
+        // Eigenvalues ascend.
+        for k in 1..n {
+            assert!(e.eigenvalues[k] >= e.eigenvalues[k - 1]);
+        }
+        // Eigenvectors orthonormal.
+        let vtv = e.eigenvectors.t_matmul(&e.eigenvectors);
+        assert!(vtv.max_abs_diff(&Matrix::eye(n)) < 1e-11);
+        // Trace preserved.
+        let tr_a: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let tr_w: f64 = e.eigenvalues.iter().sum();
+        assert!((tr_a - tr_w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigh_2x2_matches_jacobi() {
+        for &(a, b, d) in &[(1.0, 0.5, 2.0), (-3.0, 2.0, 1.0), (0.0, 0.0, 0.0), (5.0, -4.0, 5.0), (2.0, 0.0, 1.0)] {
+            let (w, (x, y)) = eigh_2x2(a, b, d);
+            let m = Matrix::from_rows(&[&[a, b], &[b, d]]);
+            let e = eigh(&m);
+            assert!((w - e.eigenvalues[0]).abs() < 1e-13, "eigenvalue mismatch for ({a},{b},{d})");
+            // Check eigen equation directly.
+            assert!((a * x + b * y - w * x).abs() < 1e-12);
+            assert!((b * x + d * y - w * y).abs() < 1e-12);
+            assert!((x * x + y * y - 1.0).abs() < 1e-12);
+            assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eigh_1x1_and_identity() {
+        let a = Matrix::from_rows(&[&[42.0]]);
+        let e = eigh(&a);
+        assert_eq!(e.eigenvalues, vec![42.0]);
+        let e = eigh(&Matrix::eye(5));
+        assert!(e.eigenvalues.iter().all(|&w| (w - 1.0).abs() < 1e-14));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra substrate for the fcix workspace.
+//!
+//! The Cray-X1 FCI program of Gan & Harrison leans on the vendor `DGEMM`
+//! (10–11 GFlop/s per MSP for matrices beyond 300×300) as its sole heavy
+//! compute kernel, plus level-1 operations (`DAXPY`, dot products, norms)
+//! whose comparatively poor out-of-cache throughput (≈2 GFlop/s per MSP)
+//! motivates the whole DGEMM-based reformulation of the σ = H·C product.
+//!
+//! This crate provides the same tool set, built from scratch:
+//!
+//! * [`Matrix`] — a column-major dense matrix (the layout every routine in
+//!   the FCI code assumes; CI coefficient blocks are (β-string × α-string)
+//!   column-major matrices),
+//! * [`dgemm`] — a blocked, cache-aware general matrix multiply with an
+//!   unrolled register microkernel, plus a [`dgemm_naive`] reference,
+//! * level-1 kernels ([`daxpy`], [`ddot`], [`dnrm2`], [`dscal`]),
+//! * a Jacobi symmetric eigensolver ([`eigh`]) used by the SCF and the
+//!   Davidson subspace method, and the analytic 2×2 solve ([`eigh_2x2`])
+//!   at the heart of the automatically adjusted single-vector method,
+//! * an LU solver ([`lu_solve`]) for DIIS extrapolation.
+//!
+//! Everything is plain safe Rust except the microkernel's bounds-check-free
+//! inner loops, which are encapsulated and exercised by property tests
+//! against the naive reference.
+
+pub mod blas1;
+pub mod eigen;
+pub mod gemm;
+pub mod matrix;
+pub mod solve;
+pub mod tridiag;
+
+pub use blas1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, idamax};
+pub use eigen::{eigh, eigh_2x2, eigh_jacobi, Eigh};
+pub use tridiag::eigh_tridiag;
+pub use gemm::{dgemm, dgemm_naive, Trans};
+pub use matrix::Matrix;
+pub use solve::{lu_factor, lu_solve, LuError};

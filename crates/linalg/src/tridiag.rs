@@ -1,0 +1,281 @@
+//! Householder tridiagonalization + implicit-shift QL eigensolver.
+//!
+//! The cyclic Jacobi solver in [`crate::eigen`] is robust but needs many
+//! O(n³) sweeps; for the larger dense reference diagonalizations (sector
+//! Hamiltonians of 10³–10⁴ determinants) the classic two-stage approach —
+//! reduce to tridiagonal form with Householder reflections, then apply the
+//! implicit QL algorithm with Wilkinson shifts — is an order of magnitude
+//! faster. [`crate::eigen::eigh`] dispatches here for matrices above a
+//! small cutoff; the two solvers cross-check each other in the tests.
+
+use crate::eigen::Eigh;
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix by tridiagonalization + QL.
+///
+/// Reads the upper triangle (like [`crate::eigen::eigh`]); panics on a
+/// non-square input or if the QL iteration fails to converge (does not
+/// happen for symmetric input within floating-point sanity).
+pub fn eigh_tridiag(a: &Matrix) -> Eigh {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigh_tridiag requires a square matrix");
+    if n == 0 {
+        return Eigh { eigenvalues: Vec::new(), eigenvectors: Matrix::zeros(0, 0) };
+    }
+    // Symmetrized working copy; `z` accumulates transformations.
+    let mut z = Matrix::from_fn(n, n, |i, j| {
+        if i <= j {
+            a[(i, j)]
+        } else {
+            a[(j, i)]
+        }
+    });
+    let mut d = vec![0.0f64; n]; // diagonal
+    let mut e = vec![0.0f64; n]; // sub-diagonal (e[0] unused)
+
+    tred2(&mut z, &mut d, &mut e);
+    tqli(&mut d, &mut e, &mut z);
+
+    // Sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |i, j| z[(i, order[j])]);
+    Eigh { eigenvalues, eigenvectors }
+}
+
+/// Householder reduction of the symmetric matrix in `z` to tridiagonal
+/// form (d = diagonal, e = sub-diagonal); `z` is replaced by the
+/// accumulated orthogonal transformation (Numerical-Recipes `tred2`).
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL on the tridiagonal (d, e), rotations accumulated
+/// into `z` (Numerical-Recipes `tqli`).
+fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a negligible sub-diagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "QL iteration failed to converge");
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::eigh_jacobi;
+
+    fn rand_sym(n: usize, seed: u64) -> Matrix {
+        let mut st = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
+        let raw = Matrix::from_fn(n, n, |_, _| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        Matrix::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)])
+    }
+
+    fn check(a: &Matrix) {
+        let n = a.nrows();
+        let e = eigh_tridiag(a);
+        // Residual ‖A V − V Λ‖.
+        let av = a.matmul(&e.eigenvectors);
+        let vl = Matrix::from_fn(n, n, |i, j| e.eigenvectors[(i, j)] * e.eigenvalues[j]);
+        assert!(av.max_abs_diff(&vl) < 1e-9 * (1.0 + n as f64), "residual too large");
+        // Orthonormality.
+        let vtv = e.eigenvectors.t_matmul(&e.eigenvectors);
+        assert!(vtv.max_abs_diff(&Matrix::eye(n)) < 1e-10);
+        // Ascending order.
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_and_medium_random() {
+        for &(n, seed) in &[(1usize, 1u64), (2, 2), (3, 3), (8, 4), (25, 5), (60, 6)] {
+            check(&rand_sym(n, seed));
+        }
+    }
+
+    #[test]
+    fn agrees_with_jacobi() {
+        for &(n, seed) in &[(6usize, 9u64), (17, 10), (33, 11)] {
+            let a = rand_sym(n, seed);
+            let e1 = eigh_tridiag(&a);
+            let e2 = eigh_jacobi(&a);
+            for (x, y) in e1.eigenvalues.iter().zip(&e2.eigenvalues) {
+                assert!((x - y).abs() < 1e-9, "{x} vs {y} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_eigenvalues() {
+        // Identity ⊕ shifted identity exercises exactly repeated roots.
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i != j {
+                0.0
+            } else if i < 5 {
+                2.0
+            } else {
+                -1.0
+            }
+        });
+        let e = eigh_tridiag(&a);
+        for k in 0..5 {
+            assert!((e.eigenvalues[k] + 1.0).abs() < 1e-12);
+            assert!((e.eigenvalues[k + 5] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn already_tridiagonal() {
+        // A Toeplitz tridiagonal matrix has analytic eigenvalues
+        // d + 2·o·cos(kπ/(n+1)).
+        let n = 12;
+        let (dg, off) = (1.5, -0.7);
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                dg
+            } else if i.abs_diff(j) == 1 {
+                off
+            } else {
+                0.0
+            }
+        });
+        let e = eigh_tridiag(&a);
+        let mut exact: Vec<f64> = (1..=n)
+            .map(|k| dg + 2.0 * off * (std::f64::consts::PI * k as f64 / (n as f64 + 1.0)).cos())
+            .collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (x, y) in e.eigenvalues.iter().zip(&exact) {
+            assert!((x - y).abs() < 1e-11, "{x} vs {y}");
+        }
+    }
+}

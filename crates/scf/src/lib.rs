@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Self-consistent field and integral transformation layer.
+//!
+//! The FCI program consumes *molecular orbital* integrals. This crate turns
+//! the raw AO integrals from `fci-ints` into that form:
+//!
+//! * [`lowdin`] — symmetric (Löwdin) orthogonalization `X = S^{−1/2}`;
+//! * [`rhf`] — restricted Hartree–Fock with DIIS convergence acceleration
+//!   (closed-shell reference orbitals; also the baseline energy the FCI
+//!   correlation energy is measured against);
+//! * [`core_orbitals`] — core-Hamiltonian eigenvectors in the Löwdin basis,
+//!   used as FCI orbitals for open-shell systems (the FCI energy is
+//!   invariant to orthogonal rotations of the orbital set, so any
+//!   orthonormal set spanning the AO space is exact — only the *rate of
+//!   convergence* of the iterative diagonalizer changes);
+//! * [`motran`] — the O(n⁵) quarter-transform AO→MO four-index
+//!   transformation and frozen-core folding, producing the
+//!   [`MoIntegrals`] consumed by `fci-core`.
+
+pub mod motran;
+pub mod mp2;
+pub mod rhf;
+pub mod symadapt;
+pub mod uhf;
+
+pub use motran::{transform_integrals, MoIntegrals};
+pub use mp2::mp2_correlation;
+pub use rhf::{core_orbitals, lowdin, rhf, RhfOptions, RhfResult};
+pub use symadapt::symmetry_adapt;
+pub use uhf::{uhf, UhfResult};

@@ -1,0 +1,89 @@
+//! Canonical closed-shell MP2.
+//!
+//! Second-order Møller–Plesset perturbation theory is the cheapest
+//! correlated method; it serves here as an *independent cross-check* of
+//! the FCI machinery: for weakly correlated closed-shell systems the MP2
+//! correlation energy must land in the same ballpark as (and for
+//! two-electron systems, below in magnitude than) the FCI correlation
+//! energy, using nothing but the SCF orbitals and the transformed
+//! integrals.
+
+use crate::motran::transform_integrals;
+use crate::rhf::RhfResult;
+
+/// MP2 correlation energy (hartree) from a converged RHF result.
+///
+/// `E² = Σ_{ijab} (ia|jb) [2(ia|jb) − (ib|ja)] / (εᵢ + εⱼ − εₐ − ε_b)`
+/// with i,j doubly occupied and a,b virtual canonical orbitals.
+pub fn mp2_correlation(scf: &RhfResult) -> f64 {
+    assert!(scf.converged, "MP2 requires a converged RHF reference");
+    let nmo = scf.mo_coeffs.ncols();
+    let nocc = scf.n_occ;
+    let nvirt = nmo - nocc;
+    assert!(nvirt > 0, "no virtual orbitals — MP2 is identically zero");
+    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, 0.0, 0, nmo);
+    let e = &scf.mo_energies;
+    let mut e2 = 0.0;
+    for i in 0..nocc {
+        for j in 0..nocc {
+            for a in nocc..nmo {
+                for b in nocc..nmo {
+                    let iajb = mo.eri.get(i, a, j, b);
+                    let ibja = mo.eri.get(i, b, j, a);
+                    let denom = e[i] + e[j] - e[a] - e[b];
+                    debug_assert!(denom < 0.0, "non-aufbau orbital ordering");
+                    e2 += iajb * (2.0 * iajb - ibja) / denom;
+                }
+            }
+        }
+    }
+    e2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhf::{rhf, RhfOptions};
+    use fci_ints::{BasisSet, Molecule};
+
+    #[test]
+    fn h2_mp2_matches_explicit_two_level_formula() {
+        // Minimal-basis H2 has exactly one occupied (g) and one virtual
+        // (u) orbital: E2 = (gu|gu)² · (2 − 1) / (2εg − 2εu).
+        let mol = Molecule::from_symbols_bohr(&[("H", [0.0; 3]), ("H", [0.0, 0.0, 1.4])], 0);
+        let basis = BasisSet::build(&mol, "sto-3g");
+        let scf = rhf(&mol, &basis, &RhfOptions::default());
+        let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, 0.0, 0, 2);
+        let k = mo.eri.get(0, 1, 0, 1);
+        let expect = k * k / (2.0 * (scf.mo_energies[0] - scf.mo_energies[1]));
+        let got = mp2_correlation(&scf);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+        assert!(got < 0.0);
+    }
+
+    #[test]
+    fn mp2_bounded_by_fci_for_two_electrons() {
+        // For a two-electron closed-shell system, |E2| < |E_corr(FCI)|
+        // does not hold in general, but the two must agree within ~50 %
+        // near equilibrium — a sanity corridor for the whole pipeline.
+        let mol = Molecule::from_symbols_bohr(&[("H", [0.0; 3]), ("H", [0.0, 0.0, 1.4])], 0);
+        let basis = BasisSet::build(&mol, "sto-3g");
+        let scf = rhf(&mol, &basis, &RhfOptions::default());
+        let e2 = mp2_correlation(&scf);
+        // FCI correlation of H2/STO-3G at 1.4 a0 is ≈ −0.0206 Eh.
+        assert!(e2 < -0.005 && e2 > -0.05, "E2 = {e2}");
+    }
+
+    #[test]
+    fn water_mp2_physical_window() {
+        let mol = Molecule::from_symbols_bohr(
+            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+            0,
+        );
+        let basis = BasisSet::build(&mol, "sto-3g");
+        let scf = rhf(&mol, &basis, &RhfOptions::default());
+        let e2 = mp2_correlation(&scf);
+        // Minimal-basis water MP2 correlation sits in the tens of mEh.
+        assert!(e2 < -0.01 && e2 > -0.2, "E2 = {e2}");
+    }
+}

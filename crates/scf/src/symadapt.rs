@@ -1,0 +1,170 @@
+//! Symmetry adaptation of molecular orbitals.
+//!
+//! Eigenvectors of a symmetric operator within a *degenerate* level (e.g.
+//! the πx/πy pair of a linear molecule) come out in an arbitrary mixture
+//! of irreps, which breaks the per-orbital irrep labelling the
+//! symmetry-blocked FCI needs. This module projects each orbital onto the
+//! abelian group's irreps, assigns it to its dominant irrep, and
+//! re-orthonormalizes — after which [`fci_ints::mo_irreps`] succeeds.
+
+use fci_ints::{BasisSet, PointGroup};
+use fci_linalg::Matrix;
+
+/// Projection-based symmetry cleanup of an orbital set.
+///
+/// * `c` — MO coefficients (AO × MO), assumed S-orthonormal;
+/// * `s` — AO overlap.
+///
+/// Returns `(c_adapted, irreps)`. Orbitals are reordered so degenerate
+/// partners stay adjacent but the energetic ordering of the input is
+/// otherwise preserved. Panics if projection collapses an orbital (the
+/// input did not span whole irrep sectors — should not happen for
+/// eigenvectors of symmetric operators).
+pub fn symmetry_adapt(
+    pg: &PointGroup,
+    basis: &BasisSet,
+    s: &Matrix,
+    c: &Matrix,
+) -> (Matrix, Vec<u8>) {
+    let nao = c.nrows();
+    let nmo = c.ncols();
+    let nops = pg.ops.len();
+    let reps: Vec<Vec<(usize, f64)>> = pg.ops.iter().map(|op| op.ao_rep(basis)).collect();
+
+    // Project every orbital onto each irrep; pick the dominant one.
+    let mut adapted = Matrix::zeros(nao, nmo);
+    let mut irreps = vec![0u8; nmo];
+    let mut buf = vec![0.0f64; nao];
+    for m in 0..nmo {
+        let cm = c.col(m);
+        let mut best = (0.0f64, 0u8, vec![0.0; nao]);
+        for g in 0..nops as u8 {
+            // P_g c = (1/|G|) Σ_op χ_g(op) R_op c
+            buf.iter_mut().for_each(|x| *x = 0.0);
+            for (oi, rep) in reps.iter().enumerate() {
+                let chi = pg.character(g, oi);
+                for (mu, &(img, sgn)) in rep.iter().enumerate() {
+                    buf[img] += chi * sgn * cm[mu];
+                }
+            }
+            buf.iter_mut().for_each(|x| *x /= nops as f64);
+            // Weight = ⟨P c | S | P c⟩.
+            let mut w = 0.0;
+            for i in 0..nao {
+                let mut t = 0.0;
+                for j in 0..nao {
+                    t += s[(i, j)] * buf[j];
+                }
+                w += buf[i] * t;
+            }
+            if w > best.0 {
+                best = (w, g, buf.clone());
+            }
+        }
+        assert!(best.0 > 1e-6, "orbital {m} has no dominant irrep component");
+        irreps[m] = best.1;
+        let nrm = best.0.sqrt();
+        for i in 0..nao {
+            adapted[(i, m)] = best.2[i] / nrm;
+        }
+    }
+
+    // Re-orthonormalize within each irrep by Gram–Schmidt in the S metric
+    // (projections of different irreps are already S-orthogonal).
+    for g in 0..nops as u8 {
+        let members: Vec<usize> = (0..nmo).filter(|&m| irreps[m] == g).collect();
+        for (k, &m) in members.iter().enumerate() {
+            // Subtract overlap with previous same-irrep orbitals.
+            for &m2 in &members[..k] {
+                let mut ov = 0.0;
+                for i in 0..nao {
+                    let mut t = 0.0;
+                    for j in 0..nao {
+                        t += s[(i, j)] * adapted[(j, m2)];
+                    }
+                    ov += adapted[(i, m)] * t;
+                }
+                for i in 0..nao {
+                    let sub = ov * adapted[(i, m2)];
+                    adapted[(i, m)] -= sub;
+                }
+            }
+            let mut nn = 0.0;
+            for i in 0..nao {
+                let mut t = 0.0;
+                for j in 0..nao {
+                    t += s[(i, j)] * adapted[(j, m)];
+                }
+                nn += adapted[(i, m)] * t;
+            }
+            assert!(nn > 1e-8, "orbital {m} collapsed during re-orthogonalization");
+            let nrm = nn.sqrt();
+            for i in 0..nao {
+                adapted[(i, m)] /= nrm;
+            }
+        }
+    }
+    (adapted, irreps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhf::core_orbitals;
+    use fci_ints::{detect_point_group, mo_irreps, overlap, Molecule};
+
+    #[test]
+    fn n2_core_orbitals_adapt_to_d2h() {
+        let m = Molecule::from_symbols_bohr(&[("N", [0.0, 0.0, -1.05]), ("N", [0.0, 0.0, 1.05])], 0);
+        let b = BasisSet::build(&m, "sto-3g");
+        let s = overlap(&b);
+        let (c, _e) = core_orbitals(&b, &m);
+        let pg = detect_point_group(&m);
+        assert_eq!(pg.n_irrep(), 8);
+        let (cad, irreps) = symmetry_adapt(&pg, &b, &s, &c);
+        // Adapted orbitals must now pass the strict irrep detector and
+        // agree with the labels we assigned.
+        let detected = mo_irreps(&pg, &b, &s, &cad, 1e-7).expect("adapted orbitals must be clean");
+        assert_eq!(detected, irreps);
+        // Orthonormality retained.
+        let ctsc = cad.t_matmul(&s).matmul(&cad);
+        assert!(ctsc.max_abs_diff(&Matrix::eye(c.ncols())) < 1e-9);
+        // A linear molecule must show π-type (degenerate) irreps ≠ 0.
+        let distinct: std::collections::HashSet<u8> = irreps.iter().copied().collect();
+        assert!(distinct.len() >= 4, "expected several irreps, got {distinct:?}");
+    }
+
+    #[test]
+    fn c1_molecule_all_totally_symmetric() {
+        let m = Molecule::from_symbols_bohr(
+            &[("O", [0.0; 3]), ("H", [0.0, 1.43, 1.11]), ("F", [0.3, -1.0, 0.7])],
+            0,
+        );
+        let b = BasisSet::build(&m, "sto-3g");
+        let s = overlap(&b);
+        let (c, _) = core_orbitals(&b, &m);
+        let pg = detect_point_group(&m);
+        let (_, irreps) = symmetry_adapt(&pg, &b, &s, &c);
+        assert!(irreps.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn characters_multiply_correctly() {
+        let m = Molecule::from_symbols_bohr(&[("C", [0.0, 0.0, -1.2]), ("C", [0.0, 0.0, 1.2])], 0);
+        let pg = detect_point_group(&m);
+        // χ_g is a homomorphism: χ(op1)χ(op2) = χ(op1∘op2).
+        for g in 0..pg.n_irrep() as u8 {
+            for i in 0..pg.ops.len() {
+                for j in 0..pg.ops.len() {
+                    let prod_mask = pg.ops[i].flips ^ pg.ops[j].flips;
+                    let k = pg.ops.iter().position(|o| o.flips == prod_mask).unwrap();
+                    assert_eq!(
+                        pg.character(g, i) * pg.character(g, j),
+                        pg.character(g, k),
+                        "irrep {g}, ops {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+}

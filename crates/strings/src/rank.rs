@@ -1,0 +1,98 @@
+//! Combinatorial (graphical) string addressing.
+//!
+//! Determinant CI codes of the Knowles–Handy lineage address strings
+//! through a *weight graph*: the lexical rank of an N-subset of n orbitals
+//! is a sum of binomial weights, computable in O(N) without any lookup
+//! table of the strings themselves. This module provides that ranking for
+//! the plain (no-symmetry) string ordering by ascending mask value, plus
+//! the inverse (unrank). `SpinStrings` keeps its hash map because its
+//! symmetry-blocked order interleaves irreps, but the graphical rank is
+//! exposed for C1 spaces and used as a cross-check (and is how a
+//! memory-tight production code would address strings).
+
+use crate::space::binomial;
+
+/// Lexical rank of the occupation mask among all `C(n, N)` masks with the
+/// same popcount, ordered by ascending numeric value.
+///
+/// Ascending mask order coincides with colexicographic order of the
+/// occupied-orbital lists, so
+/// `rank = Σ_k C(p_k, k+1)` over occupied orbitals `p_0 < p_1 < …`.
+pub fn rank_colex(mask: u64) -> usize {
+    let mut r = 0usize;
+    let mut m = mask;
+    let mut k = 0usize;
+    while m != 0 {
+        let p = m.trailing_zeros() as usize;
+        m &= m - 1;
+        k += 1;
+        r += binomial(p, k);
+    }
+    r
+}
+
+/// Inverse of [`rank_colex`]: the `rank`-th mask (0-based) with `n_elec`
+/// bits among `n_orb` orbitals, in ascending mask order.
+pub fn unrank_colex(n_orb: usize, n_elec: usize, rank: usize) -> u64 {
+    assert!(rank < binomial(n_orb, n_elec), "rank out of range");
+    let mut mask = 0u64;
+    let mut r = rank;
+    let mut k = n_elec;
+    let mut p = n_orb;
+    while k > 0 {
+        // Find the largest p' < p with C(p', k) <= r.
+        p -= 1;
+        while binomial(p, k) > r {
+            p -= 1;
+        }
+        r -= binomial(p, k);
+        mask |= 1u64 << p;
+        k -= 1;
+        p += 1; // next orbital strictly below this one; loop decrements
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpinStrings;
+
+    #[test]
+    fn rank_matches_c1_space_ordering() {
+        for (n, ne) in [(6usize, 3usize), (8, 2), (5, 5), (7, 0), (9, 4)] {
+            let sp = SpinStrings::c1(n, ne);
+            for i in 0..sp.len() {
+                assert_eq!(rank_colex(sp.mask(i)), i, "n={n} ne={ne} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_is_inverse() {
+        for (n, ne) in [(6usize, 3usize), (10, 4), (4, 1)] {
+            for r in 0..binomial(n, ne) {
+                let m = unrank_colex(n, ne, r);
+                assert_eq!(m.count_ones() as usize, ne);
+                assert!(m < (1u64 << n));
+                assert_eq!(rank_colex(m), r);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_extremes() {
+        // Lowest mask (bits 0..N) has rank 0; highest has rank C(n,N)−1.
+        let n = 8;
+        let ne = 3;
+        assert_eq!(rank_colex(0b111), 0);
+        let top = 0b111u64 << (n - ne);
+        assert_eq!(rank_colex(top), binomial(n, ne) - 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrank_out_of_range_panics() {
+        let _ = unrank_colex(5, 2, binomial(5, 2));
+    }
+}

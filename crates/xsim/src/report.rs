@@ -1,0 +1,130 @@
+//! Aggregation of per-MSP clocks into run-level metrics.
+
+use crate::clock::Clock;
+use serde::{Deserialize, Serialize};
+
+/// The simulated-time outcome of one parallel phase (or whole iteration).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// One clock per virtual MSP.
+    pub clocks: Vec<Clock>,
+}
+
+impl RunReport {
+    /// Wrap a set of per-MSP clocks.
+    pub fn new(clocks: Vec<Clock>) -> Self {
+        RunReport { clocks }
+    }
+
+    /// Number of MSPs.
+    pub fn nproc(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Wall-clock of the phase = the slowest MSP (barrier semantics).
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().map(Clock::total).fold(0.0, f64::max)
+    }
+
+    /// Mean busy time across MSPs.
+    pub fn mean_busy(&self) -> f64 {
+        if self.clocks.is_empty() {
+            return 0.0;
+        }
+        self.clocks.iter().map(Clock::total).sum::<f64>() / self.clocks.len() as f64
+    }
+
+    /// Load imbalance = elapsed − mean busy time (the paper's Table 3
+    /// reports exactly this kind of residual as "Load Imbalance").
+    pub fn load_imbalance(&self) -> f64 {
+        self.elapsed() - self.mean_busy()
+    }
+
+    /// Aggregate flops across MSPs.
+    pub fn total_flops(&self) -> f64 {
+        self.clocks.iter().map(Clock::flops).sum()
+    }
+
+    /// Sustained GFlop/s per MSP over the phase wall-clock.
+    pub fn gflops_per_msp(&self) -> f64 {
+        let t = self.elapsed();
+        if t == 0.0 || self.clocks.is_empty() {
+            return 0.0;
+        }
+        self.total_flops() / t / self.clocks.len() as f64 / 1e9
+    }
+
+    /// Aggregate sustained TFlop/s over the phase wall-clock.
+    pub fn tflops(&self) -> f64 {
+        let t = self.elapsed();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_flops() / t / 1e12
+        }
+    }
+
+    /// Total network bytes moved.
+    pub fn total_net_bytes(&self) -> f64 {
+        self.clocks.iter().map(|c| c.net_bytes).sum()
+    }
+
+    /// Merge another phase's report (same MSP count) into this one,
+    /// summing per-MSP charges.
+    pub fn merge(&mut self, other: &RunReport) {
+        if self.clocks.is_empty() {
+            self.clocks = other.clocks.clone();
+            return;
+        }
+        assert_eq!(self.clocks.len(), other.clocks.len(), "mismatched MSP counts");
+        for (a, b) in self.clocks.iter_mut().zip(&other.clocks) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    fn clock_with_daxpy(seconds: f64) -> Clock {
+        let m = MachineModel::cray_x1();
+        let mut c = Clock::default();
+        c.charge_daxpy(&m, seconds * m.daxpy_rate);
+        c
+    }
+
+    #[test]
+    fn elapsed_is_max() {
+        let r = RunReport::new(vec![clock_with_daxpy(1.0), clock_with_daxpy(3.0), clock_with_daxpy(2.0)]);
+        assert!((r.elapsed() - 3.0).abs() < 1e-12);
+        assert!((r.mean_busy() - 2.0).abs() < 1e-12);
+        assert!((r.load_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_run_has_no_imbalance() {
+        let r = RunReport::new(vec![clock_with_daxpy(2.0); 8]);
+        assert!(r.load_imbalance() < 1e-12);
+        // 2 GF/s per MSP sustained.
+        assert!((r.gflops_per_msp() - 2.0).abs() < 1e-9);
+        assert!((r.tflops() - 2.0 * 8.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_phases() {
+        let mut r = RunReport::default();
+        r.merge(&RunReport::new(vec![clock_with_daxpy(1.0); 4]));
+        r.merge(&RunReport::new(vec![clock_with_daxpy(0.5); 4]));
+        assert!((r.elapsed() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.elapsed(), 0.0);
+        assert_eq!(r.gflops_per_msp(), 0.0);
+        assert_eq!(r.load_imbalance(), 0.0);
+    }
+}

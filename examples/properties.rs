@@ -1,0 +1,89 @@
+//! Post-convergence wavefunction analysis: spin purity, natural orbitals,
+//! dipole moment, and a few excited states.
+//!
+//! ```text
+//! cargo run --release --example properties
+//! ```
+//!
+//! Runs frozen-core FCI on water, then derives everything a chemist asks
+//! for next: ⟨S²⟩ (must vanish for the singlet), natural occupation
+//! numbers from the 1-RDM, the dipole moment (electronic from the RDM +
+//! nuclear), and the three lowest states of the sector via block Davidson.
+
+use fcix::core::{
+    diagonalize_roots, natural_occupations, one_rdm, s_squared, solve, DetSpace, DiagOptions,
+    FciOptions, Hamiltonian, PoolParams, SigmaCtx, SigmaMethod,
+};
+use fcix::ddi::{Backend, Ddi};
+use fcix::ints::{dipole, BasisSet, Molecule};
+use fcix::scf::{rhf, transform_integrals, RhfOptions};
+use fcix::xsim::MachineModel;
+
+fn main() {
+    let mol = Molecule::from_symbols_bohr(
+        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        0,
+    );
+    let basis = BasisSet::build(&mol, "sto-3g");
+    let scf = rhf(&mol, &basis, &RhfOptions::default());
+    assert!(scf.converged);
+    let nao = basis.n_basis();
+    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 1, 6);
+
+    let r = solve(&mo, 4, 4, 0, &FciOptions::default());
+    assert!(r.converged);
+    println!("E(FCI)            : {:+.8} Eh  (E(RHF) = {:+.8})", r.energy, scf.energy);
+
+    let ham = Hamiltonian::new(&mo);
+    let space = DetSpace::for_hamiltonian(&ham, 4, 4, 0);
+
+    // Spin purity.
+    let s2 = s_squared(&space, &r.diag.c);
+    println!("<S^2>             : {s2:+.2e}  (singlet ⇒ 0)");
+
+    // Natural occupations.
+    let occ = natural_occupations(&space, &r.diag.c);
+    println!("natural occupations: {:?}", occ.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+
+    // Dipole moment: nuclear + electronic (1-RDM contracted with the MO
+    // dipole matrices; frozen core adds 2×(core MO) contributions).
+    let d_ao = dipole(&basis, [0.0; 3]);
+    let g = one_rdm(&space, &r.diag.c);
+    let mut mu = [0.0f64; 3];
+    for ax in 0..3 {
+        // nuclear part
+        for a in &mol.atoms {
+            mu[ax] += a.z as f64 * a.pos[ax];
+        }
+        // MO dipole matrix over all MOs.
+        let d_mo = scf.mo_coeffs.t_matmul(&d_ao[ax]).matmul(&scf.mo_coeffs);
+        // frozen core (MO 0, doubly occupied)
+        mu[ax] -= 2.0 * d_mo[(0, 0)];
+        // active space (MOs 1..7)
+        for p in 0..6 {
+            for q in 0..6 {
+                mu[ax] -= g[(p, q)] * d_mo[(1 + q, 1 + p)];
+            }
+        }
+    }
+    let norm = (mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2]).sqrt();
+    println!("dipole moment     : ({:+.4}, {:+.4}, {:+.4}) a.u., |μ| = {:.4} a.u. = {:.3} D", mu[0], mu[1], mu[2], norm, norm * 2.541746);
+    let _ = nao;
+
+    // Excited states.
+    let ddi = Ddi::new(2, Backend::Serial);
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let roots = diagonalize_roots(&ctx, SigmaMethod::Dgemm, &DiagOptions { max_iter: 60, tol: 1e-7, ..Default::default() }, 3);
+    println!("\nlowest three states of the sector:");
+    for k in 0..3 {
+        let s2k = s_squared(&space, &roots.states[k]);
+        println!(
+            "  root {k}: E = {:+.8} Eh  (ΔE = {:+.4} Eh, <S^2> = {:.3}, {})",
+            roots.energies[k] + ham.e_core,
+            roots.energies[k] - roots.energies[0],
+            s2k,
+            if roots.converged[k] { "converged" } else { "NOT converged" },
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! `fcix` — command-line FCI driver.
+//!
+//! ```text
+//! fcix INPUT_FILE
+//! fcix --demo          # built-in water demo input
+//! ```
+//!
+//! Input format (one directive per line, `#` comments):
+//!
+//! ```text
+//! # water, frozen-core FCI
+//! charge 0
+//! basis sto-3g            # sto-3g | svp
+//! unit bohr               # bohr | angstrom
+//! atom O 0.0  0.0    0.0
+//! atom H 0.0  1.4305 1.1092
+//! atom H 0.0 -1.4305 1.1092
+//! frozen 1                # doubly occupied orbitals folded into the core
+//! active 6                # active orbitals (omit for all)
+//! alpha 4                 # active-space alpha electrons
+//! beta 4
+//! method auto             # auto | davidson | olsen | olsen-damped
+//! sigma dgemm             # dgemm | moc
+//! symmetry on             # on | off
+//! msps 16                 # virtual Cray-X1 MSP count
+//! tol 1e-9                # residual convergence threshold
+//! maxiter 60
+//! ci full                 # full | cis | cisd | cisdt | cisdtq
+//! roots 1                 # lowest states to compute (block Davidson if > 1)
+//! checkpoint water.ckp    # optional: save the converged CI vector
+//! ```
+
+use fcix::core::{save_ci, solve, DiagMethod, DiagOptions, FciOptions, SigmaMethod};
+use fcix::ints::{detect_point_group, overlap, BasisSet, Molecule};
+use fcix::scf::{core_orbitals, rhf, symmetry_adapt, transform_integrals, RhfOptions};
+use std::process::ExitCode;
+
+const DEMO: &str = "\
+charge 0
+basis sto-3g
+unit bohr
+atom O 0.0  0.0    0.0
+atom H 0.0  1.4305 1.1092
+atom H 0.0 -1.4305 1.1092
+frozen 1
+active 6
+alpha 4
+beta 4
+method auto
+symmetry on
+msps 8
+tol 1e-9
+";
+
+struct Input {
+    charge: i32,
+    basis: String,
+    unit: String,
+    atoms: Vec<(String, [f64; 3])>,
+    frozen: usize,
+    active: Option<usize>,
+    alpha: Option<usize>,
+    beta: Option<usize>,
+    method: DiagMethod,
+    sigma: SigmaMethod,
+    symmetry: bool,
+    msps: usize,
+    tol: f64,
+    maxiter: usize,
+    excitation: Option<u32>,
+    roots: usize,
+    checkpoint: Option<String>,
+}
+
+fn parse(text: &str) -> Result<Input, String> {
+    let mut inp = Input {
+        charge: 0,
+        basis: "sto-3g".into(),
+        unit: "bohr".into(),
+        atoms: Vec::new(),
+        frozen: 0,
+        active: None,
+        alpha: None,
+        beta: None,
+        method: DiagMethod::AutoAdjust,
+        sigma: SigmaMethod::Dgemm,
+        symmetry: true,
+        msps: 1,
+        tol: 1e-9,
+        maxiter: 60,
+        excitation: None,
+        roots: 1,
+        checkpoint: None,
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().unwrap().to_ascii_lowercase();
+        let rest: Vec<&str> = it.collect();
+        let one = |r: &[&str]| -> Result<String, String> {
+            if r.len() == 1 {
+                Ok(r[0].to_string())
+            } else {
+                Err(format!("line {}: expected one value for {key}", lineno + 1))
+            }
+        };
+        match key.as_str() {
+            "charge" => inp.charge = one(&rest)?.parse().map_err(|e| format!("charge: {e}"))?,
+            "basis" => inp.basis = one(&rest)?,
+            "unit" => inp.unit = one(&rest)?.to_ascii_lowercase(),
+            "atom" => {
+                if rest.len() != 4 {
+                    return Err(format!("line {}: atom SYMBOL X Y Z", lineno + 1));
+                }
+                let xyz: Result<Vec<f64>, _> = rest[1..].iter().map(|s| s.parse()).collect();
+                let xyz = xyz.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                inp.atoms.push((rest[0].to_string(), [xyz[0], xyz[1], xyz[2]]));
+            }
+            "frozen" => inp.frozen = one(&rest)?.parse().map_err(|e| format!("frozen: {e}"))?,
+            "active" => inp.active = Some(one(&rest)?.parse().map_err(|e| format!("active: {e}"))?),
+            "alpha" => inp.alpha = Some(one(&rest)?.parse().map_err(|e| format!("alpha: {e}"))?),
+            "beta" => inp.beta = Some(one(&rest)?.parse().map_err(|e| format!("beta: {e}"))?),
+            "method" => {
+                inp.method = match one(&rest)?.as_str() {
+                    "auto" => DiagMethod::AutoAdjust,
+                    "davidson" => DiagMethod::Davidson,
+                    "olsen" => DiagMethod::Olsen,
+                    "olsen-damped" => DiagMethod::OlsenDamped,
+                    other => return Err(format!("unknown method {other}")),
+                }
+            }
+            "sigma" => {
+                inp.sigma = match one(&rest)?.as_str() {
+                    "dgemm" => SigmaMethod::Dgemm,
+                    "moc" => SigmaMethod::Moc,
+                    other => return Err(format!("unknown sigma algorithm {other}")),
+                }
+            }
+            "symmetry" => inp.symmetry = matches!(one(&rest)?.as_str(), "on" | "true" | "yes"),
+            "msps" => inp.msps = one(&rest)?.parse().map_err(|e| format!("msps: {e}"))?,
+            "tol" => inp.tol = one(&rest)?.parse().map_err(|e| format!("tol: {e}"))?,
+            "maxiter" => inp.maxiter = one(&rest)?.parse().map_err(|e| format!("maxiter: {e}"))?,
+            "ci" => {
+                inp.excitation = match one(&rest)?.as_str() {
+                    "full" | "fci" => None,
+                    "cis" => Some(1),
+                    "cisd" => Some(2),
+                    "cisdt" => Some(3),
+                    "cisdtq" => Some(4),
+                    other => return Err(format!("unknown CI level {other}")),
+                }
+            }
+            "roots" => inp.roots = one(&rest)?.parse().map_err(|e| format!("roots: {e}"))?,
+            "checkpoint" => inp.checkpoint = Some(one(&rest)?),
+            other => return Err(format!("line {}: unknown directive {other}", lineno + 1)),
+        }
+    }
+    if inp.atoms.is_empty() {
+        return Err("no atoms given".into());
+    }
+    Ok(inp)
+}
+
+fn run(inp: &Input) -> Result<(), String> {
+    let atoms: Vec<(&str, [f64; 3])> = inp.atoms.iter().map(|(s, p)| (s.as_str(), *p)).collect();
+    let mol = match inp.unit.as_str() {
+        "bohr" => Molecule::from_symbols_bohr(&atoms, inp.charge),
+        "angstrom" => Molecule::from_symbols_angstrom(&atoms, inp.charge),
+        other => return Err(format!("unknown unit {other}")),
+    };
+    let basis = BasisSet::build(&mol, &inp.basis);
+    println!("molecule          : {} atoms, charge {}, {} electrons", mol.atoms.len(), inp.charge, mol.n_electrons());
+    println!("basis             : {} ({} Cartesian AOs)", inp.basis, basis.n_basis());
+
+    // Orbitals: RHF for even electron counts, core orbitals otherwise.
+    let nelec = mol.n_electrons();
+    let (c, e_scf, h_ao, eri_ao) = if nelec % 2 == 0 {
+        let r = rhf(&mol, &basis, &RhfOptions::default());
+        if r.converged {
+            println!("RHF energy        : {:+.8} Eh ({} iterations)", r.energy, r.iterations);
+            (r.mo_coeffs, Some(r.energy), r.h_ao, r.eri_ao)
+        } else {
+            println!("RHF did not converge; falling back to core orbitals (FCI is orbital-invariant)");
+            let (c, _) = core_orbitals(&basis, &mol);
+            (c, None, r.h_ao, r.eri_ao)
+        }
+    } else {
+        println!("odd electron count: using core-Hamiltonian orbitals");
+        let (c, _) = core_orbitals(&basis, &mol);
+        let h = {
+            let mut t = fcix::ints::kinetic(&basis);
+            t.axpy(1.0, &fcix::ints::nuclear_attraction(&basis, &mol));
+            t
+        };
+        (c, None, h, fcix::ints::eri_tensor(&basis))
+    };
+
+    let (c, irreps, n_irrep, group) = if inp.symmetry {
+        let pg = detect_point_group(&mol);
+        let s = overlap(&basis);
+        let (cad, irr) = symmetry_adapt(&pg, &basis, &s, &c);
+        println!("point group       : {} ({} irreps)", pg.name(), pg.n_irrep());
+        (cad, irr, pg.n_irrep(), pg.name().to_string())
+    } else {
+        (c, vec![0u8; basis.n_basis()], 1, "C1".into())
+    };
+    let _ = group;
+
+    let n_active = inp.active.unwrap_or(basis.n_basis() - inp.frozen);
+    let mo = transform_integrals(&h_ao, &eri_ao, &c, mol.nuclear_repulsion(), inp.frozen, n_active)
+        .with_symmetry(irreps[inp.frozen..inp.frozen + n_active].to_vec(), n_irrep);
+    let n_act_elec = nelec - 2 * inp.frozen;
+    let na = inp.alpha.unwrap_or(n_act_elec.div_ceil(2));
+    let nb = inp.beta.unwrap_or(n_act_elec - na);
+    println!("active space      : {n_act_elec} electrons ({na}α, {nb}β) in {n_active} orbitals");
+
+    let opts = FciOptions {
+        nproc: inp.msps,
+        sigma: inp.sigma,
+        method: inp.method,
+        diag: DiagOptions { tol: inp.tol, max_iter: inp.maxiter, ..Default::default() },
+        excitation_level: inp.excitation,
+        ..Default::default()
+    };
+    let irrep = fci_best_irrep(&mo, na, nb);
+    let r = solve(&mo, na, nb, irrep, &opts);
+    println!("CI dimension      : {} (sector {})", r.dim, r.sector_dim);
+    println!("iterations        : {} (converged = {})", r.iterations, r.converged);
+    println!("E(FCI)            : {:+.10} Eh", r.energy);
+    if let Some(e) = e_scf {
+        println!("correlation energy: {:+.8} Eh", r.energy - e);
+    }
+    let total = r.sigma_cost.total();
+    println!("simulated X1 cost : {:.3} s over {} MSPs ({:.2} GF/MSP, {:.3} TF aggregate)", total.elapsed(), inp.msps, total.gflops_per_msp(), total.tflops());
+    if inp.roots > 1 {
+        use fcix::core::{diagonalize_roots, DetSpace, Hamiltonian, PoolParams, SigmaCtx};
+        use fcix::ddi::{Backend, Ddi};
+        let ham = Hamiltonian::new(&mo);
+        let space = DetSpace::for_hamiltonian(&ham, na, nb, irrep);
+        let ddi = Ddi::new(inp.msps, Backend::Serial);
+        let machine = fcix::xsim::MachineModel::cray_x1();
+        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &machine, pool: PoolParams::default() };
+        let roots = diagonalize_roots(
+            &ctx,
+            inp.sigma,
+            &DiagOptions { tol: inp.tol.max(1e-7), max_iter: inp.maxiter, ..Default::default() },
+            inp.roots,
+        );
+        println!("\nlowest {} states (block Davidson):", inp.roots);
+        for k in 0..inp.roots {
+            let s2 = fcix::core::s_squared(&space, &roots.states[k]);
+            println!(
+                "  root {k}: E = {:+.10} Eh  (ΔE = {:+.6}, <S^2> = {:.3}, {})",
+                roots.energies[k] + ham.e_core,
+                roots.energies[k] - roots.energies[0],
+                s2,
+                if roots.converged[k] { "converged" } else { "NOT converged" }
+            );
+        }
+    }
+    if let Some(path) = &inp.checkpoint {
+        save_ci(std::path::Path::new(path), &r.diag.c).map_err(|e| format!("checkpoint: {e}"))?;
+        println!("checkpoint        : wrote {path}");
+    }
+    if !r.converged {
+        return Err("FCI did not converge".into());
+    }
+    Ok(())
+}
+
+/// Irrep of the lowest-diagonal determinant (the state the run targets).
+fn fci_best_irrep(mo: &fcix::scf::MoIntegrals, na: usize, nb: usize) -> u8 {
+    use fcix::core::{DetSpace, Hamiltonian};
+    let ham = Hamiltonian::new(mo);
+    let space = DetSpace::new(ham.n, na, nb, &ham.orb_sym, ham.n_irrep, 0);
+    let mut best = (f64::INFINITY, 0u8);
+    for ia in 0..space.alpha.len() {
+        for ib in 0..space.beta.len() {
+            let d = ham.diagonal_element(space.alpha.mask(ia), space.beta.mask(ib));
+            if d < best.0 {
+                best = (d, space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib));
+            }
+        }
+    }
+    best.1
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let text = match arg.as_deref() {
+        Some("--demo") | None => {
+            println!("(no input file given — running the built-in water demo)\n");
+            DEMO.to_string()
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match parse(&text).and_then(|inp| run(&inp)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on the core invariants:
+//! σ-algorithm equivalence, kernel correctness, combinatorial tables.
+
+use fcix::core::{apply_sigma, random_hamiltonian, slater, DetSpace, PoolParams, SigmaCtx, SigmaMethod, TaskPool};
+use fcix::ddi::{Backend, Ddi};
+use fcix::linalg::{dgemm, dgemm_naive, eigh, lu_solve, Matrix, Trans};
+use fcix::strings::{annihilate, binomial, create, SpinStrings};
+use fcix::xsim::MachineModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// σ(DGEMM) == σ(MOC) == dense Slater–Condon for arbitrary electron
+    /// counts, processor counts and random (but physical) integrals.
+    #[test]
+    fn sigma_algorithms_agree(
+        n in 3usize..6,
+        na in 1usize..4,
+        nb in 0usize..4,
+        nproc in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(na <= n && nb <= n);
+        let ham = random_hamiltonian(n, seed);
+        let space = DetSpace::c1(n, na, nb);
+        prop_assume!(space.dim() <= 2500);
+        let ddi = Ddi::new(nproc, Backend::Serial);
+        let model = MachineModel::cray_x1();
+        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let c = space.zeros_ci(nproc);
+        let mut s = seed.wrapping_mul(77).wrapping_add(13);
+        c.map_inplace(|_, _, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let (sig_d, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
+        let (sig_m, _) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
+        let reference = slater::sigma_dense(&space, &ham, &c.to_dense());
+        let dd = sig_d.to_dense();
+        let dm = sig_m.to_dense();
+        for i in 0..reference.len() {
+            prop_assert!((dd[i] - reference[i]).abs() < 1e-9, "dgemm[{i}]");
+            prop_assert!((dm[i] - reference[i]).abs() < 1e-9, "moc[{i}]");
+        }
+    }
+
+    /// Blocked DGEMM equals the naive triple loop for arbitrary shapes,
+    /// transposes and alpha/beta.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 0usize..40,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let tra = if ta { Trans::Yes } else { Trans::No };
+        let trb = if tb { Trans::Yes } else { Trans::No };
+        let mk = |r: usize, c: usize, s: u64| {
+            let mut st = s.wrapping_add(1);
+            Matrix::from_fn(r, c, |_, _| {
+                st = st.wrapping_mul(6364136223846793005).wrapping_add(99);
+                ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let a = if ta { mk(k, m, seed) } else { mk(m, k, seed) };
+        let b = if tb { mk(n, k, seed + 7) } else { mk(k, n, seed + 7) };
+        let c0 = mk(m, n, seed + 13);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        dgemm(tra, trb, alpha, &a, &b, beta, &mut c1);
+        dgemm_naive(tra, trb, alpha, &a, &b, beta, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-11 * (k as f64 + 1.0));
+    }
+
+    /// Jacobi eigendecomposition reconstructs the matrix.
+    #[test]
+    fn eigh_reconstructs(n in 1usize..12, seed in 0u64..100) {
+        let mut st = seed.wrapping_add(3);
+        let raw = Matrix::from_fn(n, n, |_, _| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(17);
+            ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let a = Matrix::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)]);
+        let e = eigh(&a);
+        // A = V diag(w) Vᵀ
+        let mut recon = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += e.eigenvectors[(i, k)] * e.eigenvalues[k] * e.eigenvectors[(j, k)];
+                }
+                recon[(i, j)] = acc;
+            }
+        }
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    /// LU solve inverts well-conditioned systems.
+    #[test]
+    fn lu_roundtrip(n in 1usize..15, seed in 0u64..100) {
+        let mut st = seed.wrapping_add(5);
+        let a = Matrix::from_fn(n, n, |i, j| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(23);
+            let v = ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            v + if i == j { 3.0 } else { 0.0 }
+        });
+        let xt: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[(i, j)] * xt[j];
+            }
+        }
+        let x = lu_solve(&a, &b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - xt[i]).abs() < 1e-8);
+        }
+    }
+
+    /// Task pools cover every item exactly once for arbitrary shapes.
+    #[test]
+    fn taskpool_partition(
+        nitems in 0usize..3000,
+        nproc in 1usize..64,
+        fine in 1usize..128,
+        large in 1usize..32,
+        small in 0usize..32,
+    ) {
+        let pool = TaskPool::aggregated(nitems, nproc, fcix::core::PoolParams {
+            fine_per_proc: fine, large_per_proc: large, small_per_proc: small });
+        let mut seen = vec![0u8; nitems];
+        for t in 0..pool.len() {
+            for i in pool.task(t) {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// String creation/annihilation anticommute and the rank/space tables
+    /// are consistent.
+    #[test]
+    fn string_space_consistency(n in 1usize..12, ne in 0usize..6) {
+        prop_assume!(ne <= n);
+        let sp = SpinStrings::c1(n, ne);
+        prop_assert_eq!(sp.len(), binomial(n, ne));
+        for i in 0..sp.len() {
+            let m = sp.mask(i);
+            prop_assert_eq!(m.count_ones() as usize, ne);
+            prop_assert_eq!(sp.index_of(m), Some(i));
+            // a†_p a_p = n_p on any occupied p.
+            if let Some(p) = (0..n).find(|&p| m & (1 << p) != 0) {
+                let (s1, m1) = annihilate(m, p).unwrap();
+                let (s2, m2) = create(m1, p).unwrap();
+                prop_assert_eq!(m2, m);
+                prop_assert_eq!(s1 * s2, 1);
+            }
+        }
+    }
+
+    /// The Boys function satisfies its downward recursion everywhere.
+    #[test]
+    fn boys_recursion(t in 0.0f64..200.0) {
+        let v = fcix::ints::boys::boys_vec(6, t);
+        for m in 0..6 {
+            let lhs = (2 * m + 1) as f64 * v[m];
+            let rhs = 2.0 * t * v[m + 1] + (-t).exp();
+            prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-30), "m={m} t={t}");
+        }
+        // Bounds: 0 < F_m(T) ≤ 1/(2m+1).
+        for m in 0..=6 {
+            prop_assert!(v[m] > 0.0 && v[m] <= 1.0 / (2 * m + 1) as f64 + 1e-15);
+        }
+    }
+}
