@@ -1,7 +1,8 @@
 //! Microbench: one-sided DDI primitives (get / acc / nxtval) on both
 //! backends — the communication substrate's own overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fci_bench::harness::{BenchmarkId, Criterion};
+use fci_bench::{criterion_group, criterion_main};
 use fci_ddi::{Backend, CommStats, Ddi, DistMatrix};
 
 fn bench_ops(c: &mut Criterion) {
@@ -34,18 +35,22 @@ fn bench_run_backends(c: &mut Criterion) {
     let mut g = c.benchmark_group("ddi_run");
     g.sample_size(10);
     for backend in [Backend::Serial, Backend::Threads] {
-        g.bench_with_input(BenchmarkId::new("acc_storm", format!("{backend:?}")), &backend, |b, &backend| {
-            b.iter(|| {
-                let ddi = Ddi::new(4, backend);
-                let m = DistMatrix::zeros(512, 16, 4);
-                ddi.run(|rank, st| {
-                    let buf = vec![rank as f64; 512];
-                    for col in 0..16 {
-                        m.acc_col(rank, col, &buf, st);
-                    }
+        g.bench_with_input(
+            BenchmarkId::new("acc_storm", format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let ddi = Ddi::new(4, backend);
+                    let m = DistMatrix::zeros(512, 16, 4);
+                    ddi.run(|rank, st| {
+                        let buf = vec![rank as f64; 512];
+                        for col in 0..16 {
+                            m.acc_col(rank, col, &buf, st);
+                        }
+                    });
                 });
-            });
-        });
+            },
+        );
     }
     g.finish();
 }

@@ -2,13 +2,16 @@
 //! matrix sizes the σ routines actually produce. (Real wall-clock, not the
 //! xsim model — this is the one place we measure the host.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fci_bench::harness::{BenchmarkId, Criterion, Throughput};
+use fci_bench::{criterion_group, criterion_main};
 use fci_linalg::{dgemm, dgemm_naive, Matrix, Trans};
 
 fn rand_mat(nr: usize, nc: usize, seed: u64) -> Matrix {
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     Matrix::from_fn(nr, nc, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     })
 }

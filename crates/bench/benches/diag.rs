@@ -1,8 +1,12 @@
 //! Microbench: one full diagonalization per method on a fixed random
 //! Hamiltonian — end-to-end eigensolver cost (host wall-clock).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fci_core::{diagonalize, random_hamiltonian, DetSpace, DiagMethod, DiagOptions, PoolParams, SigmaCtx, SigmaMethod};
+use fci_bench::harness::{BenchmarkId, Criterion};
+use fci_bench::{criterion_group, criterion_main};
+use fci_core::{
+    diagonalize, random_hamiltonian, DetSpace, DiagMethod, DiagOptions, PoolParams, SigmaCtx,
+    SigmaMethod,
+};
 use fci_ddi::{Backend, Ddi};
 use fci_xsim::MachineModel;
 
@@ -11,14 +15,31 @@ fn bench_diag(c: &mut Criterion) {
     let space = DetSpace::c1(6, 3, 3);
     let ddi = Ddi::new(2, Backend::Serial);
     let model = MachineModel::cray_x1();
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-    let opts = DiagOptions { tol: 1e-8, ..Default::default() };
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
+    let opts = DiagOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("diagonalize_6o_3a3b");
     g.sample_size(10);
-    for method in [DiagMethod::Davidson, DiagMethod::AutoAdjust, DiagMethod::OlsenDamped] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{method:?}")), &method, |b, &m| {
-            b.iter(|| diagonalize(&ctx, SigmaMethod::Dgemm, m, &opts));
-        });
+    for method in [
+        DiagMethod::Davidson,
+        DiagMethod::AutoAdjust,
+        DiagMethod::OlsenDamped,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &m| {
+                b.iter(|| diagonalize(&ctx, SigmaMethod::Dgemm, m, &opts));
+            },
+        );
     }
     g.finish();
 }

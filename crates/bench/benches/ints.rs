@@ -1,7 +1,8 @@
 //! Microbench: the integral engine — Boys function, ERI shell quartets,
 //! full small-molecule tensors, and the AO→MO transformation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fci_bench::harness::Criterion;
+use fci_bench::{criterion_group, criterion_main};
 use fci_ints::{eri_tensor, overlap, BasisSet, Molecule};
 
 fn bench_boys(c: &mut Criterion) {
@@ -22,7 +23,11 @@ fn bench_boys(c: &mut Criterion) {
 
 fn bench_eri(c: &mut Criterion) {
     let water = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.43, 1.11]),
+            ("H", [0.0, -1.43, 1.11]),
+        ],
         0,
     );
     let b_sto = BasisSet::build(&water, "sto-3g");
@@ -38,7 +43,11 @@ fn bench_eri(c: &mut Criterion) {
 
 fn bench_scf(c: &mut Criterion) {
     let water = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.43, 1.11]),
+            ("H", [0.0, -1.43, 1.11]),
+        ],
         0,
     );
     let basis = BasisSet::build(&water, "sto-3g");
@@ -49,7 +58,16 @@ fn bench_scf(c: &mut Criterion) {
     });
     let r = fci_scf::rhf(&water, &basis, &fci_scf::RhfOptions::default());
     g.bench_function("motran_water_sto3g", |b| {
-        b.iter(|| fci_scf::transform_integrals(&r.h_ao, &r.eri_ao, &r.mo_coeffs, water.nuclear_repulsion(), 1, 6))
+        b.iter(|| {
+            fci_scf::transform_integrals(
+                &r.h_ao,
+                &r.eri_ao,
+                &r.mo_coeffs,
+                water.nuclear_repulsion(),
+                1,
+                6,
+            )
+        })
     });
     g.finish();
 }

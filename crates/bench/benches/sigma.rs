@@ -1,7 +1,8 @@
 //! Microbench: full σ evaluations — DGEMM algorithm vs MOC vs the dense
 //! Slater–Condon reference (real wall-clock on the host).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fci_bench::harness::Criterion;
+use fci_bench::{criterion_group, criterion_main};
 use fci_core::{apply_sigma, random_hamiltonian, DetSpace, PoolParams, SigmaCtx, SigmaMethod};
 use fci_ddi::{Backend, Ddi};
 use fci_xsim::MachineModel;
@@ -11,7 +12,13 @@ fn bench_sigma(c: &mut Criterion) {
     let space = DetSpace::c1(8, 3, 3); // 56² = 3136 determinants
     let ddi = Ddi::new(4, Backend::Serial);
     let model = MachineModel::cray_x1();
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
     let cvec = space.guess(&ham, 4);
 
     let mut g = c.benchmark_group("sigma_8o_3a3b");
@@ -35,7 +42,13 @@ fn bench_sigma_larger(c: &mut Criterion) {
     let space = DetSpace::c1(12, 4, 4);
     let ddi = Ddi::new(8, Backend::Serial);
     let model = MachineModel::cray_x1();
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
     let cvec = space.guess(&ham, 8);
     let mut g = c.benchmark_group("sigma_12o_4a4b");
     g.sample_size(10);

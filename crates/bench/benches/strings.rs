@@ -1,20 +1,31 @@
 //! Microbench: string-space construction and coupling-table generation —
 //! the replicated setup cost every processor pays once per calculation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fci_bench::harness::{BenchmarkId, Criterion};
+use fci_bench::{criterion_group, criterion_main};
 use fci_strings::{Nm1Families, Nm2Families, SinglesTable, SpinStrings};
 
 fn bench_spaces(c: &mut Criterion) {
     let mut g = c.benchmark_group("strings");
     for &(n, ne) in &[(12usize, 4usize), (14, 5), (16, 4)] {
-        g.bench_with_input(BenchmarkId::new("space", format!("{n}o{ne}e")), &(n, ne), |b, &(n, ne)| {
-            b.iter(|| SpinStrings::c1(n, ne));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("space", format!("{n}o{ne}e")),
+            &(n, ne),
+            |b, &(n, ne)| {
+                b.iter(|| SpinStrings::c1(n, ne));
+            },
+        );
     }
     let space = SpinStrings::c1(12, 4);
-    g.bench_function("singles_table_12o4e", |b| b.iter(|| SinglesTable::new(&space)));
-    g.bench_function("nm1_families_12o4e", |b| b.iter(|| Nm1Families::new(&space)));
-    g.bench_function("nm2_families_12o4e", |b| b.iter(|| Nm2Families::new(&space)));
+    g.bench_function("singles_table_12o4e", |b| {
+        b.iter(|| SinglesTable::new(&space))
+    });
+    g.bench_function("nm1_families_12o4e", |b| {
+        b.iter(|| Nm1Families::new(&space))
+    });
+    g.bench_function("nm2_families_12o4e", |b| {
+        b.iter(|| Nm2Families::new(&space))
+    });
     g.finish();
 }
 

@@ -15,36 +15,76 @@ fn main() {
 
     println!("Ablation 1 — model-space size (CN+ analogue, AutoAdjust, residual 1e-5)\n");
     let w = [14usize, 12, 12, 16];
-    println!("{}", row(&["model space".into(), "iters".into(), "converged".into(), "E [Eh]".into()], &w));
+    println!(
+        "{}",
+        row(
+            &[
+                "model space".into(),
+                "iters".into(),
+                "converged".into(),
+                "E [Eh]".into()
+            ],
+            &w
+        )
+    );
     for ms in [0usize, 5, 20, 50] {
         let opts = FciOptions {
             method: DiagMethod::AutoAdjust,
-            diag: DiagOptions { model_space: ms, tol: 1e-5, ..Default::default() },
+            diag: DiagOptions {
+                model_space: ms,
+                tol: 1e-5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&cn.mo, cn.na, cn.nb, cn.state_irrep, &opts);
         println!(
             "{}",
             row(
-                &[format!("{ms}"), format!("{}", r.iterations), format!("{}", r.converged), format!("{:.8}", r.energy)],
+                &[
+                    format!("{ms}"),
+                    format!("{}", r.iterations),
+                    format!("{}", r.converged),
+                    format!("{:.8}", r.energy)
+                ],
                 &w
             )
         );
     }
 
     println!("\nAblation 2 — fixed λ sweep vs auto-adjusted λ (CN+ analogue)\n");
-    println!("{}", row(&["lambda".into(), "iters".into(), "converged".into(), "E [Eh]".into()], &w));
+    println!(
+        "{}",
+        row(
+            &[
+                "lambda".into(),
+                "iters".into(),
+                "converged".into(),
+                "E [Eh]".into()
+            ],
+            &w
+        )
+    );
     for lam in [0.3f64, 0.5, 0.7, 0.9, 1.0] {
         let opts = FciOptions {
             method: DiagMethod::OlsenDamped,
-            diag: DiagOptions { fixed_lambda: lam, tol: 1e-5, ..Default::default() },
+            diag: DiagOptions {
+                fixed_lambda: lam,
+                tol: 1e-5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&cn.mo, cn.na, cn.nb, cn.state_irrep, &opts);
         println!(
             "{}",
             row(
-                &[format!("{lam:.1}"), format!("{}", r.iterations), format!("{}", r.converged), format!("{:.8}", r.energy)],
+                &[
+                    format!("{lam:.1}"),
+                    format!("{}", r.iterations),
+                    format!("{}", r.converged),
+                    format!("{:.8}", r.energy)
+                ],
                 &w
             )
         );
@@ -52,32 +92,60 @@ fn main() {
     {
         let opts = FciOptions {
             method: DiagMethod::AutoAdjust,
-            diag: DiagOptions { tol: 1e-5, ..Default::default() },
+            diag: DiagOptions {
+                tol: 1e-5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&cn.mo, cn.na, cn.nb, cn.state_irrep, &opts);
         println!(
             "{}",
             row(
-                &["auto".into(), format!("{}", r.iterations), format!("{}", r.converged), format!("{:.8}", r.energy)],
+                &[
+                    "auto".into(),
+                    format!("{}", r.iterations),
+                    format!("{}", r.converged),
+                    format!("{:.8}", r.energy)
+                ],
                 &w
             )
         );
     }
 
     println!("\nAblation 3 — Davidson subspace cap (H2O analogue)\n");
-    println!("{}", row(&["max subspace".into(), "iters".into(), "converged".into(), "E [Eh]".into()], &w));
+    println!(
+        "{}",
+        row(
+            &[
+                "max subspace".into(),
+                "iters".into(),
+                "converged".into(),
+                "E [Eh]".into()
+            ],
+            &w
+        )
+    );
     for cap in [3usize, 6, 12, 24] {
         let opts = FciOptions {
             method: DiagMethod::Davidson,
-            diag: DiagOptions { max_subspace: cap, tol: 1e-5, ..Default::default() },
+            diag: DiagOptions {
+                max_subspace: cap,
+                tol: 1e-5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&h2o.mo, h2o.na, h2o.nb, h2o.state_irrep, &opts);
         println!(
             "{}",
             row(
-                &[format!("{cap}"), format!("{}", r.iterations), format!("{}", r.converged), format!("{:.8}", r.energy)],
+                &[
+                    format!("{cap}"),
+                    format!("{}", r.iterations),
+                    format!("{}", r.converged),
+                    format!("{:.8}", r.energy)
+                ],
                 &w
             )
         );

@@ -11,7 +11,7 @@
 //! single-vector method keeps O(1) vectors in memory and pays nothing.
 
 use fci_bench::{fmt_s, row, table2_systems};
-use fci_core::{solve, DiagMethod, DiagOptions, FciOptions};
+use fci_core::{solve, DiagMethod, FciOptions};
 use fci_xsim::MachineModel;
 
 fn main() {
@@ -43,7 +43,10 @@ fn main() {
         ("Davidson (disk)", DiagMethod::Davidson, true),
         ("AutoAdjust", DiagMethod::AutoAdjust, false),
     ] {
-        let opts = FciOptions { method, ..Default::default() };
+        let opts = FciOptions {
+            method,
+            ..Default::default()
+        };
         let r = solve(&sys.mo, sys.na, sys.nb, sys.state_irrep, &opts);
         let sigma_t = r.sigma_cost.total().elapsed();
         // Disk model: iteration k stores basis+σ vectors (2 per iter,

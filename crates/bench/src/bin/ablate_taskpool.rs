@@ -17,25 +17,61 @@ fn main() {
     let space = DetSpace::for_hamiltonian(&ham, sys.na, sys.nb, sys.state_irrep);
     let model = MachineModel::cray_x1();
     let p = 96usize;
-    println!("Ablation — task pool shape for the α-β routine ({} on {p} MSPs)\n", sys.name);
+    println!(
+        "Ablation — task pool shape for the α-β routine ({} on {p} MSPs)\n",
+        sys.name
+    );
     let w = [26usize, 10, 14, 14, 14];
     println!(
         "{}",
         row(
-            &["pool".into(), "tasks".into(), "elapsed [s]".into(), "imbalance [s]".into(), "nxtval msgs".into()],
+            &[
+                "pool".into(),
+                "tasks".into(),
+                "elapsed [s]".into(),
+                "imbalance [s]".into(),
+                "nxtval msgs".into()
+            ],
             &w
         )
     );
 
     let shapes: [(&str, PoolParams); 4] = [
-        ("coarse (1/proc)", PoolParams { fine_per_proc: 1, large_per_proc: 1, small_per_proc: 0 }),
+        (
+            "coarse (1/proc)",
+            PoolParams {
+                fine_per_proc: 1,
+                large_per_proc: 1,
+                small_per_proc: 0,
+            },
+        ),
         ("aggregated (paper)", PoolParams::default()),
-        ("flat fine (64/proc)", PoolParams { fine_per_proc: 64, large_per_proc: 64, small_per_proc: 0 }),
-        ("flat fine (256/proc)", PoolParams { fine_per_proc: 256, large_per_proc: 256, small_per_proc: 0 }),
+        (
+            "flat fine (64/proc)",
+            PoolParams {
+                fine_per_proc: 64,
+                large_per_proc: 64,
+                small_per_proc: 0,
+            },
+        ),
+        (
+            "flat fine (256/proc)",
+            PoolParams {
+                fine_per_proc: 256,
+                large_per_proc: 256,
+                small_per_proc: 0,
+            },
+        ),
     ];
     for (name, pool) in shapes {
         let ddi = Ddi::new(p, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool,
+        };
         let c = space.guess(&ham, p);
         let sigma = space.zeros_ci(p);
         let rep = fci_core::sigma::mixed::mixed_spin_dgemm(&ctx, &c, &sigma);
@@ -56,7 +92,7 @@ fn main() {
                 &w
             )
         );
-        let _ = run_phase(&ddi, &model, |_r, _s, _c| {}); // keep API exercised
+        let _ = run_phase(&ddi, &model, "taskpool_probe", |_r, _s, _c| {}); // keep API exercised
     }
     println!("\nexpected: coarse pools show the worst imbalance; very fine pools pay");
     println!("counter latency; the aggregated decreasing-size pool sits at the knee.");

@@ -9,9 +9,10 @@
 //! σ = H·C evaluation on the simulated Cray-X1 and reports per-routine
 //! simulated seconds, exactly the four curves of the figure.
 
-use fci_bench::{fig4_system, fmt_bytes, row};
+use fci_bench::{fig4_system, fmt_bytes, row, write_bench_json};
 use fci_core::{apply_sigma, DetSpace, Hamiltonian, PoolParams, SigmaCtx, SigmaMethod};
 use fci_ddi::{Backend, Ddi};
+use fci_obs::JsonValue;
 use fci_xsim::MachineModel;
 
 fn main() {
@@ -45,9 +46,16 @@ fn main() {
         )
     );
 
+    let mut points = Vec::new();
     for &p in &[16usize, 32, 64, 128] {
         let ddi = Ddi::new(p, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, p);
         let (_s1, bd_moc) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
         let (_s2, bd_dg) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
@@ -70,7 +78,41 @@ fn main() {
                 &widths
             )
         );
+        points.push(JsonValue::obj(vec![
+            ("msps", JsonValue::Num(p as f64)),
+            ("same_spin_moc_s", JsonValue::Num(bb_moc)),
+            (
+                "alpha_beta_moc_s",
+                JsonValue::Num(bd_moc.alpha_beta.elapsed()),
+            ),
+            ("same_spin_dgemm_s", JsonValue::Num(bb_dg)),
+            (
+                "alpha_beta_dgemm_s",
+                JsonValue::Num(bd_dg.alpha_beta.elapsed()),
+            ),
+            (
+                "comm_moc_bytes",
+                JsonValue::Num(bd_moc.alpha_beta.total_net_bytes()),
+            ),
+            (
+                "comm_dgemm_bytes",
+                JsonValue::Num(bd_dg.alpha_beta.total_net_bytes()),
+            ),
+            ("summary_moc", bd_moc.total().summary().to_json()),
+            ("summary_dgemm", bd_dg.total().summary().to_json()),
+        ]));
     }
     println!("\nexpected shape (paper): bb(MOC) flat with MSPs; all DGEMM rows ~1/P;");
     println!("ab(MOC) communication volume >> ab(DGEMM) (factor ~2(n−Nα)/3).");
+
+    let record = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("fig4_scaling".into())),
+        ("system", JsonValue::Str(sys.name.clone())),
+        ("dim", JsonValue::Num(space.dim() as f64)),
+        ("points", JsonValue::Arr(points)),
+    ]);
+    match write_bench_json("fig4_scaling", &record) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write bench json: {e}"),
+    }
 }

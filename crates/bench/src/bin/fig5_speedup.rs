@@ -6,9 +6,10 @@
 //! machine; speedup is reported relative to 128 MSPs along with sustained
 //! GFlop/s per MSP per routine.
 
-use fci_bench::{fig5_system, row};
+use fci_bench::{fig5_system, row, write_bench_json};
 use fci_core::{apply_sigma, DetSpace, Hamiltonian, PoolParams, SigmaCtx, SigmaMethod};
 use fci_ddi::{Backend, Ddi};
+use fci_obs::JsonValue;
 use fci_xsim::MachineModel;
 
 fn main() {
@@ -43,9 +44,16 @@ fn main() {
     );
 
     let mut t128 = None;
+    let mut points = Vec::new();
     for &p in &[128usize, 160, 192, 224, 256] {
         let ddi = Ddi::new(p, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, p);
         let (_s, bd) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
         let total = bd.total().elapsed();
@@ -67,7 +75,36 @@ fn main() {
                 &widths
             )
         );
+        points.push(JsonValue::obj(vec![
+            ("msps", JsonValue::Num(p as f64)),
+            ("sigma_s", JsonValue::Num(total)),
+            ("speedup", JsonValue::Num(t0 / total * 128.0)),
+            (
+                "same_spin_gflops_per_msp",
+                JsonValue::Num(ss.gflops_per_msp()),
+            ),
+            (
+                "alpha_beta_gflops_per_msp",
+                JsonValue::Num(bd.alpha_beta.gflops_per_msp()),
+            ),
+            (
+                "load_imbalance_s",
+                JsonValue::Num(bd.alpha_beta.load_imbalance()),
+            ),
+            ("summary", bd.total().summary().to_json()),
+        ]));
     }
     println!("\nexpected shape (paper): speedup tracks the ideal line closely;");
     println!("per-MSP GFlop/s roughly flat (slight decline in the mixed-spin routine).");
+
+    let record = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("fig5_speedup".into())),
+        ("system", JsonValue::Str(sys.name.clone())),
+        ("dim", JsonValue::Num(space.dim() as f64)),
+        ("points", JsonValue::Arr(points)),
+    ]);
+    match write_bench_json("fig5_speedup", &record) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write bench json: {e}"),
+    }
 }

@@ -14,10 +14,17 @@ use fci_bench::table2_systems;
 use fci_core::{solve, DiagMethod, DiagOptions, FciOptions};
 
 fn main() {
-    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let systems = table2_systems();
     let sys = &systems[idx.min(systems.len() - 1)];
-    eprintln!("# system: {} ({} sector determinants)", sys.name, sys.space().sector_dim());
+    eprintln!(
+        "# system: {} ({} sector determinants)",
+        sys.name,
+        sys.space().sector_dim()
+    );
 
     let methods = [
         ("davidson", DiagMethod::Davidson),
@@ -30,7 +37,11 @@ fn main() {
     for (_, m) in &methods {
         let opts = FciOptions {
             method: *m,
-            diag: DiagOptions { max_iter: 60, tol: 1e-9, ..Default::default() },
+            diag: DiagOptions {
+                max_iter: 60,
+                tol: 1e-9,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&sys.mo, sys.na, sys.nb, sys.state_irrep, &opts);
@@ -40,7 +51,11 @@ fn main() {
     // CSV: iteration, one column per method (empty once a method stopped).
     println!(
         "iteration,{}",
-        methods.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>().join(",")
+        methods
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let maxlen = traces.iter().map(Vec::len).max().unwrap_or(0);
     for i in 0..maxlen {

@@ -20,7 +20,13 @@ fn main() {
     let p = 64usize;
     let ddi = Ddi::new(p, Backend::Serial);
     let model = MachineModel::cray_x1();
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
     let c = space.guess(&ham, p);
     let (_x, bd_dg) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
     let (_y, bd_moc) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
@@ -37,9 +43,23 @@ fn main() {
     // counters do too, so the numbers are directly comparable.
 
     println!("Table 1 — α-β routine performance model (model vs measured)");
-    println!("system: {} (Nci={nci:.3e}, n={n}, Nα={na}, Nβ={nb}), measured at P={p}\n", sys.name);
+    println!(
+        "system: {} (Nci={nci:.3e}, n={n}, Nα={na}, Nβ={nb}), measured at P={p}\n",
+        sys.name
+    );
     let w = [26usize, 16, 16, 10];
-    println!("{}", row(&["quantity".into(), "model".into(), "measured".into(), "meas/mod".into()], &w));
+    println!(
+        "{}",
+        row(
+            &[
+                "quantity".into(),
+                "model".into(),
+                "measured".into(),
+                "meas/mod".into()
+            ],
+            &w
+        )
+    );
     for (name, m, meas) in [
         ("MOC ops (flops)", pm.moc_ops(), meas_ops_moc),
         ("DGEMM ops (flops)", pm.dgemm_ops(), meas_ops_dg),
@@ -49,12 +69,21 @@ fn main() {
         println!(
             "{}",
             row(
-                &[name.into(), format!("{m:.3e}"), format!("{meas:.3e}"), format!("{:.2}", meas / m)],
+                &[
+                    name.into(),
+                    format!("{m:.3e}"),
+                    format!("{meas:.3e}"),
+                    format!("{:.2}", meas / m)
+                ],
                 &w
             )
         );
     }
-    println!("\ncommunication ratio MOC/DGEMM: model {:.1}×, measured {:.1}×", 2.0 * pm.moc_comm_words() / pm.dgemm_comm_words(), meas_comm_moc / meas_comm_dg);
+    println!(
+        "\ncommunication ratio MOC/DGEMM: model {:.1}×, measured {:.1}×",
+        2.0 * pm.moc_comm_words() / pm.dgemm_comm_words(),
+        meas_comm_moc / meas_comm_dg
+    );
     println!("(MOC comm is modelled at 2× Nci·Nα·(n−Nα) words because our MOC");
     println!(" mixed-spin routine pushes updates with DDI_ACC, which moves 2× the");
     println!(" payload — the paper's collective-gather variant moves 1×.)");

@@ -54,11 +54,19 @@ fn main() {
         ] {
             let opts = FciOptions {
                 method,
-                diag: DiagOptions { max_iter: 60, tol: 1e-5, ..Default::default() },
+                diag: DiagOptions {
+                    max_iter: 60,
+                    tol: 1e-5,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let r = solve(&sys.mo, sys.na, sys.nb, sys.state_irrep, &opts);
-            cells.push(if r.converged { format!("{}", r.iterations) } else { "NC".into() });
+            cells.push(if r.converged {
+                format!("{}", r.iterations)
+            } else {
+                "NC".into()
+            });
             if r.converged {
                 energy = r.energy;
             }
@@ -66,7 +74,10 @@ fn main() {
         cells.push(format!("{energy:.8}"));
         println!("{}", row(&cells, &widths));
         if let Some(e_scf) = sys.e_scf {
-            println!("    (RHF = {e_scf:.8} Eh, correlation = {:.6} Eh)", energy - e_scf);
+            println!(
+                "    (RHF = {e_scf:.8} Eh, correlation = {:.6} Eh)",
+                energy - e_scf
+            );
         }
     }
     println!("\n(\"2-vector\" is the paper's Table 2 \"Davidson\" comparator: the exact 2x2");

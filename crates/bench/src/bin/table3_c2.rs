@@ -10,8 +10,9 @@
 //! convergence with the same solver on 432 *virtual* MSPs, printing the
 //! same row set from the simulated clocks.
 
-use fci_bench::{c2_system, fmt_bytes};
+use fci_bench::{c2_system, fmt_bytes, write_bench_json};
 use fci_core::{solve, DiagMethod, DiagOptions, FciOptions, SigmaMethod};
+use fci_obs::JsonValue;
 use fci_xsim::MachineModel;
 
 fn main() {
@@ -22,7 +23,11 @@ fn main() {
         nproc: msps,
         sigma: SigmaMethod::Dgemm,
         method: DiagMethod::AutoAdjust,
-        diag: DiagOptions { max_iter: 80, tol: 1e-5, ..Default::default() },
+        diag: DiagOptions {
+            max_iter: 80,
+            tol: 1e-5,
+            ..Default::default()
+        },
         machine: model,
         ..Default::default()
     };
@@ -42,23 +47,101 @@ fn main() {
     let io_s = ci_bytes / model.disk_read + ci_bytes / model.disk_write;
 
     println!("Table 3 — FCI benchmark (C2 analogue) on {msps} virtual MSPs");
-    println!("{:<22} {}", "Molecule", "C2");
-    println!("{:<22} {}", "State", "X 1Sg+ (irrep 0 sector)");
-    println!("{:<22} {}", "Basis", "svp window (16 active orbitals)");
-    println!("{:<22} FCI({},{})  [{}]", "CI space", sys.na + sys.nb, sys.mo.n_orb, sys.group);
-    println!("{:<22} {}  (sector {})", "CI dimension", r.dim, r.sector_dim);
+    println!("{:<22} C2", "Molecule");
+    println!("{:<22} X 1Sg+ (irrep 0 sector)", "State");
+    println!("{:<22} svp window (16 active orbitals)", "Basis");
+    println!(
+        "{:<22} FCI({},{})  [{}]",
+        "CI space",
+        sys.na + sys.nb,
+        sys.mo.n_orb,
+        sys.group
+    );
+    println!(
+        "{:<22} {}  (sector {})",
+        "CI dimension", r.dim, r.sector_dim
+    );
     println!("{:<22} {}", "MSPs", msps);
-    println!("{:<22} {:.3} s / {:.2} GF/MSP", "Beta-beta", bb, r.sigma_cost.beta_beta.gflops_per_msp());
-    println!("{:<22} {:.3} s / {:.2} GF/MSP", "Alpha-alpha(+transp)", aa, r.sigma_cost.alpha_alpha.gflops_per_msp());
-    println!("{:<22} {:.3} s / {:.2} GF/MSP", "Alpha-beta", ab, r.sigma_cost.alpha_beta.gflops_per_msp());
+    println!(
+        "{:<22} {:.3} s / {:.2} GF/MSP",
+        "Beta-beta",
+        bb,
+        r.sigma_cost.beta_beta.gflops_per_msp()
+    );
+    println!(
+        "{:<22} {:.3} s / {:.2} GF/MSP",
+        "Alpha-alpha(+transp)",
+        aa,
+        r.sigma_cost.alpha_alpha.gflops_per_msp()
+    );
+    println!(
+        "{:<22} {:.3} s / {:.2} GF/MSP",
+        "Alpha-beta",
+        ab,
+        r.sigma_cost.alpha_beta.gflops_per_msp()
+    );
     println!("{:<22} {:.3} s", "Load imbalance (ab)", imb);
-    println!("{:<22} {:.3} s / {:.2} GF/MSP", "Total per iteration", total, total_rep.gflops_per_msp());
-    println!("{:<22} {:.2} TFlop/s aggregate ({:.0}% of peak)", "Sustained", total_rep.tflops(), 100.0 * total_rep.gflops_per_msp() * 1e9 / model.peak_flops);
-    println!("{:<22} {} per iteration", "Network traffic", fmt_bytes(comm));
-    println!("{:<22} {:.3} s per iteration (checkpoint at 293 MB/s R / 246 MB/s W)", "Disk IO", io_s);
-    println!("{:<22} {} ({}) to residual 1e-5", "Iterations", r.iterations, if r.converged { "converged" } else { "NOT converged" });
+    println!(
+        "{:<22} {:.3} s / {:.2} GF/MSP",
+        "Total per iteration",
+        total,
+        total_rep.gflops_per_msp()
+    );
+    println!(
+        "{:<22} {:.2} TFlop/s aggregate ({:.0}% of peak)",
+        "Sustained",
+        total_rep.tflops(),
+        100.0 * total_rep.gflops_per_msp() * 1e9 / model.peak_flops
+    );
+    println!(
+        "{:<22} {} per iteration",
+        "Network traffic",
+        fmt_bytes(comm)
+    );
+    println!(
+        "{:<22} {:.3} s per iteration (checkpoint at 293 MB/s R / 246 MB/s W)",
+        "Disk IO", io_s
+    );
+    println!(
+        "{:<22} {} ({}) to residual 1e-5",
+        "Iterations",
+        r.iterations,
+        if r.converged {
+            "converged"
+        } else {
+            "NOT converged"
+        }
+    );
     println!("{:<22} {:.8} Eh", "E(FCI)", r.energy);
     if let Some(e) = sys.e_scf {
         println!("{:<22} {:.8} Eh (corr {:.6})", "E(RHF)", e, r.energy - e);
+    }
+
+    let record = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("table3_c2".into())),
+        ("system", JsonValue::Str(sys.name.clone())),
+        ("group", JsonValue::Str(sys.group.clone())),
+        ("msps", JsonValue::Num(msps as f64)),
+        ("dim", JsonValue::Num(r.dim as f64)),
+        ("sector_dim", JsonValue::Num(r.sector_dim as f64)),
+        ("iterations", JsonValue::Num(r.iterations as f64)),
+        ("converged", JsonValue::Bool(r.converged)),
+        ("energy", JsonValue::Num(r.energy)),
+        (
+            "per_iteration_s",
+            JsonValue::obj(vec![
+                ("beta_beta", JsonValue::Num(bb)),
+                ("alpha_alpha", JsonValue::Num(aa)),
+                ("alpha_beta", JsonValue::Num(ab)),
+                ("load_imbalance", JsonValue::Num(imb)),
+                ("total", JsonValue::Num(total)),
+                ("disk_io", JsonValue::Num(io_s)),
+            ]),
+        ),
+        ("summary", total_rep.summary().to_json()),
+    ]);
+    match write_bench_json("table3_c2", &record) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("warning: could not write bench json: {e}"),
     }
 }

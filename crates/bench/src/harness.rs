@@ -1,0 +1,208 @@
+//! A minimal microbenchmark harness with a Criterion-shaped API.
+//!
+//! The build environment has no crate-registry access, so Criterion itself
+//! cannot be a dependency. This module re-creates the subset of its
+//! surface the `benches/` files use — `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput` — with plain timing: one warm-up call,
+//! then `sample_size` timed samples, reporting min/median/mean.
+//!
+//! Set `FCIX_BENCH_SAMPLES` to override every group's sample count (e.g.
+//! `FCIX_BENCH_SAMPLES=3` for a smoke run in CI).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Harness entry point (one per benchmark executable).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Measure one ungrouped closure (Criterion also allows this form).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let g = BenchmarkGroup {
+            name: String::new(),
+            samples: 10,
+            throughput: None,
+        };
+        g.run(id.into(), &mut f);
+        self
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MB/s).
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only id (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// A group of measurements sharing a sample count and throughput label.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Measure one closure against an input (Criterion-compat shim — the
+    /// input is simply passed through).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API parity; reporting is incremental).
+    pub fn finish(self) {}
+
+    fn run(&self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = std::env::var("FCIX_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(|n: usize| n.max(1))
+            .unwrap_or(self.samples);
+        let mut b = Bencher {
+            times: Vec::with_capacity(samples),
+            samples,
+        };
+        f(&mut b);
+        let mut times = b.times;
+        if times.is_empty() {
+            println!("  {:<32} (no samples)", id.0);
+            return;
+        }
+        times.sort_by(|a, x| a.partial_cmp(x).unwrap());
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Melem/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => format!("  {:>10.1} MB/s", n as f64 / median / 1e6),
+            None => String::new(),
+        };
+        println!(
+            "  {:<32} median {}  (min {}, mean {}, n={}){}",
+            id.0,
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(mean),
+            times.len(),
+            rate
+        );
+        let _ = &self.name;
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    times: Vec<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then one timed call per sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Criterion-compat macro: bundles benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compat macro: the benchmark executable's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -18,9 +18,15 @@
 //! | O⁻ / aug-cc-pVQZ (Fig. 5) | O⁻ / svp window |
 //! | C2 X¹Σg⁺ / cc-pVTZ(+) 65e9 dets | C2 / svp window, D2h blocked |
 
+pub mod harness;
+
 use fci_core::{DetSpace, Hamiltonian};
-use fci_ints::{detect_point_group, eri_tensor, kinetic, nuclear_attraction, overlap, BasisSet, Molecule};
-use fci_scf::{core_orbitals, rhf, symmetry_adapt, transform_integrals, uhf, MoIntegrals, RhfOptions};
+use fci_ints::{
+    detect_point_group, eri_tensor, kinetic, nuclear_attraction, overlap, BasisSet, Molecule,
+};
+use fci_scf::{
+    core_orbitals, rhf, symmetry_adapt, transform_integrals, uhf, MoIntegrals, RhfOptions,
+};
 
 /// A fully prepared benchmark system.
 pub struct System {
@@ -83,7 +89,7 @@ pub fn prepare(
     let s = overlap(&basis);
 
     let (c, e_scf, h_ao, eri_ao) = match orbitals {
-        Orbitals::Rhf if molecule.n_electrons() % 2 == 0 => {
+        Orbitals::Rhf if molecule.n_electrons().is_multiple_of(2) => {
             let r = rhf(molecule, &basis, &RhfOptions::default());
             if r.converged {
                 (r.mo_coeffs, Some(r.energy), r.h_ao, r.eri_ao)
@@ -96,7 +102,16 @@ pub fn prepare(
             }
         }
         Orbitals::Uhf(tot_a, tot_b) => {
-            let u = uhf(molecule, &basis, tot_a, tot_b, &RhfOptions { max_iter: 300, ..Default::default() });
+            let u = uhf(
+                molecule,
+                &basis,
+                tot_a,
+                tot_b,
+                &RhfOptions {
+                    max_iter: 300,
+                    ..Default::default()
+                },
+            );
             if u.converged {
                 (u.c_alpha, Some(u.energy), u.h_ao, u.eri_ao)
             } else {
@@ -130,14 +145,29 @@ pub fn prepare(
         "electron bookkeeping: {na}α + {nb}β active + {n_frozen} frozen pairs ≠ {} electrons",
         molecule.n_electrons()
     );
-    let mo = transform_integrals(&h_ao, &eri_ao, &c, molecule.nuclear_repulsion(), n_frozen, n_act);
+    let mo = transform_integrals(
+        &h_ao,
+        &eri_ao,
+        &c,
+        molecule.nuclear_repulsion(),
+        n_frozen,
+        n_act,
+    );
     let mo = mo.with_symmetry(irreps[n_frozen..n_frozen + n_act].to_vec(), n_irrep);
 
     // Target state irrep: that of the lowest-diagonal determinant.
     let ham = Hamiltonian::new(&mo);
     let state_irrep = lowest_det_irrep(&ham, na, nb);
 
-    System { name: name.to_string(), group, mo, na, nb, state_irrep, e_scf }
+    System {
+        name: name.to_string(),
+        group,
+        mo,
+        na,
+        nb,
+        state_irrep,
+        e_scf,
+    }
 }
 
 /// Combined spatial irrep of the lowest-diagonal determinant.
@@ -148,7 +178,10 @@ pub fn lowest_det_irrep(ham: &Hamiltonian, na: usize, nb: usize) -> u8 {
         for ib in 0..space.beta.len() {
             let d = ham.diagonal_element(space.alpha.mask(ia), space.beta.mask(ib));
             if d < best.0 {
-                best = (d, space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib));
+                best = (
+                    d,
+                    space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib),
+                );
             }
         }
     }
@@ -160,7 +193,11 @@ pub fn lowest_det_irrep(ham: &Hamiltonian, na: usize, nb: usize) -> u8 {
 /// H2O in its equilibrium-ish geometry.
 pub fn water() -> Molecule {
     Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.4305, 1.1092]),
+            ("H", [0.0, -1.4305, 1.1092]),
+        ],
         0,
     )
 }
@@ -197,29 +234,99 @@ pub fn c2() -> Molecule {
 /// The four Table 2 convergence-study systems (scaled-down analogues).
 pub fn table2_systems() -> Vec<System> {
     vec![
-        prepare("H2O/svp fc", &water(), "svp", Orbitals::Rhf, 1, Some(8), 4, 4, true),
-        prepare("HOOH/sto-3g fc", &hooh(), "sto-3g", Orbitals::Rhf, 2, None, 7, 7, true),
-        prepare("CN+/sto-3g fc", &cn_plus(), "sto-3g", Orbitals::Rhf, 2, None, 4, 4, true),
-        prepare("O 3P/svp", &o_atom(0), "svp", Orbitals::Core, 1, Some(12), 4, 2, true),
+        prepare(
+            "H2O/svp fc",
+            &water(),
+            "svp",
+            Orbitals::Rhf,
+            1,
+            Some(8),
+            4,
+            4,
+            true,
+        ),
+        prepare(
+            "HOOH/sto-3g fc",
+            &hooh(),
+            "sto-3g",
+            Orbitals::Rhf,
+            2,
+            None,
+            7,
+            7,
+            true,
+        ),
+        prepare(
+            "CN+/sto-3g fc",
+            &cn_plus(),
+            "sto-3g",
+            Orbitals::Rhf,
+            2,
+            None,
+            4,
+            4,
+            true,
+        ),
+        prepare(
+            "O 3P/svp",
+            &o_atom(0),
+            "svp",
+            Orbitals::Core,
+            1,
+            Some(12),
+            4,
+            2,
+            true,
+        ),
     ]
 }
 
 /// O-atom analogue used for the Fig. 4 strong-scaling comparison.
 pub fn fig4_system() -> System {
-    prepare("O 3P/svp(12)", &o_atom(0), "svp", Orbitals::Core, 1, Some(12), 4, 2, false)
+    prepare(
+        "O 3P/svp(12)",
+        &o_atom(0),
+        "svp",
+        Orbitals::Core,
+        1,
+        Some(12),
+        4,
+        2,
+        false,
+    )
 }
 
 /// O⁻ analogue used for the Fig. 5 speedup study (larger space: 9
 /// electrons in 14 orbitals, 2 004 002 determinants).
 pub fn fig5_system() -> System {
-    prepare("O-/svp(14)", &o_atom(-1), "svp", Orbitals::Core, 0, Some(14), 5, 4, false)
+    prepare(
+        "O-/svp(14)",
+        &o_atom(-1),
+        "svp",
+        Orbitals::Core,
+        0,
+        Some(14),
+        5,
+        4,
+        false,
+    )
 }
 
 /// C2 X¹Σg⁺ analogue for the Table 3 capability run (D2h blocked,
 /// FCI(8,16): 3.3 million determinants — large enough that the 432
 /// virtual MSPs all hold work, with C(16,3) = 560 mixed-spin task units).
 pub fn c2_system() -> System {
-    prepare("C2 X1Sg+/svp(16)", &c2(), "svp", Orbitals::Rhf, 2, Some(16), 4, 4, true)
+    prepare(
+        "C2 X1Sg+/svp(16)",
+        &c2(),
+        "svp",
+        Orbitals::Rhf,
+        2,
+        Some(16),
+        4,
+        4,
+        true,
+    )
 }
 
 // ---------------- reporting helpers ----------------
@@ -259,6 +366,21 @@ pub fn fmt_bytes(b: f64) -> String {
     format!("{v:.2} {}", UNITS[u])
 }
 
+/// Write a machine-readable benchmark record to
+/// `results/BENCH_<name>.json` (directory created on demand) and return
+/// the path. The harness binaries call this with a telemetry object built
+/// around [`fci_obs::RunSummary::to_json`].
+pub fn write_bench_json(
+    name: &str,
+    value: &fci_obs::JsonValue,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.to_string() + "\n")?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,7 +403,17 @@ mod tests {
 
     #[test]
     fn prepare_with_uhf_orbitals() {
-        let sys = prepare("o-uhf", &o_atom(0), "sto-3g", Orbitals::Uhf(5, 3), 1, None, 4, 2, true);
+        let sys = prepare(
+            "o-uhf",
+            &o_atom(0),
+            "sto-3g",
+            Orbitals::Uhf(5, 3),
+            1,
+            None,
+            4,
+            2,
+            true,
+        );
         assert_eq!(sys.mo.n_orb, 4);
         assert!(sys.e_scf.is_some(), "UHF should converge for O/sto-3g");
         assert_eq!(sys.group, "D2h");
@@ -290,7 +422,17 @@ mod tests {
     #[test]
     fn prepare_small_system() {
         // The cheapest catalogue entry end-to-end.
-        let sys = prepare("h2", &Molecule::from_symbols_bohr(&[("H", [0.0, 0.0, -0.7]), ("H", [0.0, 0.0, 0.7])], 0), "sto-3g", Orbitals::Rhf, 0, None, 1, 1, true);
+        let sys = prepare(
+            "h2",
+            &Molecule::from_symbols_bohr(&[("H", [0.0, 0.0, -0.7]), ("H", [0.0, 0.0, 0.7])], 0),
+            "sto-3g",
+            Orbitals::Rhf,
+            0,
+            None,
+            1,
+            1,
+            true,
+        );
         assert_eq!(sys.mo.n_orb, 2);
         assert!(sys.e_scf.is_some());
         assert_eq!(sys.group, "D2h");

@@ -37,7 +37,10 @@ pub fn load_ci(path: &Path, nproc: usize) -> io::Result<DistMatrix> {
     let mut magic = [0u8; 8];
     f.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an fcix checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an fcix checkpoint",
+        ));
     }
     let mut b8 = [0u8; 8];
     f.read_exact(&mut b8)?;
@@ -51,7 +54,10 @@ pub fn load_ci(path: &Path, nproc: usize) -> io::Result<DistMatrix> {
     }
     // Reject trailing garbage (truncated/corrupted files fail above).
     if f.read(&mut [0u8; 1])? != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes in checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes in checkpoint",
+        ));
     }
     Ok(DistMatrix::from_dense(nrows, ncols, nproc, &data))
 }
@@ -75,7 +81,12 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_vector() {
-        let m = DistMatrix::from_dense(3, 4, 2, &(0..12).map(|x| x as f64 * 0.5 - 2.0).collect::<Vec<_>>());
+        let m = DistMatrix::from_dense(
+            3,
+            4,
+            2,
+            &(0..12).map(|x| x as f64 * 0.5 - 2.0).collect::<Vec<_>>(),
+        );
         let path = tmpdir().join("rt.ckp");
         save_ci(&path, &m).unwrap();
         let back = load_ci(&path, 3).unwrap(); // different rank count is fine
@@ -92,7 +103,7 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        let m = DistMatrix::from_dense(5, 5, 1, &vec![1.0; 25]);
+        let m = DistMatrix::from_dense(5, 5, 1, &[1.0; 25]);
         let path = tmpdir().join("trunc.ckp");
         save_ci(&path, &m).unwrap();
         let full = std::fs::read(&path).unwrap();
@@ -109,21 +120,41 @@ mod tests {
         let space = DetSpace::c1(5, 2, 2);
         let ddi = Ddi::new(2, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-        let full = diagonalize(&ctx, SigmaMethod::Dgemm, DiagMethod::AutoAdjust, &DiagOptions::default());
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let full = diagonalize(
+            &ctx,
+            SigmaMethod::Dgemm,
+            DiagMethod::AutoAdjust,
+            &DiagOptions::default(),
+        );
         assert!(full.converged);
 
         let partial = diagonalize(
             &ctx,
             SigmaMethod::Dgemm,
             DiagMethod::AutoAdjust,
-            &DiagOptions { max_iter: 4, ..Default::default() },
+            &DiagOptions {
+                max_iter: 4,
+                ..Default::default()
+            },
         );
         assert!(!partial.converged);
         let path = tmpdir().join("restart.ckp");
         save_ci(&path, &partial.c).unwrap();
         let c0 = load_ci(&path, 2).unwrap();
-        let resumed = diagonalize_from(&ctx, SigmaMethod::Dgemm, DiagMethod::AutoAdjust, &DiagOptions::default(), c0);
+        let resumed = diagonalize_from(
+            &ctx,
+            SigmaMethod::Dgemm,
+            DiagMethod::AutoAdjust,
+            &DiagOptions::default(),
+            c0,
+        );
         assert!(resumed.converged);
         assert!((resumed.e_elec - full.e_elec).abs() < 1e-8);
         // The resumed run re-estimates λ from scratch, which can cost an

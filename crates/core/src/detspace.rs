@@ -107,7 +107,11 @@ impl DetSpace {
     pub fn with_excitation_limit(mut self, ref_alpha: u64, ref_beta: u64, max_level: u32) -> Self {
         assert_eq!(ref_alpha.count_ones() as usize, self.alpha.n_elec());
         assert_eq!(ref_beta.count_ones() as usize, self.beta.n_elec());
-        self.excitation = Some(ExcitationFilter { ref_alpha, ref_beta, max_level });
+        self.excitation = Some(ExcitationFilter {
+            ref_alpha,
+            ref_beta,
+            max_level,
+        });
         self
     }
 
@@ -117,8 +121,20 @@ impl DetSpace {
     }
 
     /// Build for a Hamiltonian's orbital symmetry labels.
-    pub fn for_hamiltonian(ham: &Hamiltonian, n_alpha: usize, n_beta: usize, target_irrep: u8) -> Self {
-        Self::new(ham.n, n_alpha, n_beta, &ham.orb_sym, ham.n_irrep, target_irrep)
+    pub fn for_hamiltonian(
+        ham: &Hamiltonian,
+        n_alpha: usize,
+        n_beta: usize,
+        target_irrep: u8,
+    ) -> Self {
+        Self::new(
+            ham.n,
+            n_alpha,
+            n_beta,
+            &ham.orb_sym,
+            ham.n_irrep,
+            target_irrep,
+        )
     }
 
     /// Number of orbitals.
@@ -204,9 +220,18 @@ impl DetSpace {
                 }
             }
         }
-        assert!(best.0.is_finite(), "no determinant in the requested symmetry sector");
+        assert!(
+            best.0.is_finite(),
+            "no determinant in the requested symmetry sector"
+        );
         let c = self.zeros_ci(nproc);
-        c.map_inplace(|ib, ia, _| if (ib, ia) == (best.1, best.2) { 1.0 } else { 0.0 });
+        c.map_inplace(|ib, ia, _| {
+            if (ib, ia) == (best.1, best.2) {
+                1.0
+            } else {
+                0.0
+            }
+        });
         c
     }
 }

@@ -26,6 +26,7 @@ use crate::sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 use crate::slater;
 use fci_ddi::DistMatrix;
 use fci_linalg::{eigh, eigh_2x2, lu_solve, Matrix};
+use fci_obs::Category;
 
 /// Which update scheme drives the iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,7 +64,13 @@ pub struct DiagOptions {
 
 impl Default for DiagOptions {
     fn default() -> Self {
-        DiagOptions { max_iter: 60, tol: 1e-9, max_subspace: 12, model_space: 20, fixed_lambda: 0.7 }
+        DiagOptions {
+            max_iter: 60,
+            tol: 1e-9,
+            max_subspace: 12,
+            model_space: 20,
+            fixed_lambda: 0.7,
+        }
     }
 }
 
@@ -116,7 +123,11 @@ impl Preconditioner {
                 );
             }
         }
-        Preconditioner { diag: clone_dist(diag), dets, h_mm }
+        Preconditioner {
+            diag: clone_dist(diag),
+            dets,
+            h_mm,
+        }
     }
 
     /// `x = (H₀ − E)⁻¹ v`. Out-of-sector entries (diag = ∞) map to zero.
@@ -131,7 +142,7 @@ impl Preconditioner {
                 if !den.is_finite() {
                     0.0
                 } else if den.abs() < 1e-8 {
-                    val / (1e-8 * den.signum().max(-1.0).min(1.0))
+                    val / (1e-8 * den.signum().clamp(-1.0, 1.0))
                 } else {
                     val / den
                 }
@@ -195,6 +206,17 @@ impl Preconditioner {
     }
 }
 
+/// Emit one solver-iteration telemetry point (energy, residual) through
+/// the tracer attached to the context's DDI world, if any.
+fn trace_iteration(ctx: &SigmaCtx, iter: usize, e: f64, res: f64) {
+    ctx.ddi.tracer().instant(
+        None,
+        "diag_iter",
+        Category::Other,
+        &[("iter", iter as f64), ("energy", e), ("residual", res)],
+    );
+}
+
 fn clone_dist(a: &DistMatrix) -> DistMatrix {
     let out = DistMatrix::zeros(a.nrows(), a.ncols(), a.nproc());
     out.copy_from(a);
@@ -248,19 +270,35 @@ pub fn diagonalize_from(
 ) -> DiagResult {
     let space = ctx.space;
     let nproc = ctx.ddi.nproc();
-    assert_eq!((c0.nrows(), c0.ncols()), (space.beta.len(), space.alpha.len()), "guess shape mismatch");
-    assert_eq!(c0.nproc(), nproc, "guess distributed over the wrong processor count");
+    assert_eq!(
+        (c0.nrows(), c0.ncols()),
+        (space.beta.len(), space.alpha.len()),
+        "guess shape mismatch"
+    );
+    assert_eq!(
+        c0.nproc(),
+        nproc,
+        "guess distributed over the wrong processor count"
+    );
     space.project_sector(&c0);
-    assert!(c0.norm() > 0.0, "guess vector has no component in the target symmetry sector");
+    assert!(
+        c0.norm() > 0.0,
+        "guess vector has no component in the target symmetry sector"
+    );
     let diag = space.diagonal(ctx.ham, nproc);
     let pre = Preconditioner::new(space, ctx.ham, &diag, opts.model_space);
     match method {
         DiagMethod::Davidson => davidson(ctx, sigma_method, opts, &pre, c0),
         DiagMethod::TwoVector => two_vector(ctx, sigma_method, opts, &pre, c0),
         DiagMethod::Olsen => single_vector(ctx, sigma_method, opts, &pre, c0, Lambda::Fixed(1.0)),
-        DiagMethod::OlsenDamped => {
-            single_vector(ctx, sigma_method, opts, &pre, c0, Lambda::Fixed(opts.fixed_lambda))
-        }
+        DiagMethod::OlsenDamped => single_vector(
+            ctx,
+            sigma_method,
+            opts,
+            &pre,
+            c0,
+            Lambda::Fixed(opts.fixed_lambda),
+        ),
         DiagMethod::AutoAdjust => single_vector(ctx, sigma_method, opts, &pre, c0, Lambda::Auto),
     }
 }
@@ -315,6 +353,7 @@ fn davidson(
         let res = r.norm();
         e_hist.push(theta);
         r_hist.push(res);
+        trace_iteration(ctx, iterations, theta, res);
         best_c = clone_dist(&c);
         best_e = theta;
         if res < opts.tol {
@@ -388,6 +427,7 @@ fn two_vector(
         let res = r.norm();
         e_hist.push(e);
         r_hist.push(res);
+        trace_iteration(ctx, iterations, e, res);
         if res < opts.tol {
             converged = true;
             break;
@@ -485,6 +525,7 @@ fn single_vector(
         let res = r.norm();
         e_hist.push(e);
         r_hist.push(res);
+        trace_iteration(ctx, iterations, e, res);
         if res < opts.tol {
             converged = true;
             break;
@@ -554,7 +595,14 @@ fn single_vector(
         let nrm = c.norm();
         let s = 1.0 / nrm;
         c.scale(s);
-        prev = Some(Prev { e, b, tau, lambda, s2: s * s, res });
+        prev = Some(Prev {
+            e,
+            b,
+            tau,
+            lambda,
+            s2: s * s,
+            res,
+        });
     }
 
     DiagResult {
@@ -581,12 +629,25 @@ mod tests {
         eigh(&h).eigenvalues[0]
     }
 
-    fn run(method: DiagMethod, n: usize, na: usize, nb: usize, nproc: usize, seed: u64) -> (DiagResult, f64) {
+    fn run(
+        method: DiagMethod,
+        n: usize,
+        na: usize,
+        nb: usize,
+        nproc: usize,
+        seed: u64,
+    ) -> (DiagResult, f64) {
         let ham = random_hamiltonian(n, seed);
         let space = DetSpace::c1(n, na, nb);
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let exact = exact_ground(&space, &ham);
         let res = diagonalize(&ctx, SigmaMethod::Dgemm, method, &DiagOptions::default());
         (res, exact)
@@ -669,18 +730,30 @@ mod tests {
         let space = DetSpace::c1(5, 2, 2);
         let ddi = Ddi::new(1, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let with = diagonalize(
             &ctx,
             SigmaMethod::Dgemm,
             DiagMethod::AutoAdjust,
-            &DiagOptions { model_space: 20, ..Default::default() },
+            &DiagOptions {
+                model_space: 20,
+                ..Default::default()
+            },
         );
         let without = diagonalize(
             &ctx,
             SigmaMethod::Dgemm,
             DiagMethod::AutoAdjust,
-            &DiagOptions { model_space: 0, ..Default::default() },
+            &DiagOptions {
+                model_space: 0,
+                ..Default::default()
+            },
         );
         assert!(with.converged);
         assert!((with.e_elec - without.e_elec).abs() < 1e-7 || !without.converged);
@@ -717,15 +790,33 @@ mod tests {
                 }
             }
         }
-        let mo = fci_scf::MoIntegrals { n_orb: n, h, eri, e_core: 0.0, orb_sym: sym.clone(), n_irrep: 2 };
+        let mo = fci_scf::MoIntegrals {
+            n_orb: n,
+            h,
+            eri,
+            e_core: 0.0,
+            orb_sym: sym.clone(),
+            n_irrep: 2,
+        };
         ham = Hamiltonian::new(&mo);
 
         for g in 0..2u8 {
             let space = DetSpace::new(5, 2, 1, &sym, 2, g);
             let ddi = Ddi::new(2, Backend::Serial);
             let model = MachineModel::cray_x1();
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-            let r = diagonalize(&ctx, SigmaMethod::Dgemm, DiagMethod::Davidson, &DiagOptions::default());
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
+            let r = diagonalize(
+                &ctx,
+                SigmaMethod::Dgemm,
+                DiagMethod::Davidson,
+                &DiagOptions::default(),
+            );
             // Dense reference restricted to the sector.
             let hfull = slater::dense_h(&space, &ham);
             let nb = space.beta.len();
@@ -735,7 +826,11 @@ mod tests {
             let hs = Matrix::from_fn(idx.len(), idx.len(), |i, j| hfull[(idx[i], idx[j])]);
             let exact = eigh(&hs).eigenvalues[0];
             assert!(r.converged, "irrep {g} did not converge");
-            assert!((r.e_elec - exact).abs() < 1e-8, "irrep {g}: {} vs {exact}", r.e_elec);
+            assert!(
+                (r.e_elec - exact).abs() < 1e-8,
+                "irrep {g}: {} vs {exact}",
+                r.e_elec
+            );
         }
     }
 }

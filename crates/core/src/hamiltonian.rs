@@ -63,7 +63,8 @@ impl Hamiltonian {
                 let row = pair_index(p, r);
                 for q in 1..n {
                     for s in 0..q {
-                        g[(row, pair_index(q, s))] = mo.eri.get(p, q, r, s) - mo.eri.get(p, s, r, q);
+                        g[(row, pair_index(q, s))] =
+                            mo.eri.get(p, q, r, s) - mo.eri.get(p, s, r, q);
                     }
                 }
             }
@@ -125,7 +126,9 @@ impl Hamiltonian {
 pub fn random_hamiltonian(n: usize, seed: u64) -> Hamiltonian {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let mut h = Matrix::zeros(n, n);
@@ -204,7 +207,8 @@ mod tests {
         let ham = random_hamiltonian(3, 11);
         let amask = 0b011u64;
         let e = ham.diagonal_element(amask, 0);
-        let expect = ham.h[(0, 0)] + ham.h[(1, 1)] + ham.eri.get(0, 0, 1, 1) - ham.eri.get(0, 1, 1, 0);
+        let expect =
+            ham.h[(0, 0)] + ham.h[(1, 1)] + ham.eri.get(0, 0, 1, 1) - ham.eri.get(0, 1, 1, 0);
         assert!((e - expect).abs() < 1e-15);
     }
 

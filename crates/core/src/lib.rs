@@ -61,14 +61,16 @@ pub mod slater;
 pub mod solver;
 pub mod taskpool;
 
-pub use detspace::DetSpace;
 pub use checkpoint::{load_ci, save_ci};
-pub use diag::{diagonalize, diagonalize_from, DiagMethod, DiagOptions, DiagResult, Preconditioner};
-pub use properties::{natural_occupations, one_rdm, s_squared};
+pub use detspace::DetSpace;
+pub use diag::{
+    diagonalize, diagonalize_from, DiagMethod, DiagOptions, DiagResult, Preconditioner,
+};
 pub use hamiltonian::{random_hamiltonian, Hamiltonian};
 pub use multiroot::{diagonalize_roots, MultiRootResult};
 pub use perf_model::PerfModel;
 pub use phase::run_phase;
+pub use properties::{natural_occupations, one_rdm, s_squared};
 pub use sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 pub use solver::{solve, FciOptions, FciResult};
 pub use taskpool::{PoolParams, TaskPool};

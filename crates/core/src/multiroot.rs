@@ -45,18 +45,23 @@ pub fn diagonalize_roots(
     let space = ctx.space;
     let nproc = ctx.ddi.nproc();
     let sector = space.sector_dim();
-    assert!(nroots <= sector, "asked for {nroots} roots in a {sector}-determinant sector");
+    assert!(
+        nroots <= sector,
+        "asked for {nroots} roots in a {sector}-determinant sector"
+    );
     let diag = space.diagonal(ctx.ham, nproc);
     // A model space at least as large as the root count keeps the seed
     // vectors linearly independent.
-    let pre = Preconditioner::new(space, ctx.ham, &diag, opts.model_space.max(2 * nroots).min(sector));
+    let pre = Preconditioner::new(
+        space,
+        ctx.ham,
+        &diag,
+        opts.model_space.max(2 * nroots).min(sector),
+    );
     let max_subspace = opts.max_subspace.max(4 * nroots);
 
     // Seed with the lowest model-space eigenvectors.
-    let mut basis: Vec<DistMatrix> = pre
-        .model_space_guesses(nproc, nroots)
-        .into_iter()
-        .collect();
+    let mut basis: Vec<DistMatrix> = pre.model_space_guesses(nproc, nroots).into_iter().collect();
     if basis.is_empty() {
         basis.push(space.guess(ctx.ham, nproc));
     }
@@ -136,7 +141,13 @@ pub fn diagonalize_roots(
         }
     }
 
-    MultiRootResult { energies, states, iterations, converged: conv, sigma_cost: cost }
+    MultiRootResult {
+        energies,
+        states,
+        iterations,
+        converged: conv,
+        sigma_cost: cost,
+    }
 }
 
 /// Modified Gram–Schmidt of `v[start..]` against everything before and
@@ -194,7 +205,12 @@ mod tests {
     use fci_ddi::{Backend, Ddi};
     use fci_xsim::MachineModel;
 
-    fn setup(n: usize, na: usize, nb: usize, seed: u64) -> (DetSpace, crate::hamiltonian::Hamiltonian) {
+    fn setup(
+        n: usize,
+        na: usize,
+        nb: usize,
+        seed: u64,
+    ) -> (DetSpace, crate::hamiltonian::Hamiltonian) {
         (DetSpace::c1(n, na, nb), random_hamiltonian(n, seed))
     }
 
@@ -203,13 +219,36 @@ mod tests {
         let (space, ham) = setup(5, 2, 2, 17);
         let ddi = Ddi::new(2, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-        let r = diagonalize_roots(&ctx, SigmaMethod::Dgemm, &DiagOptions { max_iter: 80, ..Default::default() }, 3);
-        assert!(r.converged.iter().all(|&b| b), "roots not converged: {:?}", r.converged);
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let r = diagonalize_roots(
+            &ctx,
+            SigmaMethod::Dgemm,
+            &DiagOptions {
+                max_iter: 80,
+                ..Default::default()
+            },
+            3,
+        );
+        assert!(
+            r.converged.iter().all(|&b| b),
+            "roots not converged: {:?}",
+            r.converged
+        );
         let h = slater::dense_h(&space, &ham);
         let exact = fci_linalg::eigh(&h).eigenvalues;
-        for k in 0..3 {
-            assert!((r.energies[k] - exact[k]).abs() < 1e-7, "root {k}: {} vs {}", r.energies[k], exact[k]);
+        for (k, ex) in exact.iter().take(3).enumerate() {
+            assert!(
+                (r.energies[k] - ex).abs() < 1e-7,
+                "root {k}: {} vs {}",
+                r.energies[k],
+                ex
+            );
         }
         // Roots ascend and states are orthonormal.
         assert!(r.energies[0] <= r.energies[1] && r.energies[1] <= r.energies[2]);
@@ -227,9 +266,20 @@ mod tests {
         let (space, ham) = setup(5, 3, 2, 23);
         let ddi = Ddi::new(1, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let multi = diagonalize_roots(&ctx, SigmaMethod::Dgemm, &DiagOptions::default(), 1);
-        let single = crate::diag::diagonalize(&ctx, SigmaMethod::Dgemm, crate::diag::DiagMethod::Davidson, &DiagOptions::default());
+        let single = crate::diag::diagonalize(
+            &ctx,
+            SigmaMethod::Dgemm,
+            crate::diag::DiagMethod::Davidson,
+            &DiagOptions::default(),
+        );
         assert!(multi.converged[0] && single.converged);
         assert!((multi.energies[0] - single.e_elec).abs() < 1e-8);
     }
@@ -241,13 +291,27 @@ mod tests {
         let (space, ham) = setup(6, 2, 1, 5);
         let ddi = Ddi::new(3, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-        let r = diagonalize_roots(&ctx, SigmaMethod::Dgemm, &DiagOptions { max_iter: 100, ..Default::default() }, 4);
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let r = diagonalize_roots(
+            &ctx,
+            SigmaMethod::Dgemm,
+            &DiagOptions {
+                max_iter: 100,
+                ..Default::default()
+            },
+            4,
+        );
         let h = slater::dense_h(&space, &ham);
         let exact = fci_linalg::eigh(&h).eigenvalues;
-        for k in 0..4 {
+        for (k, ex) in exact.iter().take(4).enumerate() {
             assert!(r.converged[k], "root {k} NC");
-            assert!((r.energies[k] - exact[k]).abs() < 1e-7);
+            assert!((r.energies[k] - ex).abs() < 1e-7);
         }
     }
 }

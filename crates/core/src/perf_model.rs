@@ -87,6 +87,10 @@ mod tests {
         // aug-cc-pVQZ O: n ≈ 80, 5 α / 3 β valence-ish electrons → the
         // ~25× communication saving quoted in §4.
         let m = PerfModel::new(1e9, 80, 5, 3);
-        assert!(m.comm_ratio() > 20.0 && m.comm_ratio() < 30.0, "{}", m.comm_ratio());
+        assert!(
+            m.comm_ratio() > 20.0 && m.comm_ratio() < 30.0,
+            "{}",
+            m.comm_ratio()
+        );
     }
 }

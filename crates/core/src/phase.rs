@@ -4,44 +4,54 @@
 
 use fci_ddi::{CommStats, Ddi};
 use fci_xsim::{Clock, MachineModel, RunReport};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Execute `f(rank, stats, clock)` on every rank and return the phase
 /// report. Network/lock time implied by the recorded [`CommStats`] is
 /// charged onto each rank's clock automatically.
-pub fn run_phase<F>(ddi: &Ddi, model: &MachineModel, f: F) -> RunReport
+///
+/// `name` labels the phase in traces: if a tracer is attached to `ddi`,
+/// the finished phase is emitted as per-MSP category spans (dual host /
+/// simulated timestamps) followed by a barrier.
+pub fn run_phase<F>(ddi: &Ddi, model: &MachineModel, name: &str, f: F) -> RunReport
 where
     F: Fn(usize, &mut CommStats, &mut Clock) + Sync,
 {
+    let tracer = ddi.tracer();
+    let host_start = tracer.now_us();
     let clocks = Mutex::new(vec![Clock::default(); ddi.nproc()]);
     let stats = ddi.run(|rank, st| {
         let mut ck = Clock::default();
         f(rank, st, &mut ck);
-        clocks.lock()[rank] = ck;
+        clocks.lock().unwrap()[rank] = ck;
     });
-    let mut clocks = clocks.into_inner();
+    let mut clocks = clocks.into_inner().unwrap();
     for (ck, st) in clocks.iter_mut().zip(&stats) {
         charge_comm(ck, st, model);
     }
-    RunReport::new(clocks)
+    let report = RunReport::new(clocks);
+    report.record_to(&tracer, name, host_start, tracer.now_us() - host_start);
+    report
 }
 
 /// Fold one rank's communication counters into its clock.
 pub fn charge_comm(clock: &mut Clock, stats: &CommStats, model: &MachineModel) {
     clock.charge_net(model, stats.total_bytes(), stats.total_msgs());
     clock.charge_mutex(model, stats.mutex_acquires);
+    clock.note_nxtval(stats.nxtval_msgs);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fci_ddi::Backend;
+    use fci_obs::{RunSummary, Tracer};
 
     #[test]
     fn phase_collects_all_ranks() {
         let ddi = Ddi::new(4, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let rep = run_phase(&ddi, &model, |rank, _st, ck| {
+        let rep = run_phase(&ddi, &model, "test", |rank, _st, ck| {
             ck.charge_daxpy(&model, (rank + 1) as f64 * 1e9);
         });
         assert_eq!(rep.nproc(), 4);
@@ -55,7 +65,7 @@ mod tests {
         let ddi = Ddi::new(2, Backend::Serial);
         let model = MachineModel::cray_x1();
         let m = fci_ddi::DistMatrix::zeros(10, 4, 2);
-        let rep = run_phase(&ddi, &model, |rank, st, _ck| {
+        let rep = run_phase(&ddi, &model, "test", |rank, st, _ck| {
             let buf = vec![1.0; 10];
             // Every rank accumulates into a column it does not own.
             let col = if rank == 0 { 3 } else { 0 };
@@ -65,5 +75,26 @@ mod tests {
         assert!(rep.total_net_bytes() > 0.0);
         // acc moves 2× payload: 10 doubles → 160 bytes per rank.
         assert!((rep.total_net_bytes() - 320.0).abs() < 1e-9);
+        // Message and lock counters surface at report level.
+        assert_eq!(rep.total_net_msgs(), 2.0);
+        assert_eq!(rep.total_lock_acquires(), 2.0);
+    }
+
+    #[test]
+    fn traced_phase_matches_report() {
+        let ddi = Ddi::new(3, Backend::Serial);
+        let tracer = Tracer::in_memory();
+        ddi.attach_tracer(tracer.clone());
+        let model = MachineModel::cray_x1();
+        let rep = run_phase(&ddi, &model, "work", |rank, _st, ck| {
+            ck.charge_daxpy(&model, (rank + 1) as f64 * 1e8);
+            ck.charge_io(&model, 1e6, 0.0);
+        });
+        let s = RunSummary::from_events(&tracer.events().unwrap());
+        let direct = rep.summary();
+        assert_eq!(s.nproc, 3);
+        assert!((s.elapsed - direct.elapsed).abs() < 1e-12);
+        assert!((s.t_daxpy - direct.t_daxpy).abs() < 1e-12);
+        assert!((s.t_io - direct.t_io).abs() < 1e-12);
     }
 }

@@ -138,8 +138,22 @@ mod tests {
         let space = DetSpace::c1(n, na, nb);
         let ddi = Ddi::new(2, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-        let r = diagonalize(&ctx, SigmaMethod::Dgemm, DiagMethod::Davidson, &DiagOptions { max_iter: 120, ..Default::default() });
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let r = diagonalize(
+            &ctx,
+            SigmaMethod::Dgemm,
+            DiagMethod::Davidson,
+            &DiagOptions {
+                max_iter: 120,
+                ..Default::default()
+            },
+        );
         assert!(r.converged, "setup diagonalization failed");
         (space, r.c)
     }
@@ -202,8 +216,19 @@ mod tests {
         let space = DetSpace::c1(4, 2, 1);
         let ddi = Ddi::new(1, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-        let r = diagonalize(&ctx, SigmaMethod::Dgemm, DiagMethod::Davidson, &DiagOptions::default());
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let r = diagonalize(
+            &ctx,
+            SigmaMethod::Dgemm,
+            DiagMethod::Davidson,
+            &DiagOptions::default(),
+        );
         let g = one_rdm(&space, &r.c);
         let e1: f64 = (0..4)
             .flat_map(|p| (0..4).map(move |q| (p, q)))
@@ -214,7 +239,13 @@ mod tests {
         ham1.eri = fci_ints::EriTensor::zeros(4);
         ham1.v = fci_linalg::Matrix::zeros(16, 16);
         ham1.g = fci_linalg::Matrix::zeros(6, 6);
-        let ctx1 = SigmaCtx { space: &space, ham: &ham1, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx1 = SigmaCtx {
+            space: &space,
+            ham: &ham1,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let (hc, _) = crate::sigma::apply_sigma(&ctx1, &r.c, SigmaMethod::Dgemm);
         let expect = r.c.dot(&hc) / r.c.dot(&r.c);
         assert!((e1 - expect).abs() < 1e-9, "{e1} vs {expect}");

@@ -31,8 +31,9 @@ use crate::phase::charge_comm;
 use crate::taskpool::TaskPool;
 use fci_ddi::{Backend, CommStats, DistMatrix};
 use fci_linalg::{dgemm, Matrix, Trans};
+use fci_obs::Category;
 use fci_xsim::{Clock, MachineModel, RunReport};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Per-rank working storage for the mixed-spin routine (the paper's
 /// "working area to store the gathered C vector coefficients and the
@@ -121,7 +122,15 @@ fn process_task(
         }
     }
     clock.charge_memcpy(model, (nd * nd * 8) as f64);
-    dgemm(Trans::No, Trans::No, 1.0, &bufs.vk, &bufs.d, 0.0, &mut bufs.e_mat);
+    dgemm(
+        Trans::No,
+        Trans::No,
+        1.0,
+        &bufs.vk,
+        &bufs.d,
+        0.0,
+        &mut bufs.e_mat,
+    );
     clock.charge_dgemm(model, nd, nkb, nd);
 
     // (4) scatter through β families and accumulate.
@@ -162,8 +171,22 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
     let nproc = ctx.ddi.nproc();
     let pool = TaskPool::aggregated(nka, nproc, ctx.pool);
     ctx.ddi.reset_counter();
+    let tracer = ctx.ddi.tracer();
+    let host_start = tracer.now_us();
+    if tracer.enabled() {
+        let sizes = pool.sizes();
+        tracer.counter(
+            None,
+            "pool_shape",
+            &[
+                ("tasks", sizes.len() as f64),
+                ("largest", sizes.iter().copied().max().unwrap_or(0) as f64),
+                ("smallest", sizes.iter().copied().min().unwrap_or(0) as f64),
+            ],
+        );
+    }
 
-    match ctx.ddi.backend() {
+    let report = match ctx.ddi.backend() {
         Backend::Serial => {
             // Deterministic simulation of self-scheduling: the rank whose
             // clock is lowest claims the next task (greedy list schedule).
@@ -173,8 +196,23 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
             for t in 0..pool.len() {
                 let rank = argmin_clock(&clocks, model, &stats);
                 stats[rank].nxtval_msgs += 1;
+                tracer.instant(
+                    Some(rank),
+                    "task_grab",
+                    Category::Other,
+                    &[("task", t as f64), ("size", pool.task(t).len() as f64)],
+                );
                 for ka in pool.task(t) {
-                    process_task(ctx, c, sigma, ka, rank, &mut bufs, &mut stats[rank], &mut clocks[rank]);
+                    process_task(
+                        ctx,
+                        c,
+                        sigma,
+                        ka,
+                        rank,
+                        &mut bufs,
+                        &mut stats[rank],
+                        &mut clocks[rank],
+                    );
                 }
             }
             // Every rank's terminating counter probe.
@@ -196,19 +234,32 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                     if t >= pool.len() {
                         break;
                     }
+                    tracer.instant(
+                        Some(rank),
+                        "task_grab",
+                        Category::Other,
+                        &[("task", t as f64), ("size", pool.task(t).len() as f64)],
+                    );
                     for ka in pool.task(t) {
                         process_task(ctx, c, sigma, ka, rank, &mut bufs, stats, &mut clock);
                     }
                 }
-                clocks.lock()[rank] = clock;
+                clocks.lock().unwrap()[rank] = clock;
             });
-            let mut clocks = clocks.into_inner();
+            let mut clocks = clocks.into_inner().unwrap();
             for (ck, st) in clocks.iter_mut().zip(&stats_out) {
                 charge_comm(ck, st, model);
             }
             RunReport::new(clocks)
         }
-    }
+    };
+    report.record_to(
+        &tracer,
+        "alpha_beta",
+        host_start,
+        tracer.now_us() - host_start,
+    );
+    report
 }
 
 /// Rank with the smallest simulated time so far (clock + comm implied by
@@ -241,7 +292,11 @@ mod tests {
     /// Mixed-spin reference: Slater–Condon elements where both spins are
     /// singly excited, plus the αβ Coulomb pieces of diagonal and
     /// single-excitation elements.
-    fn reference_mixed(space: &DetSpace, ham: &crate::hamiltonian::Hamiltonian, c: &[f64]) -> Vec<f64> {
+    fn reference_mixed(
+        space: &DetSpace,
+        ham: &crate::hamiltonian::Hamiltonian,
+        c: &[f64],
+    ) -> Vec<f64> {
         let na = space.alpha.len();
         let nb = space.beta.len();
         let mut out = vec![0.0; na * nb];
@@ -310,7 +365,13 @@ mod tests {
         for nproc in [1usize, 4] {
             let ddi = Ddi::new(nproc, Backend::Serial);
             let model = MachineModel::cray_x1();
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = space.zeros_ci(nproc);
             let mut seed = 5u64;
             c.map_inplace(|_, _, _| {
@@ -336,7 +397,13 @@ mod tests {
         let nproc = space.alpha.len();
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, nproc);
         let sigma = space.zeros_ci(nproc);
         let rep = mixed_spin_dgemm(&ctx, &c, &sigma);
@@ -360,7 +427,13 @@ mod tests {
         let p = 8;
         let ddi = Ddi::new(p, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, p);
         let sigma = space.zeros_ci(p);
         let rep = mixed_spin_dgemm(&ctx, &c, &sigma);
@@ -379,7 +452,13 @@ mod tests {
         let mut t = Vec::new();
         for p in [2usize, 8] {
             let ddi = Ddi::new(p, Backend::Serial);
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = space.guess(&ham, p);
             let sigma = space.zeros_ci(p);
             t.push(mixed_spin_dgemm(&ctx, &c, &sigma).elapsed());

@@ -27,9 +27,11 @@ use fci_xsim::RunReport;
 /// (string matching, index computation, integral lookup, phase).
 const ELEM_SCALAR_OPS: f64 = 12.0;
 
-/// MOC same-spin + one-electron half for the row spin of `c`.
+/// MOC same-spin + one-electron half for the row spin of `c`. `name`
+/// labels the phase in traces ("beta_beta" / "alpha_alpha").
 pub fn half_sigma_moc(
     ctx: &SigmaCtx,
+    name: &str,
     c: &DistMatrix,
     sigma: &DistMatrix,
     singles: &SinglesTable,
@@ -39,7 +41,7 @@ pub fn half_sigma_moc(
     let model = ctx.model;
     let nrows = c.nrows();
 
-    run_phase(ctx.ddi, model, |rank, _stats, clock| {
+    run_phase(ctx.ddi, model, name, |rank, _stats, clock| {
         let cols = c.local_cols(rank);
         let nloc = cols.len();
         // NOTE: no early return on nloc == 0 — the list replication cost
@@ -106,7 +108,7 @@ pub fn mixed_spin_moc(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> Run
     let n = space.n_orb();
     let nbstr = space.beta.len();
 
-    run_phase(ctx.ddi, model, |rank, stats, clock| {
+    run_phase(ctx.ddi, model, "alpha_beta", |rank, stats, clock| {
         let cols = c.local_cols(rank);
         let nloc = cols.len();
         if nloc == 0 {
@@ -124,8 +126,7 @@ pub fn mixed_spin_moc(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> Run
                 let vrow = ea.p as usize * n + ea.q as usize;
                 u.iter_mut().for_each(|x| *x = 0.0);
                 let mut nb_entries = 0usize;
-                for jb in 0..nbstr {
-                    let cv = cj[jb];
+                for (jb, &cv) in cj.iter().enumerate() {
                     if cv == 0.0 {
                         // Still walk the list (index work) but skip math.
                         nb_entries += space.beta_singles.of(jb).len();
@@ -166,7 +167,13 @@ mod tests {
         let nproc = 3;
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.zeros_ci(nproc);
         let mut s = 1u64;
         c.map_inplace(|_, _, _| {
@@ -175,8 +182,22 @@ mod tests {
         });
         let s1 = space.zeros_ci(nproc);
         let s2 = space.zeros_ci(nproc);
-        super::super::same_spin::half_sigma_dgemm(&ctx, &c, &s1, &space.beta_singles, space.beta_nm2.as_ref());
-        half_sigma_moc(&ctx, &c, &s2, &space.beta_singles, space.beta_nm2.as_ref());
+        super::super::same_spin::half_sigma_dgemm(
+            &ctx,
+            "beta_beta",
+            &c,
+            &s1,
+            &space.beta_singles,
+            space.beta_nm2.as_ref(),
+        );
+        half_sigma_moc(
+            &ctx,
+            "beta_beta",
+            &c,
+            &s2,
+            &space.beta_singles,
+            space.beta_nm2.as_ref(),
+        );
         for (a, b) in s1.to_dense().iter().zip(&s2.to_dense()) {
             assert!((a - b).abs() < 1e-11);
         }
@@ -189,7 +210,13 @@ mod tests {
         let nproc = 4;
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.zeros_ci(nproc);
         let mut s = 17u64;
         c.map_inplace(|_, _, _| {
@@ -216,11 +243,28 @@ mod tests {
         let mut floor = Vec::new();
         for nproc in [2usize, 8] {
             let ddi = Ddi::new(nproc, Backend::Serial);
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = space.guess(&ham, nproc);
             let sig = space.zeros_ci(nproc);
-            let rep = half_sigma_moc(&ctx, &c, &sig, &space.beta_singles, space.beta_nm2.as_ref());
-            let min_busy = rep.clocks.iter().map(|k| k.total()).fold(f64::INFINITY, f64::min);
+            let rep = half_sigma_moc(
+                &ctx,
+                "beta_beta",
+                &c,
+                &sig,
+                &space.beta_singles,
+                space.beta_nm2.as_ref(),
+            );
+            let min_busy = rep
+                .clocks
+                .iter()
+                .map(|k| k.total())
+                .fold(f64::INFINITY, f64::min);
             floor.push(min_busy);
         }
         // 4× more processors but the per-rank floor shrinks by < 2×.
@@ -234,7 +278,13 @@ mod tests {
         let nproc = 8;
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, nproc);
         let s1 = space.zeros_ci(nproc);
         let s2 = space.zeros_ci(nproc);

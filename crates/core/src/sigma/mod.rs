@@ -20,7 +20,6 @@ pub mod same_spin;
 
 use crate::detspace::DetSpace;
 use crate::hamiltonian::Hamiltonian;
-use crate::phase::run_phase;
 use crate::taskpool::PoolParams;
 use fci_ddi::{Ddi, DistMatrix};
 use fci_xsim::{MachineModel, RunReport};
@@ -87,7 +86,11 @@ impl SigmaBreakdown {
 /// Returns the distributed σ vector and the simulated-time breakdown. The
 /// numerical result is algorithm-independent (verified by the test suite
 /// to ~1e-10); only the simulated cost differs.
-pub fn apply_sigma(ctx: &SigmaCtx, c: &DistMatrix, method: SigmaMethod) -> (DistMatrix, SigmaBreakdown) {
+pub fn apply_sigma(
+    ctx: &SigmaCtx,
+    c: &DistMatrix,
+    method: SigmaMethod,
+) -> (DistMatrix, SigmaBreakdown) {
     let space = ctx.space;
     let sigma = space.zeros_ci(ctx.ddi.nproc());
     let mut bd = SigmaBreakdown::default();
@@ -97,6 +100,7 @@ pub fn apply_sigma(ctx: &SigmaCtx, c: &DistMatrix, method: SigmaMethod) -> (Dist
         bd.beta_beta = match method {
             SigmaMethod::Dgemm => same_spin::half_sigma_dgemm(
                 ctx,
+                "beta_beta",
                 c,
                 &sigma,
                 &space.beta_singles,
@@ -104,6 +108,7 @@ pub fn apply_sigma(ctx: &SigmaCtx, c: &DistMatrix, method: SigmaMethod) -> (Dist
             ),
             SigmaMethod::Moc => moc::half_sigma_moc(
                 ctx,
+                "beta_beta",
                 c,
                 &sigma,
                 &space.beta_singles,
@@ -114,12 +119,16 @@ pub fn apply_sigma(ctx: &SigmaCtx, c: &DistMatrix, method: SigmaMethod) -> (Dist
 
     // α-spin same-spin part on the transpose.
     {
+        let tracer = ctx.ddi.tracer();
+        let host_t0 = tracer.now_us();
         let mut tstats = vec![fci_ddi::CommStats::default(); ctx.ddi.nproc()];
         let ct = c.transpose(&mut tstats);
         let sigma_t = DistMatrix::zeros(ct.nrows(), ct.ncols(), ctx.ddi.nproc());
+        let host_t1 = tracer.now_us();
         bd.alpha_alpha = match method {
             SigmaMethod::Dgemm => same_spin::half_sigma_dgemm(
                 ctx,
+                "alpha_alpha",
                 &ct,
                 &sigma_t,
                 &space.alpha_singles,
@@ -127,22 +136,31 @@ pub fn apply_sigma(ctx: &SigmaCtx, c: &DistMatrix, method: SigmaMethod) -> (Dist
             ),
             SigmaMethod::Moc => moc::half_sigma_moc(
                 ctx,
+                "alpha_alpha",
                 &ct,
                 &sigma_t,
                 &space.alpha_singles,
                 space.alpha_nm2.as_ref(),
             ),
         };
+        let host_t2 = tracer.now_us();
         let sigma_tt = sigma_t.transpose(&mut tstats);
         sigma.axpy(1.0, &sigma_tt);
-        // Charge the transpose traffic as its own phase.
-        bd.transpose = run_phase(ctx.ddi, ctx.model, |_r, _s, _c| {});
-        for (ck, st) in bd.transpose.clocks.iter_mut().zip(&tstats) {
+        // Charge the transpose traffic as its own phase. The clocks are
+        // built directly from the recorded transpose statistics (no ranks
+        // run here — both transposes above already moved the data).
+        let mut tclocks = vec![fci_xsim::Clock::default(); ctx.ddi.nproc()];
+        for (ck, st) in tclocks.iter_mut().zip(&tstats) {
             crate::phase::charge_comm(ck, st, ctx.model);
             // Local reshuffle cost of the transpose itself.
             let elems = (c.nrows() * c.ncols()) as f64 / ctx.ddi.nproc() as f64;
             ck.charge_gather(ctx.model, 2.0 * elems);
         }
+        bd.transpose = RunReport::new(tclocks);
+        // Host time of the transpose phase = both transpose windows.
+        let host_dur = (host_t1 - host_t0) + (tracer.now_us() - host_t2);
+        bd.transpose
+            .record_to(&tracer, "transpose", host_t2, host_dur);
     }
 
     // Mixed-spin part.
@@ -180,7 +198,13 @@ mod tests {
         let space = DetSpace::c1(n, na, nb);
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = random_ci(&space, nproc, seed * 3 + 1);
         let (sig, _bd) = apply_sigma(&ctx, &c, method);
         let reference = sigma_dense(&space, &ham, &c.to_dense());
@@ -227,7 +251,13 @@ mod tests {
         let space = DetSpace::c1(6, 3, 3);
         let ddi = Ddi::new(4, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = random_ci(&space, 4, 99);
         let (s1, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
         let (s2, _) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
@@ -246,7 +276,13 @@ mod tests {
         let mut results = Vec::new();
         for p in [1usize, 2, 5, 13] {
             let ddi = Ddi::new(p, Backend::Serial);
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = random_ci(&space, p, 5);
             let (s, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
             results.push(s.to_dense());
@@ -266,7 +302,13 @@ mod tests {
         let mut out = Vec::new();
         for backend in [Backend::Serial, Backend::Threads] {
             let ddi = Ddi::new(3, backend);
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = random_ci(&space, 3, 7);
             let (s, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
             out.push(s.to_dense());

@@ -24,19 +24,21 @@ use fci_xsim::RunReport;
 
 /// Apply the row-spin (same-spin + one-electron) half of σ for one spin
 /// channel. `c` and `sigma` must have rows indexed by that spin's strings.
+/// `name` labels the phase in traces ("beta_beta" / "alpha_alpha").
 pub fn half_sigma_dgemm(
     ctx: &SigmaCtx,
+    name: &str,
     c: &DistMatrix,
     sigma: &DistMatrix,
     singles: &SinglesTable,
     nm2: Option<&Nm2Families>,
-    ) -> RunReport {
+) -> RunReport {
     let ham = ctx.ham;
     let model = ctx.model;
     let nrows = c.nrows();
     let npair = ham.npair();
 
-    run_phase(ctx.ddi, model, |rank, _stats, clock| {
+    run_phase(ctx.ddi, model, name, |rank, _stats, clock| {
         let cols = c.local_cols(rank);
         let nloc = cols.len();
         if nloc == 0 {
@@ -117,7 +119,11 @@ mod tests {
 
     /// β-β + β one-electron contribution via Slater–Condon: zero the α
     /// excitations by comparing only determinant pairs with identical α.
-    fn reference_half(space: &DetSpace, ham: &crate::hamiltonian::Hamiltonian, c: &[f64]) -> Vec<f64> {
+    fn reference_half(
+        space: &DetSpace,
+        ham: &crate::hamiltonian::Hamiltonian,
+        c: &[f64],
+    ) -> Vec<f64> {
         let na = space.alpha.len();
         let nb = space.beta.len();
         let mut out = vec![0.0; na * nb];
@@ -153,9 +159,8 @@ mod tests {
                         // β single: strip the α-spectator Coulomb part
                         // (that belongs to the mixed-spin routine).
                         let pb = {
-                            let d: Vec<usize> = fci_strings::occ_list(
-                                space.beta.mask(ib) & !space.beta.mask(jb),
-                            );
+                            let d: Vec<usize> =
+                                fci_strings::occ_list(space.beta.mask(ib) & !space.beta.mask(jb));
                             if d.len() != 1 {
                                 usize::MAX
                             } else {
@@ -163,9 +168,12 @@ mod tests {
                             }
                         };
                         if pb != usize::MAX {
-                            let qb = fci_strings::occ_list(space.beta.mask(jb) & !space.beta.mask(ib))[0];
+                            let qb =
+                                fci_strings::occ_list(space.beta.mask(jb) & !space.beta.mask(ib))
+                                    [0];
                             // phase recomputed as in slater::element
-                            let (s1, m1) = fci_strings::annihilate(space.beta.mask(jb), qb).unwrap();
+                            let (s1, m1) =
+                                fci_strings::annihilate(space.beta.mask(jb), qb).unwrap();
                             let (s2, _) = fci_strings::create(m1, pb).unwrap();
                             let phase = (s1 * s2) as f64;
                             for &r in &fci_strings::occ_list(space.alpha.mask(ia)) {
@@ -188,7 +196,13 @@ mod tests {
         for nproc in [1usize, 3] {
             let ddi = Ddi::new(nproc, Backend::Serial);
             let model = MachineModel::cray_x1();
-            let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+            let ctx = SigmaCtx {
+                space: &space,
+                ham: &ham,
+                ddi: &ddi,
+                model: &model,
+                pool: PoolParams::default(),
+            };
             let c = space.zeros_ci(nproc);
             let mut seed = 3u64;
             c.map_inplace(|_, _, _| {
@@ -196,7 +210,14 @@ mod tests {
                 ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
             });
             let sigma = space.zeros_ci(nproc);
-            half_sigma_dgemm(&ctx, &c, &sigma, &space.beta_singles, space.beta_nm2.as_ref());
+            half_sigma_dgemm(
+                &ctx,
+                "beta_beta",
+                &c,
+                &sigma,
+                &space.beta_singles,
+                space.beta_nm2.as_ref(),
+            );
             let reference = reference_half(&space, &ham, &c.to_dense());
             let got = sigma.to_dense();
             for (a, b) in got.iter().zip(&reference) {
@@ -213,10 +234,23 @@ mod tests {
         let space = DetSpace::c1(5, 2, 2);
         let ddi = Ddi::new(4, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, 4);
         let sigma = space.zeros_ci(4);
-        let rep = half_sigma_dgemm(&ctx, &c, &sigma, &space.beta_singles, space.beta_nm2.as_ref());
+        let rep = half_sigma_dgemm(
+            &ctx,
+            "beta_beta",
+            &c,
+            &sigma,
+            &space.beta_singles,
+            space.beta_nm2.as_ref(),
+        );
         assert_eq!(rep.total_net_bytes(), 0.0);
     }
 
@@ -226,10 +260,23 @@ mod tests {
         let space = DetSpace::c1(8, 3, 3);
         let ddi = Ddi::new(2, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, 2);
         let sigma = space.zeros_ci(2);
-        let rep = half_sigma_dgemm(&ctx, &c, &sigma, &space.beta_singles, space.beta_nm2.as_ref());
+        let rep = half_sigma_dgemm(
+            &ctx,
+            "beta_beta",
+            &c,
+            &sigma,
+            &space.beta_singles,
+            space.beta_nm2.as_ref(),
+        );
         let dg: f64 = rep.clocks.iter().map(|k| k.flops_dgemm).sum();
         let dx: f64 = rep.clocks.iter().map(|k| k.flops_daxpy).sum();
         assert!(dg > 4.0 * dx, "dgemm flops {dg} vs daxpy {dx}");

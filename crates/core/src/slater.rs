@@ -19,7 +19,7 @@ use fci_linalg::Matrix;
 /// orbitals below q must be even for +1).
 #[inline]
 fn ann_phase(mask: u64, q: usize) -> f64 {
-    if (mask & ((1u64 << q) - 1)).count_ones() % 2 == 0 {
+    if (mask & ((1u64 << q) - 1)).count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -116,7 +116,10 @@ pub fn dense_h(space: &DetSpace, ham: &Hamiltonian) -> Matrix {
     let na = space.alpha.len();
     let nb = space.beta.len();
     let dim = na * nb;
-    assert!(dim <= 20_000, "dense_h is a reference path; {dim} determinants is too many");
+    assert!(
+        dim <= 20_000,
+        "dense_h is a reference path; {dim} determinants is too many"
+    );
     let mut h = Matrix::zeros(dim, dim);
     for ia in 0..na {
         for ib in 0..nb {
@@ -229,8 +232,20 @@ mod tests {
             for ja in 0..space.alpha.len() {
                 for ib in 0..space.beta.len() {
                     for jb in 0..space.beta.len() {
-                        let a = element(&ham, space.alpha.mask(ia), space.beta.mask(ib), space.alpha.mask(ja), space.beta.mask(jb));
-                        let b = element(&ham, space.alpha.mask(ja), space.beta.mask(jb), space.alpha.mask(ia), space.beta.mask(ib));
+                        let a = element(
+                            &ham,
+                            space.alpha.mask(ia),
+                            space.beta.mask(ib),
+                            space.alpha.mask(ja),
+                            space.beta.mask(jb),
+                        );
+                        let b = element(
+                            &ham,
+                            space.alpha.mask(ja),
+                            space.beta.mask(jb),
+                            space.alpha.mask(ia),
+                            space.beta.mask(ib),
+                        );
                         assert!((a - b).abs() < 1e-13);
                     }
                 }
@@ -257,7 +272,9 @@ mod tests {
         let ham = random_hamiltonian(4, 19);
         let space = DetSpace::c1(4, 2, 2);
         let dim = space.dim();
-        let c: Vec<f64> = (0..dim).map(|i| ((i * 37 + 11) % 17) as f64 / 17.0 - 0.5).collect();
+        let c: Vec<f64> = (0..dim)
+            .map(|i| ((i * 37 + 11) % 17) as f64 / 17.0 - 0.5)
+            .collect();
         let s = sigma_dense(&space, &ham, &c);
         let h = dense_h(&space, &ham);
         for i in 0..dim {

@@ -6,6 +6,7 @@ use crate::hamiltonian::Hamiltonian;
 use crate::sigma::{SigmaBreakdown, SigmaCtx, SigmaMethod};
 use crate::taskpool::PoolParams;
 use fci_ddi::{Backend, Ddi};
+use fci_obs::ObsConfig;
 use fci_scf::MoIntegrals;
 use fci_xsim::MachineModel;
 
@@ -29,6 +30,9 @@ pub struct FciOptions {
     /// Optional CI truncation level relative to the lowest-diagonal
     /// determinant (2 = CISD, 3 = CISDT, …; `None` = full CI).
     pub excitation_level: Option<u32>,
+    /// Run telemetry: disabled by default (zero cost); enable to collect
+    /// span/event traces of every solver phase.
+    pub obs: ObsConfig,
 }
 
 impl Default for FciOptions {
@@ -42,6 +46,7 @@ impl Default for FciOptions {
             pool: PoolParams::default(),
             machine: MachineModel::cray_x1(),
             excitation_level: None,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -100,6 +105,21 @@ pub fn solve(
         space = space.with_excitation_limit(best.1, best.2, level);
     }
     let ddi = Ddi::new(opts.nproc, opts.backend);
+    let tracer = opts.obs.tracer().unwrap_or_else(|e| {
+        eprintln!("warning: could not open trace output: {e}; tracing disabled");
+        fci_obs::Tracer::disabled()
+    });
+    ddi.attach_tracer(tracer.clone());
+    tracer.instant(
+        None,
+        "solve_begin",
+        fci_obs::Category::Other,
+        &[
+            ("nproc", opts.nproc as f64),
+            ("dim", space.dim() as f64),
+            ("sector_dim", space.sector_dim() as f64),
+        ],
+    );
     let ctx = SigmaCtx {
         space: &space,
         ham: &ham,
@@ -108,6 +128,17 @@ pub fn solve(
         pool: opts.pool,
     };
     let d = diagonalize(&ctx, opts.sigma, opts.method, &opts.diag);
+    tracer.instant(
+        None,
+        "solve_end",
+        fci_obs::Category::Other,
+        &[
+            ("iterations", d.iterations as f64),
+            ("converged", if d.converged { 1.0 } else { 0.0 }),
+            ("e_elec", d.e_elec),
+        ],
+    );
+    tracer.flush();
     FciResult {
         energy: d.e_elec + ham.e_core,
         e_elec: d.e_elec,
@@ -145,7 +176,14 @@ mod tests {
         for i in 0..n {
             eri.set(i, i, i, i, u);
         }
-        MoIntegrals { n_orb: n, h, eri, e_core: 0.0, orb_sym: vec![0; n], n_irrep: 1 }
+        MoIntegrals {
+            n_orb: n,
+            h,
+            eri,
+            e_core: 0.0,
+            orb_sym: vec![0; n],
+            n_irrep: 1,
+        }
     }
 
     #[test]
@@ -154,7 +192,10 @@ mod tests {
         let (t, u) = (1.0, 4.0);
         let mo = hubbard(2, t, u);
         // Degenerate lattice diagonal: subspace method (see diag docs).
-        let opts = FciOptions { method: DiagMethod::Davidson, ..Default::default() };
+        let opts = FciOptions {
+            method: DiagMethod::Davidson,
+            ..Default::default()
+        };
         let r = solve(&mo, 1, 1, 0, &opts);
         let exact = 0.5 * (u - (u * u + 16.0 * t * t).sqrt());
         assert!(r.converged);
@@ -172,7 +213,11 @@ mod tests {
         // subspace method here (see diag module docs).
         let opts = FciOptions {
             method: DiagMethod::Davidson,
-            diag: crate::diag::DiagOptions { max_iter: 150, model_space: 40, ..Default::default() },
+            diag: crate::diag::DiagOptions {
+                max_iter: 150,
+                model_space: 40,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&mo, 2, 2, 0, &opts);
@@ -188,7 +233,11 @@ mod tests {
         let opts = |s: SigmaMethod| FciOptions {
             sigma: s,
             method: DiagMethod::Davidson,
-            diag: DiagOptions { max_iter: 120, model_space: 24, ..Default::default() },
+            diag: DiagOptions {
+                max_iter: 120,
+                model_space: 24,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let a = solve(&mo, 2, 2, 0, &opts(SigmaMethod::Dgemm));
@@ -203,7 +252,11 @@ mod tests {
         let opts = |p: usize| FciOptions {
             nproc: p,
             method: DiagMethod::Davidson,
-            diag: crate::diag::DiagOptions { max_iter: 120, model_space: 24, ..Default::default() },
+            diag: crate::diag::DiagOptions {
+                max_iter: 120,
+                model_space: 24,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let a = solve(&mo, 2, 1, 0, &opts(1));
@@ -215,7 +268,17 @@ mod tests {
     #[test]
     fn result_records_dimensions_and_cost() {
         let mo = hubbard(4, 1.0, 1.0);
-        let r = solve(&mo, 2, 2, 0, &FciOptions { nproc: 2, method: DiagMethod::Davidson, ..Default::default() });
+        let r = solve(
+            &mo,
+            2,
+            2,
+            0,
+            &FciOptions {
+                nproc: 2,
+                method: DiagMethod::Davidson,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.dim, 36);
         assert_eq!(r.sector_dim, 36);
         assert!(r.sigma_cost.total().elapsed() > 0.0);

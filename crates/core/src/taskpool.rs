@@ -22,7 +22,11 @@ pub struct PoolParams {
 
 impl Default for PoolParams {
     fn default() -> Self {
-        PoolParams { fine_per_proc: 64, large_per_proc: 6, small_per_proc: 12 }
+        PoolParams {
+            fine_per_proc: 64,
+            large_per_proc: 6,
+            small_per_proc: 12,
+        }
     }
 }
 
@@ -64,7 +68,7 @@ impl TaskPool {
             let mut taken = 0;
             for i in 0..n_large {
                 let w = n_large - i;
-                let mut cnt = (nf * w + wsum - 1) / wsum;
+                let mut cnt = (nf * w).div_ceil(wsum);
                 cnt = cnt.min(nf - taken);
                 if i == n_large - 1 {
                     cnt = nf - taken; // everything that remains
@@ -114,6 +118,13 @@ impl TaskPool {
     pub fn task(&self, t: usize) -> std::ops::Range<usize> {
         self.tasks[t].clone()
     }
+
+    /// Size (item count) of every task, in claim order. This is the shape
+    /// the aggregation scheme produced — telemetry reports it alongside
+    /// the task-grab events.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.tasks.iter().map(|r| r.len()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +138,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "every item covered exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every item covered exactly once"
+        );
     }
 
     #[test]
@@ -140,7 +154,11 @@ mod tests {
 
     #[test]
     fn large_tasks_decrease_then_fine_tail() {
-        let p = PoolParams { fine_per_proc: 32, large_per_proc: 4, small_per_proc: 8 };
+        let p = PoolParams {
+            fine_per_proc: 32,
+            large_per_proc: 4,
+            small_per_proc: 8,
+        };
         let nproc = 4;
         let pool = TaskPool::aggregated(10_000, nproc, p);
         let sizes: Vec<usize> = (0..pool.len()).map(|t| pool.task(t).len()).collect();
@@ -148,7 +166,10 @@ mod tests {
         assert!(pool.len() > n_small);
         let large = &sizes[..sizes.len() - n_small];
         for w in large.windows(2) {
-            assert!(w[0] >= w[1], "large tasks must be non-increasing: {sizes:?}");
+            assert!(
+                w[0] >= w[1],
+                "large tasks must be non-increasing: {sizes:?}"
+            );
         }
         // Tail tasks are smaller than the smallest large task.
         let tail_max = sizes[sizes.len() - n_small..].iter().max().unwrap();

@@ -1,7 +1,8 @@
 //! Column-distributed dense matrices with one-sided access.
 
 use crate::stats::CommStats;
-use parking_lot::Mutex;
+use fci_obs::{Category, Tracer};
+use std::sync::{Mutex, OnceLock};
 
 /// A dense `nrows × ncols` matrix distributed by contiguous column blocks
 /// over `nproc` virtual processors.
@@ -19,6 +20,8 @@ pub struct DistMatrix {
     col_offsets: Vec<usize>,
     /// Per-rank column-major segments.
     segments: Vec<Mutex<Vec<f64>>>,
+    /// Optional tracer; remote one-sided ops emit events through it.
+    tracer: OnceLock<Tracer>,
 }
 
 impl DistMatrix {
@@ -38,7 +41,36 @@ impl DistMatrix {
         let segments = (0..nproc)
             .map(|p| Mutex::new(vec![0.0; nrows * (col_offsets[p + 1] - col_offsets[p])]))
             .collect();
-        DistMatrix { nrows, ncols, nproc, col_offsets, segments }
+        DistMatrix {
+            nrows,
+            ncols,
+            nproc,
+            col_offsets,
+            segments,
+            tracer: OnceLock::new(),
+        }
+    }
+
+    /// Attach a tracer; remote `get`/`acc`/`put` and `transpose` on this
+    /// matrix then emit byte-counted events. First attachment wins.
+    pub fn attach_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    #[inline]
+    fn trace_op(&self, rank: usize, op: &str, bytes: u64, col: usize, owner: usize) {
+        if let Some(t) = self.tracer.get() {
+            t.instant(
+                Some(rank),
+                op,
+                Category::Net,
+                &[
+                    ("bytes", bytes as f64),
+                    ("col", col as f64),
+                    ("owner", owner as f64),
+                ],
+            );
+        }
     }
 
     /// Number of rows.
@@ -75,7 +107,7 @@ impl DistMatrix {
     /// Run `f` with rank `p`'s segment locked (column-major slab of the
     /// locally owned columns).
     pub fn with_local<R>(&self, p: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
-        let mut seg = self.segments[p].lock();
+        let mut seg = self.segments[p].lock().unwrap();
         f(&mut seg)
     }
 
@@ -88,12 +120,13 @@ impl DistMatrix {
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
         {
-            let seg = self.segments[owner].lock();
+            let seg = self.segments[owner].lock().unwrap();
             buf.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
         }
         if owner != rank {
             stats.get_msgs += 1;
             stats.get_bytes += (self.nrows * 8) as u64;
+            self.trace_op(rank, "ddi_get", (self.nrows * 8) as u64, col, owner);
         }
     }
 
@@ -109,7 +142,7 @@ impl DistMatrix {
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
         {
-            let mut seg = self.segments[owner].lock();
+            let mut seg = self.segments[owner].lock().unwrap();
             let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
             for (d, s) in dst.iter_mut().zip(buf) {
                 *d += s;
@@ -119,6 +152,7 @@ impl DistMatrix {
         if owner != rank {
             stats.acc_msgs += 1;
             stats.acc_bytes += (self.nrows * 16) as u64;
+            self.trace_op(rank, "ddi_acc", (self.nrows * 16) as u64, col, owner);
         }
     }
 
@@ -128,19 +162,20 @@ impl DistMatrix {
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
         {
-            let mut seg = self.segments[owner].lock();
+            let mut seg = self.segments[owner].lock().unwrap();
             seg[local0 * self.nrows..(local0 + 1) * self.nrows].copy_from_slice(buf);
         }
         if owner != rank {
             stats.put_msgs += 1;
             stats.put_bytes += (self.nrows * 8) as u64;
+            self.trace_op(rank, "ddi_put", (self.nrows * 8) as u64, col, owner);
         }
     }
 
     /// Zero all elements.
     pub fn fill_zero(&self) {
         for s in &self.segments {
-            s.lock().iter_mut().for_each(|x| *x = 0.0);
+            s.lock().unwrap().iter_mut().for_each(|x| *x = 0.0);
         }
     }
 
@@ -149,7 +184,7 @@ impl DistMatrix {
     pub fn to_dense(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.nrows * self.ncols];
         for p in 0..self.nproc {
-            let seg = self.segments[p].lock();
+            let seg = self.segments[p].lock().unwrap();
             let c0 = self.col_offsets[p];
             out[c0 * self.nrows..(c0 + seg.len() / self.nrows.max(1)) * self.nrows]
                 .copy_from_slice(&seg);
@@ -162,7 +197,7 @@ impl DistMatrix {
         assert_eq!(data.len(), nrows * ncols);
         let m = Self::zeros(nrows, ncols, nproc);
         for p in 0..nproc {
-            let mut seg = m.segments[p].lock();
+            let mut seg = m.segments[p].lock().unwrap();
             let c0 = m.col_offsets[p];
             let n = seg.len();
             seg.copy_from_slice(&data[c0 * nrows..c0 * nrows + n]);
@@ -184,11 +219,11 @@ impl DistMatrix {
         let aliased = std::ptr::eq(self, other);
         let mut acc = 0.0;
         for p in 0..self.nproc {
-            let a = self.segments[p].lock();
+            let a = self.segments[p].lock().unwrap();
             if aliased {
                 acc += a.iter().map(|x| x * x).sum::<f64>();
             } else {
-                let b = other.segments[p].lock();
+                let b = other.segments[p].lock().unwrap();
                 acc += a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>();
             }
         }
@@ -202,12 +237,15 @@ impl DistMatrix {
 
     /// `self += a · other`.
     pub fn axpy(&self, a: f64, other: &DistMatrix) {
-        assert!(!std::ptr::eq(self, other), "axpy operands must not alias (non-reentrant locks)");
+        assert!(
+            !std::ptr::eq(self, other),
+            "axpy operands must not alias (non-reentrant locks)"
+        );
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!(self.nproc, other.nproc);
         for p in 0..self.nproc {
-            let mut x = self.segments[p].lock();
-            let y = other.segments[p].lock();
+            let mut x = self.segments[p].lock().unwrap();
+            let y = other.segments[p].lock().unwrap();
             for (xi, yi) in x.iter_mut().zip(y.iter()) {
                 *xi += a * yi;
             }
@@ -217,18 +255,25 @@ impl DistMatrix {
     /// `self *= a`.
     pub fn scale(&self, a: f64) {
         for p in 0..self.nproc {
-            self.segments[p].lock().iter_mut().for_each(|x| *x *= a);
+            self.segments[p]
+                .lock()
+                .unwrap()
+                .iter_mut()
+                .for_each(|x| *x *= a);
         }
     }
 
     /// Copy `other` into `self`.
     pub fn copy_from(&self, other: &DistMatrix) {
-        assert!(!std::ptr::eq(self, other), "copy_from operands must not alias (non-reentrant locks)");
+        assert!(
+            !std::ptr::eq(self, other),
+            "copy_from operands must not alias (non-reentrant locks)"
+        );
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!(self.nproc, other.nproc);
         for p in 0..self.nproc {
-            let mut x = self.segments[p].lock();
-            let y = other.segments[p].lock();
+            let mut x = self.segments[p].lock().unwrap();
+            let y = other.segments[p].lock().unwrap();
             x.copy_from_slice(&y);
         }
     }
@@ -239,7 +284,7 @@ impl DistMatrix {
         assert!(row < self.nrows && col < self.ncols);
         let p = self.owner(col);
         let local0 = col - self.col_offsets[p];
-        self.segments[p].lock()[local0 * self.nrows + row]
+        self.segments[p].lock().unwrap()[local0 * self.nrows + row]
     }
 
     /// Write one element (diagnostic / small-model-space use).
@@ -247,7 +292,7 @@ impl DistMatrix {
         assert!(row < self.nrows && col < self.ncols);
         let p = self.owner(col);
         let local0 = col - self.col_offsets[p];
-        self.segments[p].lock()[local0 * self.nrows + row] = v;
+        self.segments[p].lock().unwrap()[local0 * self.nrows + row] = v;
     }
 
     /// Weighted inner product `Σ_i w_i a_i b_i`, skipping entries whose
@@ -261,14 +306,16 @@ impl DistMatrix {
         // among the three operands explicitly.
         let mut acc = 0.0;
         for p in 0..self.nproc {
-            let a = self.segments[p].lock();
-            let ww = if std::ptr::eq(w, self) { None } else { Some(w.segments[p].lock()) };
-            let b = if std::ptr::eq(other, self) {
-                None
-            } else if std::ptr::eq(other, w) {
+            let a = self.segments[p].lock().unwrap();
+            let ww = if std::ptr::eq(w, self) {
                 None
             } else {
-                Some(other.segments[p].lock())
+                Some(w.segments[p].lock().unwrap())
+            };
+            let b = if std::ptr::eq(other, self) || std::ptr::eq(other, w) {
+                None
+            } else {
+                Some(other.segments[p].lock().unwrap())
             };
             for i in 0..a.len() {
                 let wv = ww.as_ref().map_or(a[i], |s| s[i]);
@@ -291,7 +338,7 @@ impl DistMatrix {
     pub fn map_inplace(&self, mut f: impl FnMut(usize, usize, f64) -> f64) {
         for p in 0..self.nproc {
             let c0 = self.col_offsets[p];
-            let mut seg = self.segments[p].lock();
+            let mut seg = self.segments[p].lock().unwrap();
             for (k, v) in seg.iter_mut().enumerate() {
                 let col = c0 + k / self.nrows;
                 let row = k % self.nrows;
@@ -308,11 +355,11 @@ impl DistMatrix {
         assert_eq!(stats.len(), self.nproc);
         let t = DistMatrix::zeros(self.ncols, self.nrows, self.nproc);
         let dense = self.to_dense();
-        for p in 0..self.nproc {
+        for (p, stat) in stats.iter_mut().enumerate() {
             let mut remote = 0u64;
             let mut sources = vec![false; self.nproc];
             let cols = t.local_cols(p);
-            let mut seg = t.segments[p].lock();
+            let mut seg = t.segments[p].lock().unwrap();
             for (k, newcol) in cols.clone().enumerate() {
                 // New column `newcol` is old row `newcol`.
                 for oldcol in 0..self.ncols {
@@ -324,11 +371,20 @@ impl DistMatrix {
                     }
                 }
             }
-            stats[p].get_bytes += remote;
+            stat.get_bytes += remote;
             // One strided SHMEM_GET per remote source rank (the X1's
             // vector gather hardware makes strided remote reads a single
             // operation, so we do not charge per-element latency).
-            stats[p].get_msgs += sources.iter().filter(|&&b| b).count() as u64;
+            let msgs = sources.iter().filter(|&&b| b).count() as u64;
+            stat.get_msgs += msgs;
+            if let Some(tr) = self.tracer.get() {
+                tr.instant(
+                    Some(p),
+                    "ddi_transpose",
+                    Category::Net,
+                    &[("bytes", remote as f64), ("msgs", msgs as f64)],
+                );
+            }
         }
         t
     }

@@ -55,7 +55,16 @@ mod tests {
 
     #[test]
     fn totals_and_merge() {
-        let a = CommStats { get_bytes: 100, acc_bytes: 40, put_bytes: 4, get_msgs: 2, acc_msgs: 1, put_msgs: 1, nxtval_msgs: 5, mutex_acquires: 1 };
+        let a = CommStats {
+            get_bytes: 100,
+            acc_bytes: 40,
+            put_bytes: 4,
+            get_msgs: 2,
+            acc_msgs: 1,
+            put_msgs: 1,
+            nxtval_msgs: 5,
+            mutex_acquires: 1,
+        };
         assert_eq!(a.total_bytes(), 144);
         assert_eq!(a.total_msgs(), 9);
         let mut b = CommStats::default();

@@ -2,7 +2,9 @@
 //! dynamic load-balancing counter.
 
 use crate::stats::CommStats;
+use fci_obs::{Category, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// How the per-rank closures are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -11,7 +13,7 @@ pub enum Backend {
     /// valid for the FCI σ phases because they only read shared inputs and
     /// accumulate into shared outputs (both order-insensitive).
     Serial,
-    /// Run every rank on its own OS thread (crossbeam scoped threads).
+    /// Run every rank on its own OS thread (std scoped threads).
     /// Exercises the real locking protocol; results are bitwise-reproducible
     /// only up to floating-point addition order in accumulations.
     Threads,
@@ -22,13 +24,19 @@ pub struct Ddi {
     nproc: usize,
     backend: Backend,
     counter: AtomicUsize,
+    tracer: OnceLock<Tracer>,
 }
 
 impl Ddi {
     /// Create a world of `nproc` virtual processors.
     pub fn new(nproc: usize, backend: Backend) -> Self {
         assert!(nproc >= 1, "need at least one processor");
-        Ddi { nproc, backend, counter: AtomicUsize::new(0) }
+        Ddi {
+            nproc,
+            backend,
+            counter: AtomicUsize::new(0),
+            tracer: OnceLock::new(),
+        }
     }
 
     /// Number of virtual processors.
@@ -41,6 +49,18 @@ impl Ddi {
         self.backend
     }
 
+    /// Attach a tracer; one-sided ops on this world emit events through
+    /// it. First attachment wins (the world is shared immutably across
+    /// phases). A disabled tracer is accepted and stays inert.
+    pub fn attach_tracer(&self, tracer: Tracer) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The attached tracer (disabled if none was attached).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.get().cloned().unwrap_or_default()
+    }
+
     /// Reset the shared task counter (call before each dynamically
     /// balanced phase).
     pub fn reset_counter(&self) {
@@ -51,7 +71,11 @@ impl Ddi {
     /// number. One counter message is charged to the caller.
     pub fn nxtval(&self, stats: &mut CommStats) -> usize {
         stats.nxtval_msgs += 1;
-        self.counter.fetch_add(1, Ordering::SeqCst)
+        let t = self.counter.fetch_add(1, Ordering::SeqCst);
+        if let Some(tracer) = self.tracer.get() {
+            tracer.instant(None, "ddi_nxtval", Category::Net, &[("task", t as f64)]);
+        }
+        t
     }
 
     /// Execute `f(rank, &mut stats)` once per rank and return the per-rank
@@ -70,11 +94,11 @@ impl Ddi {
             }
             Backend::Threads => {
                 let mut all = vec![CommStats::default(); self.nproc];
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..self.nproc)
                         .map(|rank| {
                             let f = &f;
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let mut st = CommStats::default();
                                 f(rank, &mut st);
                                 st
@@ -84,8 +108,7 @@ impl Ddi {
                     for (rank, h) in handles.into_iter().enumerate() {
                         all[rank] = h.join().expect("rank thread panicked");
                     }
-                })
-                .expect("thread scope failed");
+                });
                 all
             }
         }
@@ -151,16 +174,30 @@ mod tests {
         let p = 4;
         let ntask = 1000;
         let ddi = Ddi::new(p, Backend::Threads);
-        let seen = parking_lot::Mutex::new(vec![false; ntask]);
+        let seen = std::sync::Mutex::new(vec![false; ntask]);
         ddi.run(|_rank, st| loop {
             let t = ddi.nxtval(st);
             if t >= ntask {
                 break;
             }
-            let mut s = seen.lock();
+            let mut s = seen.lock().unwrap();
             assert!(!s[t], "task {t} handed out twice");
             s[t] = true;
         });
-        assert!(seen.lock().iter().all(|&b| b));
+        assert!(seen.lock().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn nxtval_emits_trace_events() {
+        let ddi = Ddi::new(2, Backend::Serial);
+        let tracer = Tracer::in_memory();
+        ddi.attach_tracer(tracer.clone());
+        let mut st = CommStats::default();
+        ddi.nxtval(&mut st);
+        ddi.nxtval(&mut st);
+        let evs = tracer.events().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "ddi_nxtval");
+        assert_eq!(evs[1].arg("task"), Some(1.0));
     }
 }

@@ -62,8 +62,18 @@ pub struct Shell {
 impl Shell {
     /// Build a shell from raw contraction data, normalizing as described
     /// on the struct.
-    pub fn new(l: usize, exps: Vec<f64>, raw_coefs: Vec<f64>, center: [f64; 3], atom: usize) -> Self {
-        assert_eq!(exps.len(), raw_coefs.len(), "exponent/coefficient length mismatch");
+    pub fn new(
+        l: usize,
+        exps: Vec<f64>,
+        raw_coefs: Vec<f64>,
+        center: [f64; 3],
+        atom: usize,
+    ) -> Self {
+        assert_eq!(
+            exps.len(),
+            raw_coefs.len(),
+            "exponent/coefficient length mismatch"
+        );
         assert!(!exps.is_empty(), "empty shell");
         assert!(exps.iter().all(|&a| a > 0.0), "exponents must be positive");
         // Fold the (l,0,0) primitive norms into the coefficients …
@@ -78,7 +88,9 @@ impl Shell {
             for (b, &cb) in exps.iter().zip(&coefs) {
                 let p = a + b;
                 // ⟨x^l e^{−αx²} | x^l e^{−βx²}⟩ over 3D with y,z s-type:
-                s += ca * cb * (std::f64::consts::PI / p).powf(1.5)
+                s += ca
+                    * cb
+                    * (std::f64::consts::PI / p).powf(1.5)
                     * double_factorial_odd(2 * l as i64 - 1)
                     / (2.0 * p).powi(l as i32);
             }
@@ -87,7 +99,13 @@ impl Shell {
         for c in &mut coefs {
             *c *= scale;
         }
-        Shell { l, exps, coefs, center, atom }
+        Shell {
+            l,
+            exps,
+            coefs,
+            center,
+            atom,
+        }
     }
 
     /// Number of Cartesian components.
@@ -279,7 +297,10 @@ mod tests {
     #[test]
     fn cartesian_component_counts() {
         assert_eq!(cartesian_components(0), vec![(0, 0, 0)]);
-        assert_eq!(cartesian_components(1), vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]);
+        assert_eq!(
+            cartesian_components(1),
+            vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        );
         assert_eq!(cartesian_components(2).len(), 6);
         assert_eq!(cartesian_components(2)[0], (2, 0, 0));
         assert_eq!(cartesian_components(2)[5], (0, 0, 2));

@@ -16,8 +16,8 @@ pub fn boys(mmax: usize, t: f64, out: &mut [f64]) {
     assert!(out.len() > mmax);
     debug_assert!(t >= 0.0, "Boys argument must be non-negative");
     if t < 1e-13 {
-        for m in 0..=mmax {
-            out[m] = 1.0 / (2 * m + 1) as f64;
+        for (m, o) in out.iter_mut().enumerate().take(mmax + 1) {
+            *o = 1.0 / (2 * m + 1) as f64;
         }
         return;
     }
@@ -78,8 +78,8 @@ mod tests {
     #[test]
     fn zero_argument_limit() {
         let v = boys_vec(4, 0.0);
-        for m in 0..=4 {
-            assert!((v[m] - 1.0 / (2 * m + 1) as f64).abs() < 1e-15);
+        for (m, &x) in v.iter().enumerate() {
+            assert!((x - 1.0 / (2 * m + 1) as f64).abs() < 1e-15);
         }
     }
 
@@ -87,13 +87,9 @@ mod tests {
     fn matches_quadrature_moderate() {
         for &t in &[1e-8, 0.1, 0.5, 1.0, 3.0, 7.5, 14.0, 20.0, 33.0] {
             let v = boys_vec(6, t);
-            for m in 0..=6 {
+            for (m, &x) in v.iter().enumerate() {
                 let q = boys_quad(m, t);
-                assert!(
-                    (v[m] - q).abs() < 1e-10,
-                    "F_{m}({t}) = {} vs quad {q}",
-                    v[m]
-                );
+                assert!((x - q).abs() < 1e-10, "F_{m}({t}) = {x} vs quad {q}");
             }
         }
     }
@@ -102,12 +98,11 @@ mod tests {
     fn matches_quadrature_large() {
         for &t in &[40.0, 60.0, 120.0] {
             let v = boys_vec(5, t);
-            for m in 0..=5 {
+            for (m, &x) in v.iter().enumerate() {
                 let q = boys_quad(m, t);
                 assert!(
-                    (v[m] - q).abs() < 1e-12 + 1e-8 * q,
-                    "F_{m}({t}) = {} vs quad {q}",
-                    v[m]
+                    (x - q).abs() < 1e-12 + 1e-8 * q,
+                    "F_{m}({t}) = {x} vs quad {q}"
                 );
             }
         }

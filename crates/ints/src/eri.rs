@@ -28,7 +28,10 @@ impl EriTensor {
     /// Zero tensor over `n` basis functions.
     pub fn zeros(n: usize) -> Self {
         let npair = n * (n + 1) / 2;
-        EriTensor { n, data: vec![0.0; npair * (npair + 1) / 2] }
+        EriTensor {
+            n,
+            data: vec![0.0; npair * (npair + 1) / 2],
+        }
     }
 
     /// Number of basis functions.
@@ -306,6 +309,7 @@ mod tests {
     use crate::molecule::Molecule;
 
     /// Analytic primitive (ss|ss) integral.
+    #[allow(clippy::too_many_arguments)]
     fn ssss(
         a: f64,
         b: f64,
@@ -331,7 +335,10 @@ mod tests {
             * crate::basis::primitive_norm(b, 0, 0, 0)
             * crate::basis::primitive_norm(c, 0, 0, 0)
             * crate::basis::primitive_norm(d, 0, 0, 0);
-        norm * 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt()) * (-mu_ab * ab2).exp() * (-mu_cd * cd2).exp() * f0
+        norm * 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt())
+            * (-mu_ab * ab2).exp()
+            * (-mu_cd * cd2).exp()
+            * f0
     }
 
     #[test]
@@ -479,7 +486,11 @@ mod tests {
         let eri = eri_tensor(&b);
         let n = b.n_basis();
         // spot-check symmetry relations on computed values
-        for &(p, q, r, s) in &[(10usize, 3usize, 7usize, 1usize), (14, 14, 2, 0), (9, 8, 14, 13)] {
+        for &(p, q, r, s) in &[
+            (10usize, 3usize, 7usize, 1usize),
+            (14, 14, 2, 0),
+            (9, 8, 14, 13),
+        ] {
             if p < n && q < n && r < n && s < n {
                 let v = eri.get(p, q, r, s);
                 assert!(v.is_finite());

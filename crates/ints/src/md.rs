@@ -35,7 +35,11 @@ impl ETable {
         let xpa = px - ax;
         let xpb = px - bx;
         let tdim = imax + jmax + 1;
-        let mut t = ETable { imax, jmax, data: vec![0.0; (imax + 1) * (jmax + 1) * tdim] };
+        let mut t = ETable {
+            imax,
+            jmax,
+            data: vec![0.0; (imax + 1) * (jmax + 1) * tdim],
+        };
         t.set(0, 0, 0, (-mu * xab * xab).exp());
         // Raise i at j = 0, then raise j at each i.
         for i in 0..imax {
@@ -44,7 +48,7 @@ impl ETable {
                 if tt > 0 {
                     v += t.get(i, 0, tt - 1) / (2.0 * p);
                 }
-                if tt + 1 <= i {
+                if tt < i {
                     v += (tt + 1) as f64 * t.get(i, 0, tt + 1);
                 }
                 t.set(i + 1, 0, tt, v);
@@ -57,7 +61,7 @@ impl ETable {
                     if tt > 0 {
                         v += t.get(i, j, tt - 1) / (2.0 * p);
                     }
-                    if tt + 1 <= i + j {
+                    if tt < i + j {
                         v += (tt + 1) as f64 * t.get(i, j, tt + 1);
                     }
                     t.set(i, j + 1, tt, v);
@@ -239,7 +243,12 @@ mod tests {
         let r = RTable::new(2, p, pc);
         let r0 = |pcx: f64| RTable::new(0, p, [pcx, pc[1], pc[2]]).get(0, 0, 0);
         let fd = (r0(pc[0] + h) - r0(pc[0] - h)) / (2.0 * h);
-        assert!((r.get(1, 0, 0) - fd).abs() < 1e-7, "{} vs {}", r.get(1, 0, 0), fd);
+        assert!(
+            (r.get(1, 0, 0) - fd).abs() < 1e-7,
+            "{} vs {}",
+            r.get(1, 0, 0),
+            fd
+        );
         // Second derivative.
         let fd2 = (r0(pc[0] + h) - 2.0 * r0(pc[0]) + r0(pc[0] - h)) / (h * h);
         assert!((r.get(2, 0, 0) - fd2).abs() < 1e-5);

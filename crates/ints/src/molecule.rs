@@ -105,7 +105,10 @@ impl Molecule {
                 pos: [a.pos[0] + d[0], a.pos[1] + d[1], a.pos[2] + d[2]],
             })
             .collect();
-        Molecule { atoms, charge: self.charge }
+        Molecule {
+            atoms,
+            charge: self.charge,
+        }
     }
 }
 
@@ -147,7 +150,11 @@ mod tests {
     #[test]
     fn translation_preserves_repulsion() {
         let m = Molecule::from_symbols_bohr(
-            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4, 1.1]), ("H", [0.0, -1.4, 1.1])],
+            &[
+                ("O", [0.0, 0.0, 0.0]),
+                ("H", [0.0, 1.4, 1.1]),
+                ("H", [0.0, -1.4, 1.1]),
+            ],
             0,
         );
         let t = m.translated([2.5, -1.0, 0.3]);

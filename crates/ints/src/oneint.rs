@@ -54,7 +54,8 @@ pub fn kinetic(basis: &BasisSet) -> Matrix {
                 // 1D kinetic block on top of 1D overlaps:
                 // t_ij = −2b² s_{i,j+2} + b(2j+1) s_{ij} − ½ j(j−1) s_{i,j−2}
                 let t1 = |e: &ETable, i: usize, j: usize| -> f64 {
-                    let mut v = -2.0 * b * b * e.get(i, j + 2, 0) + b * (2 * j + 1) as f64 * e.get(i, j, 0);
+                    let mut v =
+                        -2.0 * b * b * e.get(i, j + 2, 0) + b * (2 * j + 1) as f64 * e.get(i, j, 0);
                     if j >= 2 {
                         v -= 0.5 * (j * (j - 1)) as f64 * e.get(i, j - 2, 0);
                     }
@@ -99,7 +100,11 @@ pub fn nuclear_attraction(basis: &BasisSet, molecule: &Molecule) -> Matrix {
                 let ey = ETable::new(sa.l, sb.l, a, b, sa.center[1], sb.center[1]);
                 let ez = ETable::new(sa.l, sb.l, a, b, sa.center[2], sb.center[2]);
                 for atom in &molecule.atoms {
-                    let pc = [px[0] - atom.pos[0], px[1] - atom.pos[1], px[2] - atom.pos[2]];
+                    let pc = [
+                        px[0] - atom.pos[0],
+                        px[1] - atom.pos[1],
+                        px[2] - atom.pos[2],
+                    ];
                     let r = RTable::new(ltot, p, pc);
                     for (ia, &(i1, j1, k1)) in ca.iter().enumerate() {
                         let fa = sa.component_factor(i1, j1, k1);
@@ -217,7 +222,11 @@ mod tests {
         let (_, b) = h2();
         let s = overlap(&b);
         for i in 0..b.n_basis() {
-            assert!((s[(i, i)] - 1.0).abs() < 1e-12, "S[{i}][{i}] = {}", s[(i, i)]);
+            assert!(
+                (s[(i, i)] - 1.0).abs() < 1e-12,
+                "S[{i}][{i}] = {}",
+                s[(i, i)]
+            );
         }
         assert!(s.is_symmetric(1e-14));
         // H2 at 1.4 bohr: S12 in (0,1)
@@ -230,7 +239,11 @@ mod tests {
         let b = BasisSet::build(&m, "svp");
         let s = overlap(&b);
         for i in 0..b.n_basis() {
-            assert!((s[(i, i)] - 1.0).abs() < 1e-10, "S[{i}][{i}] = {}", s[(i, i)]);
+            assert!(
+                (s[(i, i)] - 1.0).abs() < 1e-10,
+                "S[{i}][{i}] = {}",
+                s[(i, i)]
+            );
         }
     }
 
@@ -263,7 +276,13 @@ mod tests {
         // value — i.e. recompute independently here.
         let a = 0.9;
         let z = 3.0;
-        let m = Molecule { atoms: vec![crate::molecule::Atom { z: 3, pos: [0.0; 3] }], charge: 0 };
+        let m = Molecule {
+            atoms: vec![crate::molecule::Atom {
+                z: 3,
+                pos: [0.0; 3],
+            }],
+            charge: 0,
+        };
         let b = BasisSet::from_shells(vec![Shell::new(0, vec![a], vec![1.0], [0.0; 3], 0)]);
         let v = nuclear_attraction(&b, &m);
         // Analytic: ⟨1s|1/r|1s⟩ for normalized Gaussian = 2√(a/π)·√2 /√π^…
@@ -365,8 +384,8 @@ mod tests {
         // AO order: 1s, 2s, 2px, 2py, 2pz.
         assert!(d[0][(1, 2)].abs() > 1e-3, "⟨2s|x|2px⟩ = {}", d[0][(1, 2)]);
         assert!(d[0][(1, 3)].abs() < 1e-12);
-        for ax in 0..3 {
-            assert!(d[ax].is_symmetric(1e-11));
+        for dm in &d {
+            assert!(dm.is_symmetric(1e-11));
         }
     }
 

@@ -104,7 +104,10 @@ pub fn eigh_jacobi(a: &Matrix) -> Eigh {
     order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
     let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
-    Eigh { eigenvalues, eigenvectors }
+    Eigh {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 fn frob(m: &Matrix) -> f64 {
@@ -120,12 +123,16 @@ fn frob(m: &Matrix) -> f64 {
 /// well-defined across iterations.
 pub fn eigh_2x2(a: f64, b: f64, d: f64) -> (f64, (f64, f64)) {
     if b == 0.0 {
-        return if a <= d { (a, (1.0, 0.0)) } else { (d, (0.0, 1.0)) };
+        return if a <= d {
+            (a, (1.0, 0.0))
+        } else {
+            (d, (0.0, 1.0))
+        };
     }
     let tr = a + d;
     let det_disc = ((a - d) * 0.5).hypot(b);
     let w = 0.5 * tr - det_disc; // lower eigenvalue
-    // Eigenvector from the numerically safer of the two rows.
+                                 // Eigenvector from the numerically safer of the two rows.
     let (mut x, mut y) = if (a - w).abs() > (d - w).abs() {
         (-b, a - w)
     } else {
@@ -176,7 +183,9 @@ mod tests {
         let n = 20;
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let raw = Matrix::from_fn(n, n, |_, _| next());
@@ -198,11 +207,20 @@ mod tests {
 
     #[test]
     fn eigh_2x2_matches_jacobi() {
-        for &(a, b, d) in &[(1.0, 0.5, 2.0), (-3.0, 2.0, 1.0), (0.0, 0.0, 0.0), (5.0, -4.0, 5.0), (2.0, 0.0, 1.0)] {
+        for &(a, b, d) in &[
+            (1.0, 0.5, 2.0),
+            (-3.0, 2.0, 1.0),
+            (0.0, 0.0, 0.0),
+            (5.0, -4.0, 5.0),
+            (2.0, 0.0, 1.0),
+        ] {
             let (w, (x, y)) = eigh_2x2(a, b, d);
             let m = Matrix::from_rows(&[&[a, b], &[b, d]]);
             let e = eigh(&m);
-            assert!((w - e.eigenvalues[0]).abs() < 1e-13, "eigenvalue mismatch for ({a},{b},{d})");
+            assert!(
+                (w - e.eigenvalues[0]).abs() < 1e-13,
+                "eigenvalue mismatch for ({a},{b},{d})"
+            );
             // Check eigen equation directly.
             assert!((a * x + b * y - w * x).abs() < 1e-12);
             assert!((b * x + d * y - w * y).abs() < 1e-12);

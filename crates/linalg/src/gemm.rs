@@ -63,7 +63,13 @@ pub fn dgemm_naive(
     }
 }
 
-fn check_dims(transa: Trans, transb: Trans, a: &Matrix, b: &Matrix, c: &Matrix) -> (usize, usize, usize) {
+fn check_dims(
+    transa: Trans,
+    transb: Trans,
+    a: &Matrix,
+    b: &Matrix,
+    c: &Matrix,
+) -> (usize, usize, usize) {
     let (m, ka) = match transa {
         Trans::No => (a.nrows(), a.ncols()),
         Trans::Yes => (a.ncols(), a.nrows()),
@@ -105,7 +111,7 @@ pub fn dgemm(
 
     // Packed panels, reused across blocks.
     let mut apack = vec![0.0f64; MC * KC];
-    let mut bpack = vec![0.0f64; KC * ((n + NR - 1) / NR) * NR];
+    let mut bpack = vec![0.0f64; KC * n.div_ceil(NR) * NR];
 
     let cm = c.nrows();
     let cdata = c.as_mut_slice();
@@ -146,8 +152,16 @@ pub fn dgemm(
 /// Pack `mc×kc` block of op(A) starting at (i0, l0) into microtile panels:
 /// panel `p` holds rows `[p*MR, p*MR+MR)` stored k-major
 /// (`apack[p*KC*MR + l*MR + r]`), zero-padded in the row direction.
-fn pack_a(transa: Trans, a: &Matrix, i0: usize, mc: usize, l0: usize, kc: usize, apack: &mut [f64]) {
-    let npanels = (mc + MR - 1) / MR;
+fn pack_a(
+    transa: Trans,
+    a: &Matrix,
+    i0: usize,
+    mc: usize,
+    l0: usize,
+    kc: usize,
+    apack: &mut [f64],
+) {
+    let npanels = mc.div_ceil(MR);
     for p in 0..npanels {
         let base = p * (KC * MR);
         let rmax = MR.min(mc - p * MR);
@@ -172,7 +186,7 @@ fn pack_a(transa: Trans, a: &Matrix, i0: usize, mc: usize, l0: usize, kc: usize,
 /// panel `q` holds columns `[q*NR, q*NR+NR)` stored k-major
 /// (`bpack[q*KC*NR + l*NR + s]`), zero-padded in the column direction.
 fn pack_b(transb: Trans, b: &Matrix, l0: usize, kc: usize, n: usize, bpack: &mut [f64]) {
-    let npanels = (n + NR - 1) / NR;
+    let npanels = n.div_ceil(NR);
     for q in 0..npanels {
         let base = q * (KC * NR);
         let smax = NR.min(n - q * NR);
@@ -195,7 +209,17 @@ fn pack_b(transb: Trans, b: &Matrix, l0: usize, kc: usize, n: usize, bpack: &mut
 
 /// 4×4 register microkernel: `C[i0..i0+4, j0..j0+4] += alpha * Apanel * Bpanel`.
 #[inline(always)]
-fn micro_4x4(kc: usize, alpha: f64, at: &[f64], bt: &[f64], c: &mut [f64], i0: usize, j0: usize, cm: usize) {
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn micro_4x4(
+    kc: usize,
+    alpha: f64,
+    at: &[f64],
+    bt: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    j0: usize,
+    cm: usize,
+) {
     let mut acc = [[0.0f64; NR]; MR];
     // The panels are contiguous k-major tiles; index arithmetic is exact.
     for l in 0..kc {
@@ -265,12 +289,22 @@ mod tests {
         // Small deterministic LCG so the tests need no external RNG.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(nr, nc, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }
 
-    fn check_case(transa: Trans, transb: Trans, m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+    fn check_case(
+        transa: Trans,
+        transb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+    ) {
         let a = match transa {
             Trans::No => rand_mat(m, k, 1 + m as u64),
             Trans::Yes => rand_mat(k, m, 2 + n as u64),
@@ -285,7 +319,10 @@ mod tests {
         dgemm(transa, transb, alpha, &a, &b, beta, &mut c_fast);
         dgemm_naive(transa, transb, alpha, &a, &b, beta, &mut c_ref);
         let diff = c_fast.max_abs_diff(&c_ref);
-        assert!(diff < 1e-12 * (k.max(1) as f64), "diff {diff} for m={m} n={n} k={k} {transa:?} {transb:?}");
+        assert!(
+            diff < 1e-12 * (k.max(1) as f64),
+            "diff {diff} for m={m} n={n} k={k} {transa:?} {transb:?}"
+        );
     }
 
     #[test]

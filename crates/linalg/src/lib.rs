@@ -34,7 +34,7 @@ pub mod tridiag;
 
 pub use blas1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, idamax};
 pub use eigen::{eigh, eigh_2x2, eigh_jacobi, Eigh};
-pub use tridiag::eigh_tridiag;
 pub use gemm::{dgemm, dgemm_naive, Trans};
 pub use matrix::Matrix;
 pub use solve::{lu_factor, lu_solve, LuError};
+pub use tridiag::eigh_tridiag;

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `nrows × ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Matrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Matrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -45,7 +49,11 @@ impl Matrix {
 
     /// Wrap an existing column-major buffer. Panics if the length mismatches.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "buffer length must equal nrows*ncols");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length must equal nrows*ncols"
+        );
         Matrix { nrows, ncols, data }
     }
 

@@ -20,16 +20,13 @@ pub fn eigh_tridiag(a: &Matrix) -> Eigh {
     let n = a.nrows();
     assert_eq!(n, a.ncols(), "eigh_tridiag requires a square matrix");
     if n == 0 {
-        return Eigh { eigenvalues: Vec::new(), eigenvectors: Matrix::zeros(0, 0) };
+        return Eigh {
+            eigenvalues: Vec::new(),
+            eigenvectors: Matrix::zeros(0, 0),
+        };
     }
     // Symmetrized working copy; `z` accumulates transformations.
-    let mut z = Matrix::from_fn(n, n, |i, j| {
-        if i <= j {
-            a[(i, j)]
-        } else {
-            a[(j, i)]
-        }
-    });
+    let mut z = Matrix::from_fn(n, n, |i, j| if i <= j { a[(i, j)] } else { a[(j, i)] });
     let mut d = vec![0.0f64; n]; // diagonal
     let mut e = vec![0.0f64; n]; // sub-diagonal (e[0] unused)
 
@@ -41,7 +38,10 @@ pub fn eigh_tridiag(a: &Matrix) -> Eigh {
     order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |i, j| z[(i, order[j])]);
-    Eigh { eigenvalues, eigenvectors }
+    Eigh {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 /// Householder reduction of the symmetric matrix in `z` to tridiagonal
@@ -193,7 +193,9 @@ mod tests {
     fn rand_sym(n: usize, seed: u64) -> Matrix {
         let mut st = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
         let raw = Matrix::from_fn(n, n, |_, _| {
-            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            st = st
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         Matrix::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)])
@@ -205,7 +207,10 @@ mod tests {
         // Residual ‖A V − V Λ‖.
         let av = a.matmul(&e.eigenvectors);
         let vl = Matrix::from_fn(n, n, |i, j| e.eigenvectors[(i, j)] * e.eigenvalues[j]);
-        assert!(av.max_abs_diff(&vl) < 1e-9 * (1.0 + n as f64), "residual too large");
+        assert!(
+            av.max_abs_diff(&vl) < 1e-9 * (1.0 + n as f64),
+            "residual too large"
+        );
         // Orthonormality.
         let vtv = e.eigenvectors.t_matmul(&e.eigenvectors);
         assert!(vtv.max_abs_diff(&Matrix::eye(n)) < 1e-10);

@@ -1,0 +1,73 @@
+//! Run-level observability configuration.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::sink::JsonlSink;
+use crate::tracer::Tracer;
+
+/// Observability options, carried on `FciOptions`.
+///
+/// The default is fully disabled: `tracer()` then returns
+/// [`Tracer::disabled`], whose emission methods are a single branch —
+/// instrumented hot paths cost nothing when tracing is off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Where to write the JSONL trace. `None` with `enabled` collects
+    /// events in memory (retrievable via [`Tracer::events`]).
+    pub trace_path: Option<PathBuf>,
+}
+
+impl ObsConfig {
+    /// Tracing disabled (same as `Default`).
+    pub fn off() -> ObsConfig {
+        ObsConfig::default()
+    }
+
+    /// Collect events in memory.
+    pub fn in_memory() -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            trace_path: None,
+        }
+    }
+
+    /// Write a JSONL trace to `path`.
+    pub fn to_file(path: impl Into<PathBuf>) -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            trace_path: Some(path.into()),
+        }
+    }
+
+    /// Build the tracer this configuration describes.
+    pub fn tracer(&self) -> std::io::Result<Tracer> {
+        if !self.enabled {
+            return Ok(Tracer::disabled());
+        }
+        match &self.trace_path {
+            Some(path) => Ok(Tracer::new(Arc::new(JsonlSink::create(path)?))),
+            None => Ok(Tracer::in_memory()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let t = ObsConfig::default().tracer().unwrap();
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn in_memory_collects() {
+        let t = ObsConfig::in_memory().tracer().unwrap();
+        assert!(t.enabled());
+        assert_eq!(t.events().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The trace event model.
+
+use crate::json::JsonValue;
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration: a slice of one virtual MSP's timeline.
+    Span,
+    /// A point event (task grab, iteration marker, …).
+    Instant,
+    /// A counter sample (bytes moved by one DDI op, …).
+    Counter,
+}
+
+impl EventKind {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_wire(s: &str) -> Option<EventKind> {
+        match s {
+            "span" => Some(EventKind::Span),
+            "instant" => Some(EventKind::Instant),
+            "counter" => Some(EventKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// Cost category of a span — mirrors the simulated [`Clock`]'s time split
+/// and therefore the rows of the paper's Table 3.
+///
+/// [`Clock`]: https://docs.rs/fci-xsim
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// DGEMM-class compute.
+    Dgemm,
+    /// DAXPY/indexed + scalar-unit compute.
+    Daxpy,
+    /// Vector gather/scatter and local copies.
+    Gather,
+    /// Network transfers.
+    Net,
+    /// Remote mutex acquisition.
+    Lock,
+    /// Disk I/O.
+    Io,
+    /// Anything else (markers, solver structure, DDI ops).
+    Other,
+}
+
+impl Category {
+    /// All clock-backed categories, in Table 3 row order.
+    pub const CLOCKED: [Category; 6] = [
+        Category::Dgemm,
+        Category::Daxpy,
+        Category::Gather,
+        Category::Net,
+        Category::Lock,
+        Category::Io,
+    ];
+
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Dgemm => "dgemm",
+            Category::Daxpy => "daxpy",
+            Category::Gather => "gather",
+            Category::Net => "net",
+            Category::Lock => "lock",
+            Category::Io => "io",
+            Category::Other => "other",
+        }
+    }
+
+    /// Parse a wire name (unknown names map to [`Category::Other`]).
+    pub fn from_wire(s: &str) -> Category {
+        match s {
+            "dgemm" => Category::Dgemm,
+            "daxpy" => Category::Daxpy,
+            "gather" => Category::Gather,
+            "net" => Category::Net,
+            "lock" => Category::Lock,
+            "io" => Category::Io,
+            _ => Category::Other,
+        }
+    }
+}
+
+/// One trace record with **dual timestamps**: host wall-clock microseconds
+/// since the trace epoch, and simulated seconds from the active `Clock`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Name, e.g. `"beta_beta"`, `"task_grab"`, `"ddi_acc"`.
+    pub name: String,
+    /// Cost category.
+    pub cat: Category,
+    /// Virtual MSP (rank); `None` = run-global.
+    pub rank: Option<usize>,
+    /// Host wall-clock timestamp, µs since the tracer epoch.
+    pub host_us: f64,
+    /// Host duration, µs (spans only; 0 otherwise).
+    pub host_dur_us: f64,
+    /// Simulated start time, seconds since the start of the run.
+    pub sim_s: f64,
+    /// Simulated duration, seconds (spans only; 0 otherwise).
+    pub sim_dur_s: f64,
+    /// Numeric payload (bytes, flops, task ids/sizes, energies, …).
+    pub args: Vec<(String, f64)>,
+}
+
+impl Event {
+    /// Value of a named argument.
+    pub fn arg(&self, name: &str) -> Option<f64> {
+        self.args.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Serialize as one JSONL record.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("ev".to_string(), JsonValue::Str(self.kind.as_str().into())),
+            ("name".to_string(), JsonValue::Str(self.name.clone())),
+            ("cat".to_string(), JsonValue::Str(self.cat.as_str().into())),
+        ];
+        if let Some(r) = self.rank {
+            pairs.push(("rank".to_string(), JsonValue::Num(r as f64)));
+        }
+        pairs.push(("host_us".to_string(), JsonValue::Num(self.host_us)));
+        if self.kind == EventKind::Span {
+            pairs.push(("host_dur_us".to_string(), JsonValue::Num(self.host_dur_us)));
+        }
+        pairs.push(("sim_s".to_string(), JsonValue::Num(self.sim_s)));
+        if self.kind == EventKind::Span {
+            pairs.push(("sim_dur_s".to_string(), JsonValue::Num(self.sim_dur_s)));
+        }
+        if !self.args.is_empty() {
+            pairs.push((
+                "args".to_string(),
+                JsonValue::Obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// Parse one JSONL record.
+    pub fn from_json(v: &JsonValue) -> Result<Event, String> {
+        let kind = v
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .and_then(EventKind::from_wire)
+            .ok_or("missing/bad 'ev'")?;
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing 'name'")?
+            .to_string();
+        let cat = Category::from_wire(v.get("cat").and_then(JsonValue::as_str).unwrap_or("other"));
+        let rank = v.get_f64("rank").map(|r| r as usize);
+        let args = match v.get("args") {
+            Some(JsonValue::Obj(pairs)) => pairs
+                .iter()
+                .filter_map(|(k, val)| val.as_f64().map(|x| (k.clone(), x)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(Event {
+            kind,
+            name,
+            cat,
+            rank,
+            host_us: v.get_f64("host_us").unwrap_or(0.0),
+            host_dur_us: v.get_f64("host_dur_us").unwrap_or(0.0),
+            sim_s: v.get_f64("sim_s").unwrap_or(0.0),
+            sim_dur_s: v.get_f64("sim_dur_s").unwrap_or(0.0),
+            args,
+        })
+    }
+}
+
+/// Parse a whole JSONL trace (empty lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(Event::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            kind: EventKind::Span,
+            name: "beta_beta".into(),
+            cat: Category::Dgemm,
+            rank: Some(7),
+            host_us: 1234.5,
+            host_dur_us: 99.0,
+            sim_s: 0.25,
+            sim_dur_s: 1.5,
+            args: vec![("flops".into(), 2.0e9), ("bytes".into(), 0.0)],
+        }
+    }
+
+    #[test]
+    fn event_json_roundtrip() {
+        let e = sample();
+        let back = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let evs = vec![
+            sample(),
+            Event {
+                kind: EventKind::Instant,
+                name: "task_grab".into(),
+                cat: Category::Other,
+                rank: None,
+                host_us: 1.0,
+                host_dur_us: 0.0,
+                sim_s: 0.0,
+                sim_dur_s: 0.0,
+                args: vec![],
+            },
+        ];
+        let text: String = evs.iter().map(|e| e.to_json().to_string() + "\n").collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(evs, back);
+    }
+
+    #[test]
+    fn category_names_roundtrip() {
+        for c in Category::CLOCKED {
+            assert_eq!(Category::from_wire(c.as_str()), c);
+        }
+        assert_eq!(Category::from_wire("nonsense"), Category::Other);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Observability for the fcix stack (`fci-obs`).
+//!
+//! The paper's headline results — Table 3's per-phase breakdown, the
+//! Fig. 4/5 scaling curves, the 3.4 TFlop/s sustained-rate claim — are
+//! *observability artifacts*: they come from per-MSP instrumentation of
+//! σ = H·C. This crate provides the machinery to produce the same
+//! artifacts from any run of the reproduction:
+//!
+//! * [`Tracer`] — a span/event tracing layer. Every span carries **dual
+//!   timestamps**: host wall-clock (what the real hardware did) and
+//!   simulated seconds from the active `fci_xsim::Clock` (what the
+//!   modelled Cray-X1 would have done), so one trace explains both real
+//!   profiling and the X1 cost model.
+//! * [`MetricsRegistry`] — named monotonic counters and gauges.
+//! * Sinks — [`JsonlSink`] (one JSON event per line), [`MemorySink`]
+//!   (tests), and a no-op [`NullSink`]; tracing is zero-cost when
+//!   disabled (one branch on [`Tracer::enabled`]).
+//! * [`RunSummary`] — the Table-3-style per-category rollup (compute /
+//!   network / lock / I/O / load imbalance, sustained GF/s per MSP,
+//!   aggregate TFlop/s), buildable from a trace or from clock data.
+//! * [`chrome`] — Chrome Trace Event Format export (`chrome://tracing` /
+//!   Perfetto), one lane per virtual MSP.
+//!
+//! The crate is dependency-free by design: the build environment has no
+//! registry access, so serde/tracing/metrics are off the table. A small
+//! hand-rolled JSON layer ([`json`]) covers serialization both ways.
+
+pub mod chrome;
+pub mod config;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+pub mod tracer;
+
+pub use chrome::to_chrome;
+pub use config::ObsConfig;
+pub use event::{parse_jsonl, Category, Event, EventKind};
+pub use json::JsonValue;
+pub use metrics::MetricsRegistry;
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use summary::RunSummary;
+pub use tracer::Tracer;

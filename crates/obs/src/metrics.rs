@@ -1,0 +1,136 @@
+//! A small registry of named counters and gauges.
+
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+
+#[derive(Clone, Copy, PartialEq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    value: f64,
+}
+
+/// Named monotonic counters and last-value gauges.
+///
+/// Counters only ever grow (`add`); gauges record the most recent value
+/// (`set`). Both are keyed by name on first use. All operations take
+/// `&self`; the registry is internally locked and safe to share across
+/// worker threads.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn upsert(&self, name: &str, kind: MetricKind, f: impl FnOnce(&mut f64)) {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(m) = metrics.iter_mut().find(|m| m.name == name) {
+            debug_assert!(
+                m.kind == kind,
+                "metric '{name}' reused with a different kind"
+            );
+            f(&mut m.value);
+        } else {
+            let mut value = 0.0;
+            f(&mut value);
+            metrics.push(Metric {
+                name: name.to_string(),
+                kind,
+                value,
+            });
+        }
+    }
+
+    /// Add to a monotonic counter (creates it at 0 on first use).
+    pub fn add(&self, name: &str, delta: f64) {
+        self.upsert(name, MetricKind::Counter, |v| *v += delta);
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set(&self, name: &str, value: f64) {
+        self.upsert(name, MetricKind::Gauge, |v| *v = value);
+    }
+
+    /// Current value of a metric, if it exists.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// All metrics as `(name, value)`, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|m| (m.name.clone(), m.value))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Metrics as a JSON object, keys sorted.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.snapshot()
+                .into_iter()
+                .map(|(k, v)| (k, JsonValue::Num(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("ddi.nxtval");
+        m.incr("ddi.nxtval");
+        m.add("ddi.acc_bytes", 4096.0);
+        assert_eq!(m.get("ddi.nxtval"), Some(2.0));
+        assert_eq!(m.get("ddi.acc_bytes"), Some(4096.0));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let m = MetricsRegistry::new();
+        m.set("residual", 1.0);
+        m.set("residual", 1e-6);
+        assert_eq!(m.get("residual"), Some(1e-6));
+    }
+
+    #[test]
+    fn snapshot_sorted_and_json() {
+        let m = MetricsRegistry::new();
+        m.set("b", 2.0);
+        m.set("a", 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(m.to_json().get_f64("b"), Some(2.0));
+    }
+}

@@ -1,0 +1,383 @@
+//! Table-3-style run summaries.
+//!
+//! [`RunSummary`] is the per-category rollup the paper prints as Table 3:
+//! compute / network / lock / I/O rows, load imbalance, sustained GF/s per
+//! MSP, aggregate TFlop/s. It can be built from a trace
+//! ([`RunSummary::from_events`]) or filled directly from clock data (the
+//! `fci-xsim` crate does this for `RunReport`), and round-trips through
+//! JSON for the `BENCH_*.json` artifacts.
+
+use crate::event::{Category, Event, EventKind};
+use crate::json::JsonValue;
+
+/// Aggregate per-category telemetry of one run (or one phase).
+///
+/// All times are *aggregate seconds across MSPs* (divide by [`nproc`] for
+/// the per-MSP averages the table prints). `elapsed` is the wall-clock of
+/// the run: the busy time of the slowest MSP.
+///
+/// [`nproc`]: RunSummary::nproc
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunSummary {
+    /// Number of virtual MSPs.
+    pub nproc: usize,
+    /// Aggregate seconds in DGEMM-class compute.
+    pub t_dgemm: f64,
+    /// Aggregate seconds in DAXPY/indexed + scalar compute.
+    pub t_daxpy: f64,
+    /// Aggregate seconds in gather/scatter and local copies.
+    pub t_gather: f64,
+    /// Aggregate seconds in network transfers.
+    pub t_net: f64,
+    /// Aggregate seconds acquiring remote mutexes.
+    pub t_lock: f64,
+    /// Aggregate seconds of disk I/O.
+    pub t_io: f64,
+    /// Wall-clock seconds (busy time of the slowest MSP).
+    pub elapsed: f64,
+    /// Mean busy seconds per MSP.
+    pub mean_busy: f64,
+    /// DGEMM flops (aggregate).
+    pub flops_dgemm: f64,
+    /// DAXPY-class flops (aggregate).
+    pub flops_daxpy: f64,
+    /// Network bytes moved (aggregate).
+    pub net_bytes: f64,
+    /// One-sided messages sent (aggregate).
+    pub net_msgs: f64,
+    /// Remote mutex acquisitions (aggregate).
+    pub lock_acquires: f64,
+    /// `nxtval` counter messages (aggregate).
+    pub nxtval_msgs: f64,
+}
+
+impl RunSummary {
+    /// Aggregate time of a category.
+    pub fn time(&self, cat: Category) -> f64 {
+        match cat {
+            Category::Dgemm => self.t_dgemm,
+            Category::Daxpy => self.t_daxpy,
+            Category::Gather => self.t_gather,
+            Category::Net => self.t_net,
+            Category::Lock => self.t_lock,
+            Category::Io => self.t_io,
+            Category::Other => 0.0,
+        }
+    }
+
+    fn time_mut(&mut self, cat: Category) -> &mut f64 {
+        match cat {
+            Category::Dgemm => &mut self.t_dgemm,
+            Category::Daxpy => &mut self.t_daxpy,
+            Category::Gather => &mut self.t_gather,
+            Category::Net => &mut self.t_net,
+            Category::Lock => &mut self.t_lock,
+            Category::Io => &mut self.t_io,
+            Category::Other => &mut self.t_gather, // unreachable by construction
+        }
+    }
+
+    /// Load imbalance = elapsed − mean busy (the Table 3 residual row).
+    pub fn load_imbalance(&self) -> f64 {
+        self.elapsed - self.mean_busy
+    }
+
+    /// Total flops (aggregate).
+    pub fn flops(&self) -> f64 {
+        self.flops_dgemm + self.flops_daxpy
+    }
+
+    /// Sustained GFlop/s per MSP over the wall-clock.
+    pub fn gflops_per_msp(&self) -> f64 {
+        if self.elapsed == 0.0 || self.nproc == 0 {
+            0.0
+        } else {
+            self.flops() / self.elapsed / self.nproc as f64 / 1e9
+        }
+    }
+
+    /// Aggregate sustained TFlop/s over the wall-clock.
+    pub fn tflops(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.flops() / self.elapsed / 1e12
+        }
+    }
+
+    /// Build a summary from a trace.
+    ///
+    /// Span durations accumulate into the category rows; the standard
+    /// payload keys (`flops`, `bytes`, `msgs`, `acquires`, `nxtval`)
+    /// accumulate into the counters. Wall-clock is the busy time (span
+    /// duration sum) of the slowest rank, matching `RunReport::elapsed`.
+    pub fn from_events(events: &[Event]) -> RunSummary {
+        let mut s = RunSummary::default();
+        let mut busy: Vec<f64> = Vec::new();
+        for e in events {
+            if e.kind != EventKind::Span {
+                continue;
+            }
+            *s.time_mut(e.cat) += e.sim_dur_s;
+            if let Some(r) = e.rank {
+                if busy.len() <= r {
+                    busy.resize(r + 1, 0.0);
+                }
+                busy[r] += e.sim_dur_s;
+            }
+            match e.cat {
+                Category::Dgemm => s.flops_dgemm += e.arg("flops").unwrap_or(0.0),
+                Category::Daxpy => s.flops_daxpy += e.arg("flops").unwrap_or(0.0),
+                Category::Net => {
+                    s.net_bytes += e.arg("bytes").unwrap_or(0.0);
+                    s.net_msgs += e.arg("msgs").unwrap_or(0.0);
+                    s.nxtval_msgs += e.arg("nxtval").unwrap_or(0.0);
+                }
+                Category::Lock => s.lock_acquires += e.arg("acquires").unwrap_or(0.0),
+                _ => {}
+            }
+        }
+        s.nproc = busy.len();
+        s.elapsed = busy.iter().copied().fold(0.0, f64::max);
+        s.mean_busy = if busy.is_empty() {
+            0.0
+        } else {
+            busy.iter().sum::<f64>() / busy.len() as f64
+        };
+        s
+    }
+
+    /// Serialize for the `BENCH_*.json` artifacts.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("nproc", JsonValue::Num(self.nproc as f64)),
+            ("t_dgemm", JsonValue::Num(self.t_dgemm)),
+            ("t_daxpy", JsonValue::Num(self.t_daxpy)),
+            ("t_gather", JsonValue::Num(self.t_gather)),
+            ("t_net", JsonValue::Num(self.t_net)),
+            ("t_lock", JsonValue::Num(self.t_lock)),
+            ("t_io", JsonValue::Num(self.t_io)),
+            ("elapsed", JsonValue::Num(self.elapsed)),
+            ("mean_busy", JsonValue::Num(self.mean_busy)),
+            ("load_imbalance", JsonValue::Num(self.load_imbalance())),
+            ("flops_dgemm", JsonValue::Num(self.flops_dgemm)),
+            ("flops_daxpy", JsonValue::Num(self.flops_daxpy)),
+            ("net_bytes", JsonValue::Num(self.net_bytes)),
+            ("net_msgs", JsonValue::Num(self.net_msgs)),
+            ("lock_acquires", JsonValue::Num(self.lock_acquires)),
+            ("nxtval_msgs", JsonValue::Num(self.nxtval_msgs)),
+            ("gflops_per_msp", JsonValue::Num(self.gflops_per_msp())),
+            ("tflops", JsonValue::Num(self.tflops())),
+        ])
+    }
+
+    /// Parse a summary previously written by [`RunSummary::to_json`].
+    /// Derived quantities (`load_imbalance`, rates) are recomputed, not read.
+    pub fn from_json(v: &JsonValue) -> Result<RunSummary, String> {
+        let f = |k: &str| v.get_f64(k).ok_or_else(|| format!("missing '{k}'"));
+        Ok(RunSummary {
+            nproc: f("nproc")? as usize,
+            t_dgemm: f("t_dgemm")?,
+            t_daxpy: f("t_daxpy")?,
+            t_gather: f("t_gather")?,
+            t_net: f("t_net")?,
+            t_lock: f("t_lock")?,
+            t_io: f("t_io")?,
+            elapsed: f("elapsed")?,
+            mean_busy: f("mean_busy")?,
+            flops_dgemm: f("flops_dgemm")?,
+            flops_daxpy: f("flops_daxpy")?,
+            net_bytes: f("net_bytes")?,
+            net_msgs: v.get_f64("net_msgs").unwrap_or(0.0),
+            lock_acquires: v.get_f64("lock_acquires").unwrap_or(0.0),
+            nxtval_msgs: v.get_f64("nxtval_msgs").unwrap_or(0.0),
+        })
+    }
+
+    /// Render the Table-3-style breakdown as text.
+    pub fn render(&self, title: &str) -> String {
+        let n = self.nproc.max(1) as f64;
+        let per_msp = |t: f64| t / n;
+        let pct = |t: f64| {
+            if self.elapsed > 0.0 {
+                100.0 * per_msp(t) / self.elapsed
+            } else {
+                0.0
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{title}  ({} MSPs)\n", self.nproc));
+        out.push_str(&format!(
+            "  {:<24} {:>12}  {:>6}\n",
+            "row", "time/MSP (s)", "%"
+        ));
+        let rows: [(&str, f64); 7] = [
+            ("compute: DGEMM", self.t_dgemm),
+            ("compute: DAXPY/scalar", self.t_daxpy),
+            ("gather/scatter", self.t_gather),
+            ("network", self.t_net),
+            ("lock wait", self.t_lock),
+            ("disk I/O", self.t_io),
+            ("load imbalance", self.load_imbalance() * n),
+        ];
+        for (name, t) in rows {
+            out.push_str(&format!(
+                "  {:<24} {:>12.4}  {:>5.1}%\n",
+                name,
+                per_msp(t),
+                pct(t)
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<24} {:>12.4}  {:>5.1}%\n",
+            "total (wall)", self.elapsed, 100.0
+        ));
+        out.push_str(&format!(
+            "  sustained: {:.2} GF/s per MSP, {:.4} TFlop/s aggregate\n",
+            self.gflops_per_msp(),
+            self.tflops()
+        ));
+        out.push_str(&format!(
+            "  traffic: {:.3e} bytes in {} msgs; nxtval {}; lock acquires {}\n",
+            self.net_bytes, self.net_msgs, self.nxtval_msgs, self.lock_acquires
+        ));
+        out
+    }
+
+    /// Render a side-by-side diff of two summaries (for `fcix-trace diff`).
+    pub fn render_diff(&self, other: &RunSummary) -> String {
+        let rel = |a: f64, b: f64| {
+            if a == 0.0 && b == 0.0 {
+                0.0
+            } else if a == 0.0 {
+                f64::INFINITY
+            } else {
+                100.0 * (b - a) / a
+            }
+        };
+        let rows: [(&str, f64, f64); 10] = [
+            ("t_dgemm", self.t_dgemm, other.t_dgemm),
+            ("t_daxpy", self.t_daxpy, other.t_daxpy),
+            ("t_gather", self.t_gather, other.t_gather),
+            ("t_net", self.t_net, other.t_net),
+            ("t_lock", self.t_lock, other.t_lock),
+            ("t_io", self.t_io, other.t_io),
+            ("elapsed", self.elapsed, other.elapsed),
+            (
+                "load_imbalance",
+                self.load_imbalance(),
+                other.load_imbalance(),
+            ),
+            ("net_bytes", self.net_bytes, other.net_bytes),
+            ("flops", self.flops(), other.flops()),
+        ];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<16} {:>14} {:>14} {:>9}\n",
+            "metric", "A", "B", "Δ%"
+        ));
+        for (name, a, b) in rows {
+            out.push_str(&format!(
+                "  {:<16} {:>14.6} {:>14.6} {:>+8.2}%\n",
+                name,
+                a,
+                b,
+                rel(a, b)
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<16} {:>14.3} {:>14.3} {:>+8.2}%\n",
+            "GF/s per MSP",
+            self.gflops_per_msp(),
+            other.gflops_per_msp(),
+            rel(self.gflops_per_msp(), other.gflops_per_msp())
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Segment, Tracer};
+
+    fn traced() -> Vec<Event> {
+        let t = Tracer::in_memory();
+        // Rank 0: 1.0 s dgemm (2e9 flops) + 0.25 s net (1e6 bytes, 10 msgs).
+        t.record_phase(
+            0,
+            "sigma",
+            &[
+                Segment::new(Category::Dgemm, 1.0, vec![("flops".into(), 2.0e9)]),
+                Segment::new(
+                    Category::Net,
+                    0.25,
+                    vec![("bytes".into(), 1e6), ("msgs".into(), 10.0)],
+                ),
+            ],
+            0.0,
+            0.0,
+        );
+        // Rank 1: 0.5 s dgemm (1e9 flops) + 0.1 s lock (3 acquires).
+        t.record_phase(
+            1,
+            "sigma",
+            &[
+                Segment::new(Category::Dgemm, 0.5, vec![("flops".into(), 1.0e9)]),
+                Segment::new(Category::Lock, 0.1, vec![("acquires".into(), 3.0)]),
+            ],
+            0.0,
+            0.0,
+        );
+        t.barrier(2);
+        t.events().unwrap()
+    }
+
+    #[test]
+    fn from_events_aggregates() {
+        let s = RunSummary::from_events(&traced());
+        assert_eq!(s.nproc, 2);
+        assert!((s.t_dgemm - 1.5).abs() < 1e-12);
+        assert!((s.t_net - 0.25).abs() < 1e-12);
+        assert!((s.t_lock - 0.1).abs() < 1e-12);
+        assert!((s.elapsed - 1.25).abs() < 1e-12);
+        assert!((s.mean_busy - (1.25 + 0.6) / 2.0).abs() < 1e-12);
+        assert!((s.flops() - 3.0e9).abs() < 1.0);
+        assert_eq!(s.net_msgs, 10.0);
+        assert_eq!(s.lock_acquires, 3.0);
+        // 3e9 flops / 1.25 s / 2 MSPs = 1.2 GF/s per MSP.
+        assert!((s.gflops_per_msp() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = RunSummary::from_events(&traced());
+        let back = RunSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn render_mentions_all_rows() {
+        let s = RunSummary::from_events(&traced());
+        let text = s.render("Table 3");
+        for needle in [
+            "DGEMM",
+            "DAXPY",
+            "network",
+            "lock wait",
+            "disk I/O",
+            "load imbalance",
+            "TFlop/s",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_renders() {
+        let s = RunSummary::from_events(&traced());
+        let text = s.render_diff(&s);
+        assert!(text.contains("elapsed"));
+        assert!(text.contains("+0.00%"));
+    }
+}

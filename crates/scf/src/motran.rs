@@ -197,7 +197,9 @@ mod tests {
             for q in 0..n {
                 for r in 0..n {
                     for s in 0..n {
-                        assert!((mo.eri.get(p, q, r, s) - res.eri_ao.get(p, q, r, s)).abs() < 1e-12);
+                        assert!(
+                            (mo.eri.get(p, q, r, s) - res.eri_ao.get(p, q, r, s)).abs() < 1e-12
+                        );
                     }
                 }
             }
@@ -243,12 +245,23 @@ mod tests {
     #[test]
     fn water_frozen_core_window() {
         let m = Molecule::from_symbols_bohr(
-            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+            &[
+                ("O", [0.0, 0.0, 0.0]),
+                ("H", [0.0, 1.43, 1.11]),
+                ("H", [0.0, -1.43, 1.11]),
+            ],
             0,
         );
         let b = BasisSet::build(&m, "sto-3g");
         let res = rhf(&m, &b, &RhfOptions::default());
-        let mo = transform_integrals(&res.h_ao, &res.eri_ao, &res.mo_coeffs, m.nuclear_repulsion(), 1, 6);
+        let mo = transform_integrals(
+            &res.h_ao,
+            &res.eri_ao,
+            &res.mo_coeffs,
+            m.nuclear_repulsion(),
+            1,
+            6,
+        );
         assert_eq!(mo.n_orb, 6);
         // The frozen 1s core contributes a large negative constant.
         assert!(mo.e_core < m.nuclear_repulsion());

@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn water_mp2_physical_window() {
         let mol = Molecule::from_symbols_bohr(
-            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+            &[
+                ("O", [0.0, 0.0, 0.0]),
+                ("H", [0.0, 1.43, 1.11]),
+                ("H", [0.0, -1.43, 1.11]),
+            ],
             0,
         );
         let basis = BasisSet::build(&mol, "sto-3g");

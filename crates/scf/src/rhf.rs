@@ -10,7 +10,10 @@ pub fn lowdin(s: &Matrix) -> Matrix {
     let e = eigh(s);
     let n = s.nrows();
     for &w in &e.eigenvalues {
-        assert!(w > 1e-10, "overlap matrix is (numerically) singular: eigenvalue {w}");
+        assert!(
+            w > 1e-10,
+            "overlap matrix is (numerically) singular: eigenvalue {w}"
+        );
     }
     // X = U diag(w^{-1/2}) Uᵀ
     let mut us = Matrix::zeros(n, n);
@@ -51,7 +54,11 @@ pub struct RhfOptions {
 
 impl Default for RhfOptions {
     fn default() -> Self {
-        RhfOptions { max_iter: 100, conv: 1e-9, diis_depth: 8 }
+        RhfOptions {
+            max_iter: 100,
+            conv: 1e-9,
+            diis_depth: 8,
+        }
     }
 }
 
@@ -83,10 +90,16 @@ pub struct RhfResult {
 /// Run closed-shell RHF. Panics if the electron count is odd.
 pub fn rhf(molecule: &Molecule, basis: &BasisSet, opts: &RhfOptions) -> RhfResult {
     let nelec = molecule.n_electrons();
-    assert!(nelec % 2 == 0, "RHF requires an even electron count (got {nelec})");
+    assert!(
+        nelec.is_multiple_of(2),
+        "RHF requires an even electron count (got {nelec})"
+    );
     let nocc = nelec / 2;
     let n = basis.n_basis();
-    assert!(nocc <= n, "not enough basis functions for {nelec} electrons");
+    assert!(
+        nocc <= n,
+        "not enough basis functions for {nelec} electrons"
+    );
 
     let s = overlap(basis);
     let h = {
@@ -287,27 +300,58 @@ mod tests {
     #[test]
     fn water_scf_converges() {
         let m = Molecule::from_symbols_bohr(
-            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+            &[
+                ("O", [0.0, 0.0, 0.0]),
+                ("H", [0.0, 1.43, 1.11]),
+                ("H", [0.0, -1.43, 1.11]),
+            ],
             0,
         );
         let b = BasisSet::build(&m, "sto-3g");
         let res = rhf(&m, &b, &RhfOptions::default());
-        assert!(res.converged, "water SCF failed after {} iterations", res.iterations);
+        assert!(
+            res.converged,
+            "water SCF failed after {} iterations",
+            res.iterations
+        );
         // Literature RHF/STO-3G water energies sit near −74.96 Eh for
         // geometries in this range; accept a broad physical window.
-        assert!(res.energy < -74.0 && res.energy > -76.0, "E = {}", res.energy);
+        assert!(
+            res.energy < -74.0 && res.energy > -76.0,
+            "E = {}",
+            res.energy
+        );
         assert_eq!(res.n_occ, 5);
     }
 
     #[test]
     fn diis_beats_plain_iteration() {
         let m = Molecule::from_symbols_bohr(
-            &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.43, 1.11]), ("H", [0.0, -1.43, 1.11])],
+            &[
+                ("O", [0.0, 0.0, 0.0]),
+                ("H", [0.0, 1.43, 1.11]),
+                ("H", [0.0, -1.43, 1.11]),
+            ],
             0,
         );
         let b = BasisSet::build(&m, "sto-3g");
-        let with = rhf(&m, &b, &RhfOptions { diis_depth: 8, ..Default::default() });
-        let without = rhf(&m, &b, &RhfOptions { diis_depth: 0, max_iter: 300, ..Default::default() });
+        let with = rhf(
+            &m,
+            &b,
+            &RhfOptions {
+                diis_depth: 8,
+                ..Default::default()
+            },
+        );
+        let without = rhf(
+            &m,
+            &b,
+            &RhfOptions {
+                diis_depth: 0,
+                max_iter: 300,
+                ..Default::default()
+            },
+        );
         assert!(with.converged && without.converged);
         assert!((with.energy - without.energy).abs() < 1e-7);
         assert!(with.iterations <= without.iterations);
@@ -325,7 +369,11 @@ mod tests {
         assert!(e_small[0] > -0.5);
         assert!(e_big[0] > -0.5);
         assert!(e_big[0] < e_small[0], "bigger basis must be lower");
-        assert!(e_big[0] < -0.499, "10-term even-tempered should be near-exact: {}", e_big[0]);
+        assert!(
+            e_big[0] < -0.499,
+            "10-term even-tempered should be near-exact: {}",
+            e_big[0]
+        );
     }
 
     #[test]
@@ -337,6 +385,11 @@ mod tests {
         let e1 = rhf(&m, &b1, &RhfOptions::default());
         let e2 = rhf(&m, &b2, &RhfOptions::default());
         assert!(e2.converged);
-        assert!(e2.energy < e1.energy, "svp {} !< sto-3g {}", e2.energy, e1.energy);
+        assert!(
+            e2.energy < e1.energy,
+            "svp {} !< sto-3g {}",
+            e2.energy,
+            e1.energy
+        );
     }
 }

@@ -97,7 +97,10 @@ pub fn symmetry_adapt(
                 }
                 nn += adapted[(i, m)] * t;
             }
-            assert!(nn > 1e-8, "orbital {m} collapsed during re-orthogonalization");
+            assert!(
+                nn > 1e-8,
+                "orbital {m} collapsed during re-orthogonalization"
+            );
             let nrm = nn.sqrt();
             for i in 0..nao {
                 adapted[(i, m)] /= nrm;
@@ -115,7 +118,8 @@ mod tests {
 
     #[test]
     fn n2_core_orbitals_adapt_to_d2h() {
-        let m = Molecule::from_symbols_bohr(&[("N", [0.0, 0.0, -1.05]), ("N", [0.0, 0.0, 1.05])], 0);
+        let m =
+            Molecule::from_symbols_bohr(&[("N", [0.0, 0.0, -1.05]), ("N", [0.0, 0.0, 1.05])], 0);
         let b = BasisSet::build(&m, "sto-3g");
         let s = overlap(&b);
         let (c, _e) = core_orbitals(&b, &m);
@@ -131,13 +135,20 @@ mod tests {
         assert!(ctsc.max_abs_diff(&Matrix::eye(c.ncols())) < 1e-9);
         // A linear molecule must show π-type (degenerate) irreps ≠ 0.
         let distinct: std::collections::HashSet<u8> = irreps.iter().copied().collect();
-        assert!(distinct.len() >= 4, "expected several irreps, got {distinct:?}");
+        assert!(
+            distinct.len() >= 4,
+            "expected several irreps, got {distinct:?}"
+        );
     }
 
     #[test]
     fn c1_molecule_all_totally_symmetric() {
         let m = Molecule::from_symbols_bohr(
-            &[("O", [0.0; 3]), ("H", [0.0, 1.43, 1.11]), ("F", [0.3, -1.0, 0.7])],
+            &[
+                ("O", [0.0; 3]),
+                ("H", [0.0, 1.43, 1.11]),
+                ("F", [0.3, -1.0, 0.7]),
+            ],
             0,
         );
         let b = BasisSet::build(&m, "sto-3g");

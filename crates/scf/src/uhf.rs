@@ -45,8 +45,18 @@ pub struct UhfResult {
 }
 
 /// Run UHF with `n_alpha` ≥ `n_beta` electrons.
-pub fn uhf(molecule: &Molecule, basis: &BasisSet, n_alpha: usize, n_beta: usize, opts: &RhfOptions) -> UhfResult {
-    assert_eq!(n_alpha + n_beta, molecule.n_electrons(), "spin occupation must match electron count");
+pub fn uhf(
+    molecule: &Molecule,
+    basis: &BasisSet,
+    n_alpha: usize,
+    n_beta: usize,
+    opts: &RhfOptions,
+) -> UhfResult {
+    assert_eq!(
+        n_alpha + n_beta,
+        molecule.n_electrons(),
+        "spin occupation must match electron count"
+    );
     assert!(n_alpha >= n_beta, "convention: n_alpha >= n_beta");
     let n = basis.n_basis();
     assert!(n_alpha <= n);
@@ -258,7 +268,12 @@ mod tests {
         let r = rhf(&mol, &basis, &RhfOptions::default());
         let u = uhf(&mol, &basis, 1, 1, &RhfOptions::default());
         assert!(u.converged);
-        assert!((u.energy - r.energy).abs() < 1e-8, "{} vs {}", u.energy, r.energy);
+        assert!(
+            (u.energy - r.energy).abs() < 1e-8,
+            "{} vs {}",
+            u.energy,
+            r.energy
+        );
         assert!(u.s_squared.abs() < 1e-8);
     }
 
@@ -278,8 +293,21 @@ mod tests {
     fn oxygen_triplet_ground_state() {
         let mol = Molecule::from_symbols_bohr(&[("O", [0.0; 3])], 0);
         let basis = BasisSet::build(&mol, "sto-3g");
-        let u = uhf(&mol, &basis, 5, 3, &RhfOptions { max_iter: 200, ..Default::default() });
-        assert!(u.converged, "O atom UHF failed in {} iterations", u.iterations);
+        let u = uhf(
+            &mol,
+            &basis,
+            5,
+            3,
+            &RhfOptions {
+                max_iter: 200,
+                ..Default::default()
+            },
+        );
+        assert!(
+            u.converged,
+            "O atom UHF failed in {} iterations",
+            u.iterations
+        );
         // Physical window for UHF/STO-3G O (literature RHF-class values
         // sit near −73.8 Eh⁻¹ scale — accept a broad bracket).
         assert!(u.energy < -73.0 && u.energy > -75.5, "E = {}", u.energy);
@@ -299,7 +327,16 @@ mod tests {
         // Break symmetry by seeding from an asymmetric β occupation swap:
         // the core guess is symmetric, so help it with a tiny field trick —
         // here simply accept either outcome but require E_UHF ≤ E_RHF + ε.
-        let u = uhf(&mol, &basis, 1, 1, &RhfOptions { max_iter: 300, ..Default::default() });
+        let u = uhf(
+            &mol,
+            &basis,
+            1,
+            1,
+            &RhfOptions {
+                max_iter: 300,
+                ..Default::default()
+            },
+        );
         assert!(u.converged);
         assert!(u.energy <= r.energy + 1e-8);
     }

@@ -41,7 +41,11 @@ pub fn annihilate(mask: u64, q: usize) -> Option<(i8, u64)> {
     if mask & (1u64 << q) == 0 {
         return None;
     }
-    let sign = if count_below(mask, q) % 2 == 0 { 1 } else { -1 };
+    let sign = if count_below(mask, q).is_multiple_of(2) {
+        1
+    } else {
+        -1
+    };
     Some((sign, mask & !(1u64 << q)))
 }
 
@@ -52,7 +56,11 @@ pub fn create(mask: u64, p: usize) -> Option<(i8, u64)> {
     if mask & (1u64 << p) != 0 {
         return None;
     }
-    let sign = if count_below(mask, p) % 2 == 0 { 1 } else { -1 };
+    let sign = if count_below(mask, p).is_multiple_of(2) {
+        1
+    } else {
+        -1
+    };
     Some((sign, mask | (1u64 << p)))
 }
 

@@ -31,4 +31,6 @@ pub mod tables;
 pub use bits::{annihilate, create, excite, irrep_of_mask, occ_list, string_from_occ};
 pub use rank::{rank_colex, unrank_colex};
 pub use space::{binomial, SpinStrings};
-pub use tables::{pair_index, CreateEntry, Nm1Families, Nm2Families, PairEntry, SingleEntry, SinglesTable};
+pub use tables::{
+    pair_index, CreateEntry, Nm1Families, Nm2Families, PairEntry, SingleEntry, SinglesTable,
+};

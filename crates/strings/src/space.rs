@@ -43,10 +43,19 @@ impl SpinStrings {
     /// for no symmetry.
     pub fn new(n_orb: usize, n_elec: usize, orb_sym: &[u8], n_irrep: usize) -> Self {
         assert!(n_orb <= 64, "at most 64 orbitals");
-        assert!(n_elec <= n_orb, "cannot place {n_elec} electrons in {n_orb} orbitals");
-        assert!(matches!(n_irrep, 1 | 2 | 4 | 8), "n_irrep must be 1, 2, 4 or 8");
+        assert!(
+            n_elec <= n_orb,
+            "cannot place {n_elec} electrons in {n_orb} orbitals"
+        );
+        assert!(
+            matches!(n_irrep, 1 | 2 | 4 | 8),
+            "n_irrep must be 1, 2, 4 or 8"
+        );
         assert_eq!(orb_sym.len(), n_orb, "orb_sym length must equal n_orb");
-        assert!(orb_sym.iter().all(|&g| (g as usize) < n_irrep), "orbital irrep out of range");
+        assert!(
+            orb_sym.iter().all(|&g| (g as usize) < n_irrep),
+            "orbital irrep out of range"
+        );
 
         // Enumerate all C(n_orb, n_elec) masks in ascending mask order via
         // Gosper's hack, bucketing by irrep.
@@ -55,7 +64,11 @@ impl SpinStrings {
             buckets[0].push(0);
         } else {
             let mut v: u64 = (1u64 << n_elec) - 1;
-            let limit: u64 = if n_orb == 64 { u64::MAX } else { (1u64 << n_orb) - 1 };
+            let limit: u64 = if n_orb == 64 {
+                u64::MAX
+            } else {
+                (1u64 << n_orb) - 1
+            };
             loop {
                 buckets[irrep_of_mask(v, orb_sym) as usize].push(v);
                 if v == 0 {
@@ -78,7 +91,11 @@ impl SpinStrings {
             strings.extend_from_slice(b);
             irrep_offsets.push(strings.len());
         }
-        let index: HashMap<u64, u32> = strings.iter().enumerate().map(|(i, &m)| (m, i as u32)).collect();
+        let index: HashMap<u64, u32> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i as u32))
+            .collect();
         SpinStrings {
             n_orb,
             n_elec,

@@ -51,14 +51,23 @@ impl SinglesTable {
         for j in 0..nstr {
             let mask = space.mask(j);
             for q in 0..n {
-                let Some((s1, m1)) = annihilate(mask, q) else { continue };
+                let Some((s1, m1)) = annihilate(mask, q) else {
+                    continue;
+                };
                 for p in 0..n {
-                    let Some((s2, m2)) = create(m1, p) else { continue };
+                    let Some((s2, m2)) = create(m1, p) else {
+                        continue;
+                    };
                     let to = space
                         .index_of(m2)
                         .expect("E_pq target must stay inside the full string space")
                         as u32;
-                    entries.push(SingleEntry { p: p as u8, q: q as u8, sign: s1 * s2, to });
+                    entries.push(SingleEntry {
+                        p: p as u8,
+                        q: q as u8,
+                        sign: s1 * s2,
+                        to,
+                    });
                 }
             }
             offsets.push(entries.len());
@@ -101,8 +110,16 @@ pub struct Nm1Families {
 impl Nm1Families {
     /// Build the N−1 families of `space` (which must have ≥1 electron).
     pub fn new(space: &SpinStrings) -> Self {
-        assert!(space.n_elec() >= 1, "need at least one electron for N-1 families");
-        let space_k = SpinStrings::new(space.n_orb(), space.n_elec() - 1, space.orb_sym(), space.n_irrep());
+        assert!(
+            space.n_elec() >= 1,
+            "need at least one electron for N-1 families"
+        );
+        let space_k = SpinStrings::new(
+            space.n_orb(),
+            space.n_elec() - 1,
+            space.orb_sym(),
+            space.n_irrep(),
+        );
         let nk = space_k.len();
         // Count, then fill (families are built K-major).
         let mut counts = vec![0usize; nk];
@@ -124,7 +141,14 @@ impl Nm1Families {
             offsets.push(acc);
         }
         let mut fill = offsets.clone();
-        let mut entries = vec![CreateEntry { p: 0, sign: 0, to: 0 }; acc];
+        let mut entries = vec![
+            CreateEntry {
+                p: 0,
+                sign: 0,
+                to: 0
+            };
+            acc
+        ];
         for i in 0..space.len() {
             let mask = space.mask(i);
             let mut m = mask;
@@ -135,7 +159,11 @@ impl Nm1Families {
                 // which equals the sign of annihilate(I, p).
                 let (sign, km) = annihilate(mask, p).unwrap();
                 let k = space_k.index_of(km).unwrap();
-                entries[fill[k]] = CreateEntry { p: p as u8, sign, to: i as u32 };
+                entries[fill[k]] = CreateEntry {
+                    p: p as u8,
+                    sign,
+                    to: i as u32,
+                };
                 fill[k] += 1;
             }
         }
@@ -143,7 +171,11 @@ impl Nm1Families {
         for k in 0..nk {
             entries[offsets[k]..offsets[k + 1]].sort_by_key(|e| e.p);
         }
-        Nm1Families { space_k, offsets, entries }
+        Nm1Families {
+            space_k,
+            offsets,
+            entries,
+        }
     }
 
     /// The N−1 electron string space.
@@ -208,8 +240,16 @@ pub struct Nm2Families {
 impl Nm2Families {
     /// Build the N−2 families of `space` (which must have ≥2 electrons).
     pub fn new(space: &SpinStrings) -> Self {
-        assert!(space.n_elec() >= 2, "need at least two electrons for N-2 families");
-        let space_k = SpinStrings::new(space.n_orb(), space.n_elec() - 2, space.orb_sym(), space.n_irrep());
+        assert!(
+            space.n_elec() >= 2,
+            "need at least two electrons for N-2 families"
+        );
+        let space_k = SpinStrings::new(
+            space.n_orb(),
+            space.n_elec() - 2,
+            space.orb_sym(),
+            space.n_irrep(),
+        );
         let nk = space_k.len();
         let mut counts = vec![0usize; nk];
         let visit = |i: usize, mask: u64, record: &mut dyn FnMut(usize, PairEntry)| {
@@ -224,7 +264,12 @@ impl Nm2Families {
                     let k = space_k.index_of(km).unwrap();
                     record(
                         k,
-                        PairEntry { p: p as u8, r: r as u8, sign: s1 * s2, to: i as u32 },
+                        PairEntry {
+                            p: p as u8,
+                            r: r as u8,
+                            sign: s1 * s2,
+                            to: i as u32,
+                        },
                     );
                 }
             }
@@ -240,7 +285,15 @@ impl Nm2Families {
             offsets.push(acc);
         }
         let mut fill = offsets.clone();
-        let mut entries = vec![PairEntry { p: 0, r: 0, sign: 0, to: 0 }; acc];
+        let mut entries = vec![
+            PairEntry {
+                p: 0,
+                r: 0,
+                sign: 0,
+                to: 0
+            };
+            acc
+        ];
         for i in 0..space.len() {
             visit(i, space.mask(i), &mut |k, e| {
                 entries[fill[k]] = e;
@@ -250,7 +303,11 @@ impl Nm2Families {
         for k in 0..nk {
             entries[offsets[k]..offsets[k + 1]].sort_by_key(|e| (e.p, e.r));
         }
-        Nm2Families { space_k, offsets, entries }
+        Nm2Families {
+            space_k,
+            offsets,
+            entries,
+        }
     }
 
     /// The N−2 electron string space.

@@ -1,14 +1,18 @@
 //! Per-MSP simulated clocks.
 
 use crate::model::MachineModel;
-use serde::{Deserialize, Serialize};
+use fci_obs::tracer::Segment;
+use fci_obs::Category;
 
 /// Accumulated simulated time and work of one virtual MSP.
 ///
 /// Time is split by category so harnesses can print the Table 3 style
 /// breakdown (compute vs communication vs lock wait vs I/O) and compute
-/// sustained flop rates.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// sustained flop rates. Alongside the time split, the clock keeps event
+/// *counters* (messages, lock acquisitions, nxtval traffic) so summaries
+/// can report counts as well as bytes; counters never affect the time
+/// accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Clock {
     /// Seconds spent in DGEMM-class compute.
     pub t_dgemm: f64,
@@ -28,6 +32,12 @@ pub struct Clock {
     pub flops_daxpy: f64,
     /// Bytes moved over the network by this MSP.
     pub net_bytes: f64,
+    /// One-sided messages sent by this MSP (including counter traffic).
+    pub net_msgs: f64,
+    /// Remote mutex acquisitions by this MSP.
+    pub lock_acquires: f64,
+    /// Atomic-counter (`nxtval`) operations issued by this MSP.
+    pub nxtval_msgs: f64,
 }
 
 impl Clock {
@@ -84,17 +94,25 @@ impl Clock {
     /// Charge `n_msgs` one-sided messages moving `bytes` in total.
     pub fn charge_net(&mut self, model: &MachineModel, bytes: u64, n_msgs: u64) {
         self.net_bytes += bytes as f64;
+        self.net_msgs += n_msgs as f64;
         self.t_net += n_msgs as f64 * model.net_latency + bytes as f64 / model.net_bandwidth;
     }
 
     /// Charge `n` remote mutex acquisitions.
     pub fn charge_mutex(&mut self, model: &MachineModel, n: u64) {
+        self.lock_acquires += n as f64;
         self.t_lock += n as f64 * model.mutex_cost;
     }
 
     /// Charge disk traffic.
     pub fn charge_io(&mut self, model: &MachineModel, read_bytes: f64, write_bytes: f64) {
         self.t_io += read_bytes / model.disk_read + write_bytes / model.disk_write;
+    }
+
+    /// Record `n` `nxtval` counter operations. Count only — their time is
+    /// already part of the network charge (they ride `total_msgs()`).
+    pub fn note_nxtval(&mut self, n: u64) {
+        self.nxtval_msgs += n as f64;
     }
 
     /// Merge another clock's charges into this one.
@@ -108,6 +126,46 @@ impl Clock {
         self.flops_dgemm += other.flops_dgemm;
         self.flops_daxpy += other.flops_daxpy;
         self.net_bytes += other.net_bytes;
+        self.net_msgs += other.net_msgs;
+        self.lock_acquires += other.lock_acquires;
+        self.nxtval_msgs += other.nxtval_msgs;
+    }
+
+    /// This clock's charges as tracer segments, in Table 3 row order.
+    ///
+    /// The segment durations are exactly the category fields, so a trace
+    /// built from these segments reproduces [`Clock::total`] as the sum of
+    /// its span durations — the invariant `tests/trace_telemetry.rs`
+    /// checks to 1e-9.
+    pub fn segments(&self) -> Vec<Segment> {
+        vec![
+            Segment::new(
+                Category::Dgemm,
+                self.t_dgemm,
+                vec![("flops".into(), self.flops_dgemm)],
+            ),
+            Segment::new(
+                Category::Daxpy,
+                self.t_daxpy,
+                vec![("flops".into(), self.flops_daxpy)],
+            ),
+            Segment::new(Category::Gather, self.t_gather, vec![]),
+            Segment::new(
+                Category::Net,
+                self.t_net,
+                vec![
+                    ("bytes".into(), self.net_bytes),
+                    ("msgs".into(), self.net_msgs),
+                    ("nxtval".into(), self.nxtval_msgs),
+                ],
+            ),
+            Segment::new(
+                Category::Lock,
+                self.t_lock,
+                vec![("acquires".into(), self.lock_acquires)],
+            ),
+            Segment::new(Category::Io, self.t_io, vec![]),
+        ]
     }
 }
 
@@ -143,7 +201,12 @@ mod tests {
         let mut b = Clock::default();
         a.charge_dgemm(&m, 500, 500, 500);
         b.charge_daxpy(&m, 2.0 * 500.0 * 500.0 * 500.0);
-        assert!(a.total() < b.total() / 4.0, "dgemm {} vs daxpy {}", a.total(), b.total());
+        assert!(
+            a.total() < b.total() / 4.0,
+            "dgemm {} vs daxpy {}",
+            a.total(),
+            b.total()
+        );
     }
 
     #[test]
@@ -159,14 +222,51 @@ mod tests {
     }
 
     #[test]
+    fn counters_track_without_time() {
+        let m = MachineModel::cray_x1();
+        let mut c = Clock::default();
+        c.charge_net(&m, 1_000, 5);
+        c.charge_mutex(&m, 2);
+        let t = c.total();
+        c.note_nxtval(7);
+        assert_eq!(c.net_msgs, 5.0);
+        assert_eq!(c.lock_acquires, 2.0);
+        assert_eq!(c.nxtval_msgs, 7.0);
+        // note_nxtval is count-only.
+        assert_eq!(c.total(), t);
+    }
+
+    #[test]
     fn merge_adds_everything() {
         let m = MachineModel::cray_x1();
         let mut a = Clock::default();
         a.charge_daxpy(&m, 1e9);
         a.charge_net(&m, 100, 1);
+        a.note_nxtval(1);
         let mut b = a;
         b.merge(&a);
         assert!((b.total() - 2.0 * a.total()).abs() < 1e-15);
         assert_eq!(b.net_bytes, 200.0);
+        assert_eq!(b.net_msgs, 2.0);
+        assert_eq!(b.nxtval_msgs, 2.0);
+    }
+
+    #[test]
+    fn segments_sum_to_total() {
+        let m = MachineModel::cray_x1();
+        let mut c = Clock::default();
+        c.charge_dgemm(&m, 64, 64, 64);
+        c.charge_daxpy(&m, 1e8);
+        c.charge_gather(&m, 1e6);
+        c.charge_net(&m, 4096, 3);
+        c.charge_mutex(&m, 2);
+        c.charge_io(&m, 1e6, 1e6);
+        let segs = c.segments();
+        let sum: f64 = segs.iter().map(|s| s.sim_s).sum();
+        assert_eq!(sum, c.total());
+        // Payload carried on the right rows.
+        assert_eq!(segs[0].args[0].1, c.flops_dgemm);
+        assert_eq!(segs[3].args[0].1, c.net_bytes);
+        assert_eq!(segs[4].args[0].1, 2.0);
     }
 }

@@ -1,12 +1,10 @@
 //! Machine parameter sets.
 
-use serde::{Deserialize, Serialize};
-
 /// Performance constants of one simulated machine.
 ///
 /// All rates are per MSP (per virtual processor). See the crate docs for
 /// the calibration sources.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineModel {
     /// Theoretical peak, flop/s (X1 MSP: 12.8e9).
     pub peak_flops: f64,

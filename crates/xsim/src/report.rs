@@ -1,10 +1,10 @@
 //! Aggregation of per-MSP clocks into run-level metrics.
 
 use crate::clock::Clock;
-use serde::{Deserialize, Serialize};
+use fci_obs::{RunSummary, Tracer};
 
 /// The simulated-time outcome of one parallel phase (or whole iteration).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// One clock per virtual MSP.
     pub clocks: Vec<Clock>,
@@ -69,17 +69,91 @@ impl RunReport {
         self.clocks.iter().map(|c| c.net_bytes).sum()
     }
 
-    /// Merge another phase's report (same MSP count) into this one,
-    /// summing per-MSP charges.
+    /// Total one-sided messages sent (including counter traffic).
+    pub fn total_net_msgs(&self) -> f64 {
+        self.clocks.iter().map(|c| c.net_msgs).sum()
+    }
+
+    /// Total remote mutex acquisitions.
+    pub fn total_lock_acquires(&self) -> f64 {
+        self.clocks.iter().map(|c| c.lock_acquires).sum()
+    }
+
+    /// Total `nxtval` counter operations.
+    pub fn total_nxtval_msgs(&self) -> f64 {
+        self.clocks.iter().map(|c| c.nxtval_msgs).sum()
+    }
+
+    /// Merge another phase's report into this one, summing per-MSP
+    /// charges.
+    ///
+    /// If the MSP counts differ, the shorter side is padded with idle
+    /// (default) clocks — the missing ranks simply did nothing in that
+    /// phase. Use [`RunReport::try_merge`] to treat a mismatch as an
+    /// error instead.
     pub fn merge(&mut self, other: &RunReport) {
-        if self.clocks.is_empty() {
-            self.clocks = other.clocks.clone();
-            return;
+        if self.clocks.len() < other.clocks.len() {
+            self.clocks.resize(other.clocks.len(), Clock::default());
         }
-        assert_eq!(self.clocks.len(), other.clocks.len(), "mismatched MSP counts");
         for (a, b) in self.clocks.iter_mut().zip(&other.clocks) {
             a.merge(b);
         }
+    }
+
+    /// Like [`RunReport::merge`], but fails on mismatched MSP counts
+    /// (ignoring an empty side, which is the "nothing yet" accumulator).
+    pub fn try_merge(&mut self, other: &RunReport) -> Result<(), String> {
+        if !self.clocks.is_empty()
+            && !other.clocks.is_empty()
+            && self.clocks.len() != other.clocks.len()
+        {
+            return Err(format!(
+                "mismatched MSP counts: {} vs {}",
+                self.clocks.len(),
+                other.clocks.len()
+            ));
+        }
+        self.merge(other);
+        Ok(())
+    }
+
+    /// Roll the report up into the Table-3-style [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        let mut s = RunSummary {
+            nproc: self.nproc(),
+            elapsed: self.elapsed(),
+            mean_busy: self.mean_busy(),
+            ..RunSummary::default()
+        };
+        for c in &self.clocks {
+            s.t_dgemm += c.t_dgemm;
+            s.t_daxpy += c.t_daxpy;
+            s.t_gather += c.t_gather;
+            s.t_net += c.t_net;
+            s.t_lock += c.t_lock;
+            s.t_io += c.t_io;
+            s.flops_dgemm += c.flops_dgemm;
+            s.flops_daxpy += c.flops_daxpy;
+            s.net_bytes += c.net_bytes;
+            s.net_msgs += c.net_msgs;
+            s.lock_acquires += c.lock_acquires;
+            s.nxtval_msgs += c.nxtval_msgs;
+        }
+        s
+    }
+
+    /// Emit this phase into a trace: one stack of category spans per MSP
+    /// (derived from each rank's clock via [`Clock::segments`]), followed
+    /// by the phase barrier. `host_start_us`/`host_dur_us` bound the
+    /// measured host interval of the phase.
+    pub fn record_to(&self, tracer: &Tracer, phase: &str, host_start_us: f64, host_dur_us: f64) {
+        if !tracer.enabled() {
+            return;
+        }
+        for (rank, clock) in self.clocks.iter().enumerate() {
+            tracer.record_phase(rank, phase, &clock.segments(), host_start_us, host_dur_us);
+        }
+        tracer.barrier(self.nproc());
     }
 }
 
@@ -97,7 +171,11 @@ mod tests {
 
     #[test]
     fn elapsed_is_max() {
-        let r = RunReport::new(vec![clock_with_daxpy(1.0), clock_with_daxpy(3.0), clock_with_daxpy(2.0)]);
+        let r = RunReport::new(vec![
+            clock_with_daxpy(1.0),
+            clock_with_daxpy(3.0),
+            clock_with_daxpy(2.0),
+        ]);
         assert!((r.elapsed() - 3.0).abs() < 1e-12);
         assert!((r.mean_busy() - 2.0).abs() < 1e-12);
         assert!((r.load_imbalance() - 1.0).abs() < 1e-12);
@@ -121,10 +199,84 @@ mod tests {
     }
 
     #[test]
+    fn merge_pads_mismatched_counts() {
+        // Regression: this used to assert (panic) on mismatched lengths.
+        let mut r = RunReport::new(vec![clock_with_daxpy(1.0); 2]);
+        r.merge(&RunReport::new(vec![clock_with_daxpy(0.5); 4]));
+        assert_eq!(r.nproc(), 4);
+        assert!((r.clocks[0].total() - 1.5).abs() < 1e-12);
+        // Padded ranks only saw the second phase.
+        assert!((r.clocks[3].total() - 0.5).abs() < 1e-12);
+        // Merging a shorter report leaves trailing ranks untouched.
+        let mut r2 = RunReport::new(vec![clock_with_daxpy(1.0); 4]);
+        r2.merge(&RunReport::new(vec![clock_with_daxpy(0.5); 2]));
+        assert_eq!(r2.nproc(), 4);
+        assert!((r2.clocks[3].total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatch() {
+        let mut r = RunReport::new(vec![clock_with_daxpy(1.0); 2]);
+        assert!(r
+            .try_merge(&RunReport::new(vec![clock_with_daxpy(0.5); 4]))
+            .is_err());
+        // The failed merge must not have modified the receiver.
+        assert_eq!(r.nproc(), 2);
+        assert!(r
+            .try_merge(&RunReport::new(vec![clock_with_daxpy(0.5); 2]))
+            .is_ok());
+        assert!(r.try_merge(&RunReport::default()).is_ok());
+        let mut empty = RunReport::default();
+        assert!(empty.try_merge(&r).is_ok());
+        assert_eq!(empty.nproc(), 2);
+    }
+
+    #[test]
     fn empty_report_safe() {
         let r = RunReport::default();
         assert_eq!(r.elapsed(), 0.0);
         assert_eq!(r.gflops_per_msp(), 0.0);
         assert_eq!(r.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_report_aggregates() {
+        let m = MachineModel::cray_x1();
+        let mut c0 = clock_with_daxpy(1.0);
+        c0.charge_net(&m, 1000, 3);
+        c0.note_nxtval(2);
+        let mut c1 = clock_with_daxpy(2.0);
+        c1.charge_mutex(&m, 4);
+        let r = RunReport::new(vec![c0, c1]);
+        let s = r.summary();
+        assert_eq!(s.nproc, 2);
+        assert!((s.elapsed - r.elapsed()).abs() < 1e-15);
+        assert!((s.load_imbalance() - r.load_imbalance()).abs() < 1e-15);
+        assert!((s.flops() - r.total_flops()).abs() < 1e-6);
+        assert_eq!(s.net_msgs, 3.0);
+        assert_eq!(s.lock_acquires, 4.0);
+        assert_eq!(s.nxtval_msgs, 2.0);
+        assert!((s.tflops() - r.tflops()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn record_to_reproduces_summary() {
+        let m = MachineModel::cray_x1();
+        let mut c0 = clock_with_daxpy(1.0);
+        c0.charge_dgemm(&m, 32, 32, 32);
+        c0.charge_net(&m, 512, 2);
+        let c1 = clock_with_daxpy(0.25);
+        let r = RunReport::new(vec![c0, c1]);
+
+        let tracer = Tracer::in_memory();
+        r.record_to(&tracer, "phase", 0.0, 0.0);
+        let from_trace = RunSummary::from_events(&tracer.events().unwrap());
+        let direct = r.summary();
+        assert!((from_trace.t_dgemm - direct.t_dgemm).abs() < 1e-12);
+        assert!((from_trace.t_daxpy - direct.t_daxpy).abs() < 1e-12);
+        assert!((from_trace.t_net - direct.t_net).abs() < 1e-12);
+        assert!((from_trace.elapsed - direct.elapsed).abs() < 1e-12);
+        assert!((from_trace.flops() - direct.flops()).abs() < 1e-6);
+        assert_eq!(from_trace.net_bytes, direct.net_bytes);
     }
 }

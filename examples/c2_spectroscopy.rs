@@ -17,7 +17,10 @@ use fcix::scf::{core_orbitals, rhf, symmetry_adapt, transform_integrals, RhfOpti
 
 /// FCI(8,8) energy of C2 at bond length `r` (bohr), frozen 1s cores.
 fn e_c2(r: f64) -> f64 {
-    let mol = Molecule::from_symbols_bohr(&[("C", [0.0, 0.0, -r / 2.0]), ("C", [0.0, 0.0, r / 2.0])], 0);
+    let mol = Molecule::from_symbols_bohr(
+        &[("C", [0.0, 0.0, -r / 2.0]), ("C", [0.0, 0.0, r / 2.0])],
+        0,
+    );
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     // C2 is multireference: fall back to core orbitals if SCF struggles.
@@ -35,7 +38,12 @@ fn e_c2(r: f64) -> f64 {
         .with_symmetry(irreps[2..2 + n_act].to_vec(), pg.n_irrep());
     let opts = FciOptions {
         method: DiagMethod::Davidson,
-        diag: DiagOptions { max_iter: 100, tol: 1e-8, model_space: 60, ..Default::default() },
+        diag: DiagOptions {
+            max_iter: 100,
+            tol: 1e-8,
+            model_space: 60,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let res = solve(&mo, 4, 4, 0, &opts);
@@ -67,17 +75,23 @@ fn main() {
     let b = -(d0 * (x1 + x2) + d1 * (x0 + x2) + d2 * (x0 + x1));
     let re = -b / (2.0 * a);
     let k = 2.0 * a; // d²E/dr² in Eh/a0²
-    // ω = sqrt(k/μ); μ(C2) = 6 amu = 6×1822.888 m_e.
-    let mu = 6.0 * 1822.888_486;
+                     // ω = sqrt(k/μ); μ(C2) = 6 amu = 6×1822.888 m_e.
+    let mu = 6.0 * 1822.888486;
     let omega_au = (k / mu).sqrt();
     let omega_cm = omega_au * 219_474.631; // Eh → cm⁻¹
 
     println!("\nparabolic fit through the three lowest points:");
-    println!("  r_e     = {re:.4} a0 = {:.4} Å", re / fcix::ints::ANGSTROM_TO_BOHR);
+    println!(
+        "  r_e     = {re:.4} a0 = {:.4} Å",
+        re / fcix::ints::ANGSTROM_TO_BOHR
+    );
     println!("  k       = {k:.4} Eh/a0²");
     println!("  omega_e = {omega_cm:.0} cm⁻¹");
     println!("\n(experimental C2 X¹Σg⁺: r_e = 1.243 Å, ωₑ = 1855 cm⁻¹ — a minimal");
     println!("basis lands in the right neighbourhood, not on the literature digits.)");
     assert!(re > 2.0 && re < 2.8, "r_e out of physical range");
-    assert!(omega_cm > 1000.0 && omega_cm < 3000.0, "omega_e out of physical range");
+    assert!(
+        omega_cm > 1000.0 && omega_cm < 3000.0,
+        "omega_e out of physical range"
+    );
 }

@@ -15,7 +15,10 @@ use fcix::ints::{BasisSet, Molecule};
 use fcix::scf::{rhf, transform_integrals, RhfOptions};
 
 fn main() {
-    println!("{:>8} {:>14} {:>14} {:>12}", "R [a0]", "E(RHF) [Eh]", "E(FCI) [Eh]", "corr [mEh]");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "R [a0]", "E(RHF) [Eh]", "E(FCI) [Eh]", "corr [mEh]"
+    );
     let mut last_fci = 0.0;
     for i in 0..12 {
         let r = 1.0 + 0.5 * i as f64;
@@ -42,6 +45,12 @@ fn main() {
     }
     // At dissociation, FCI(H2/STO-3G) → 2 × E(H/STO-3G) = 2 × −0.46658…
     let h_atom = -0.466_58;
-    println!("\nFCI at R = 6.5 a0: {last_fci:.5} Eh; 2 × E(H atom/STO-3G) = {:.5} Eh", 2.0 * h_atom);
-    assert!((last_fci - 2.0 * h_atom).abs() < 5e-3, "FCI must dissociate to two H atoms");
+    println!(
+        "\nFCI at R = 6.5 a0: {last_fci:.5} Eh; 2 × E(H atom/STO-3G) = {:.5} Eh",
+        2.0 * h_atom
+    );
+    assert!(
+        (last_fci - 2.0 * h_atom).abs() < 5e-3,
+        "FCI must dissociate to two H atoms"
+    );
 }

@@ -25,12 +25,25 @@ fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
     for i in 0..n {
         eri.set(i, i, i, i, u);
     }
-    MoIntegrals { n_orb: n, h, eri, e_core: 0.0, orb_sym: vec![0; n], n_irrep: 1 }
+    MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    }
 }
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let umax: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8.0);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let umax: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8.0);
     let ne = sites / 2; // quarter-ish filling per spin -> half filling total
     println!("1-D Hubbard chain, {sites} sites, {ne}α + {ne}β electrons (open boundary)\n");
     println!("{:>8} {:>16} {:>14}", "U/t", "E0 [t]", "E0/site [t]");
@@ -48,14 +61,25 @@ fn main() {
         // reference determinant — fine for molecules, not for lattices).
         let opts = FciOptions {
             method: DiagMethod::Davidson,
-            diag: DiagOptions { max_iter: 200, model_space: 50, ..Default::default() },
+            diag: DiagOptions {
+                max_iter: 200,
+                model_space: 50,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&mo, ne, ne, 0, &opts);
         assert!(r.converged, "U = {u} failed to converge");
-        println!("{u:>8.1} {:>16.8} {:>14.6}", r.energy, r.energy / sites as f64);
+        println!(
+            "{u:>8.1} {:>16.8} {:>14.6}",
+            r.energy,
+            r.energy / sites as f64
+        );
         if u == 0.0 {
-            assert!((r.energy - e_band).abs() < 1e-6, "U=0 must reproduce the band sum");
+            assert!(
+                (r.energy - e_band).abs() < 1e-6,
+                "U=0 must reproduce the band sum"
+            );
         }
         u += 2.0;
     }

@@ -21,18 +21,32 @@ use fcix::xsim::MachineModel;
 
 fn main() {
     let mol = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.4305, 1.1092]),
+            ("H", [0.0, -1.4305, 1.1092]),
+        ],
         0,
     );
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
     let nao = basis.n_basis();
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 1, 6);
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        1,
+        6,
+    );
 
     let r = solve(&mo, 4, 4, 0, &FciOptions::default());
     assert!(r.converged);
-    println!("E(FCI)            : {:+.8} Eh  (E(RHF) = {:+.8})", r.energy, scf.energy);
+    println!(
+        "E(FCI)            : {:+.8} Eh  (E(RHF) = {:+.8})",
+        r.energy, scf.energy
+    );
 
     let ham = Hamiltonian::new(&mo);
     let space = DetSpace::for_hamiltonian(&ham, 4, 4, 0);
@@ -43,7 +57,12 @@ fn main() {
 
     // Natural occupations.
     let occ = natural_occupations(&space, &r.diag.c);
-    println!("natural occupations: {:?}", occ.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "natural occupations: {:?}",
+        occ.iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     // Dipole moment: nuclear + electronic (1-RDM contracted with the MO
     // dipole matrices; frozen core adds 2×(core MO) contributions).
@@ -67,14 +86,36 @@ fn main() {
         }
     }
     let norm = (mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2]).sqrt();
-    println!("dipole moment     : ({:+.4}, {:+.4}, {:+.4}) a.u., |μ| = {:.4} a.u. = {:.3} D", mu[0], mu[1], mu[2], norm, norm * 2.541746);
+    println!(
+        "dipole moment     : ({:+.4}, {:+.4}, {:+.4}) a.u., |μ| = {:.4} a.u. = {:.3} D",
+        mu[0],
+        mu[1],
+        mu[2],
+        norm,
+        norm * 2.541746
+    );
     let _ = nao;
 
     // Excited states.
     let ddi = Ddi::new(2, Backend::Serial);
     let model = MachineModel::cray_x1();
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
-    let roots = diagonalize_roots(&ctx, SigmaMethod::Dgemm, &DiagOptions { max_iter: 60, tol: 1e-7, ..Default::default() }, 3);
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
+    let roots = diagonalize_roots(
+        &ctx,
+        SigmaMethod::Dgemm,
+        &DiagOptions {
+            max_iter: 60,
+            tol: 1e-7,
+            ..Default::default()
+        },
+        3,
+    );
     println!("\nlowest three states of the sector:");
     for k in 0..3 {
         let s2k = s_squared(&space, &roots.states[k]);
@@ -83,7 +124,11 @@ fn main() {
             roots.energies[k] + ham.e_core,
             roots.energies[k] - roots.energies[0],
             s2k,
-            if roots.converged[k] { "converged" } else { "NOT converged" },
+            if roots.converged[k] {
+                "converged"
+            } else {
+                "NOT converged"
+            },
         );
     }
 }

@@ -21,7 +21,10 @@ fn main() {
     // Hartree–Fock reference.
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
-    println!("RHF/STO-3G energy : {:+.8} Eh ({} iterations)", scf.energy, scf.iterations);
+    println!(
+        "RHF/STO-3G energy : {:+.8} Eh ({} iterations)",
+        scf.energy, scf.iterations
+    );
 
     // MO integrals (no frozen core, all orbitals active).
     let mo = transform_integrals(
@@ -42,5 +45,8 @@ fn main() {
     println!("correlation energy: {:+.8} Eh", fci.energy - scf.energy);
     println!("CI dimension      : {}", fci.dim);
     assert!(fci.converged);
-    assert!(fci.energy < scf.energy, "FCI must lower the variational energy");
+    assert!(
+        fci.energy < scf.energy,
+        "FCI must lower the variational energy"
+    );
 }

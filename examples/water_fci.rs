@@ -16,12 +16,20 @@ use fcix::scf::{rhf, symmetry_adapt, transform_integrals, RhfOptions};
 
 fn main() {
     let mol = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.4305, 1.1092]),
+            ("H", [0.0, -1.4305, 1.1092]),
+        ],
         0,
     );
     let basis = BasisSet::build(&mol, "sto-3g");
     let pg = detect_point_group(&mol);
-    println!("point group       : {} ({} irreps)", pg.name(), pg.n_irrep());
+    println!(
+        "point group       : {} ({} irreps)",
+        pg.name(),
+        pg.n_irrep()
+    );
 
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
@@ -32,10 +40,20 @@ fn main() {
     println!("orbital irreps    : {irreps:?}");
 
     // Freeze the O 1s core; keep the remaining 6 orbitals active.
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &c_adapted, mol.nuclear_repulsion(), 1, 6)
-        .with_symmetry(irreps[1..7].to_vec(), pg.n_irrep());
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &c_adapted,
+        mol.nuclear_repulsion(),
+        1,
+        6,
+    )
+    .with_symmetry(irreps[1..7].to_vec(), pg.n_irrep());
 
-    println!("\n{:>14} {:>7} {:>11} {:>16}", "method", "iters", "converged", "E(FCI) [Eh]");
+    println!(
+        "\n{:>14} {:>7} {:>11} {:>16}",
+        "method", "iters", "converged", "E(FCI) [Eh]"
+    );
     for (name, method) in [
         ("Davidson", DiagMethod::Davidson),
         ("Olsen", DiagMethod::Olsen),
@@ -44,11 +62,17 @@ fn main() {
     ] {
         let opts = FciOptions {
             method,
-            diag: DiagOptions { tol: 1e-9, ..Default::default() },
+            diag: DiagOptions {
+                tol: 1e-9,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&mo, 4, 4, 0, &opts);
-        println!("{name:>14} {:>7} {:>11} {:>16.8}", r.iterations, r.converged, r.energy);
+        println!(
+            "{name:>14} {:>7} {:>11} {:>16.8}",
+            r.iterations, r.converged, r.energy
+        );
         if method == DiagMethod::AutoAdjust {
             assert!(r.converged);
             println!("\ncorrelation energy: {:+.6} Eh", r.energy - scf.energy);

@@ -1,0 +1,85 @@
+//! `fcix-trace` — inspect JSONL traces written by the `fci-obs` tracer.
+//!
+//! ```text
+//! fcix-trace summarize <trace.jsonl>            Table-3-style run summary
+//! fcix-trace to-chrome <trace.jsonl> [out.json] Chrome Trace Event Format
+//! fcix-trace diff <a.jsonl> <b.jsonl>           side-by-side summary diff
+//! ```
+//!
+//! Traces are produced by running the solver with
+//! `FciOptions { obs: ObsConfig::to_file("trace.jsonl"), .. }` (or by
+//! attaching a tracer to a `Ddi` directly; see DESIGN.md §Observability).
+//! The Chrome output loads in `chrome://tracing` / Perfetto with one lane
+//! per virtual MSP.
+
+use std::process::ExitCode;
+
+use fcix::obs::{parse_jsonl, to_chrome, Event, RunSummary};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-trace <command> ...\n\n\
+         commands:\n\
+         \x20 summarize <trace.jsonl>             print a Table-3-style run summary\n\
+         \x20 to-chrome <trace.jsonl> [out.json]  convert to Chrome Trace Event Format\n\
+         \x20 diff <a.jsonl> <b.jsonl>            compare two runs' summaries"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("summarize") => {
+            let Some(path) = args.get(2) else {
+                return usage();
+            };
+            load(path).map(|events| {
+                let summary = RunSummary::from_events(&events);
+                print!("{}", summary.render(path));
+            })
+        }
+        Some("to-chrome") => {
+            let Some(path) = args.get(2) else {
+                return usage();
+            };
+            load(path).and_then(|events| {
+                let out = to_chrome(&events);
+                match args.get(3) {
+                    Some(dest) => std::fs::write(dest, out)
+                        .map(|()| eprintln!("wrote {dest}"))
+                        .map_err(|e| format!("cannot write {dest}: {e}")),
+                    None => {
+                        println!("{out}");
+                        Ok(())
+                    }
+                }
+            })
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
+                return usage();
+            };
+            load(a).and_then(|ea| {
+                load(b).map(|eb| {
+                    let sa = RunSummary::from_events(&ea);
+                    let sb = RunSummary::from_events(&eb);
+                    print!("{}", sa.render_diff(&sb));
+                })
+            })
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fcix-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -117,7 +117,8 @@ fn parse(text: &str) -> Result<Input, String> {
                 }
                 let xyz: Result<Vec<f64>, _> = rest[1..].iter().map(|s| s.parse()).collect();
                 let xyz = xyz.map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                inp.atoms.push((rest[0].to_string(), [xyz[0], xyz[1], xyz[2]]));
+                inp.atoms
+                    .push((rest[0].to_string(), [xyz[0], xyz[1], xyz[2]]));
             }
             "frozen" => inp.frozen = one(&rest)?.parse().map_err(|e| format!("frozen: {e}"))?,
             "active" => inp.active = Some(one(&rest)?.parse().map_err(|e| format!("active: {e}"))?),
@@ -172,18 +173,32 @@ fn run(inp: &Input) -> Result<(), String> {
         other => return Err(format!("unknown unit {other}")),
     };
     let basis = BasisSet::build(&mol, &inp.basis);
-    println!("molecule          : {} atoms, charge {}, {} electrons", mol.atoms.len(), inp.charge, mol.n_electrons());
-    println!("basis             : {} ({} Cartesian AOs)", inp.basis, basis.n_basis());
+    println!(
+        "molecule          : {} atoms, charge {}, {} electrons",
+        mol.atoms.len(),
+        inp.charge,
+        mol.n_electrons()
+    );
+    println!(
+        "basis             : {} ({} Cartesian AOs)",
+        inp.basis,
+        basis.n_basis()
+    );
 
     // Orbitals: RHF for even electron counts, core orbitals otherwise.
     let nelec = mol.n_electrons();
     let (c, e_scf, h_ao, eri_ao) = if nelec % 2 == 0 {
         let r = rhf(&mol, &basis, &RhfOptions::default());
         if r.converged {
-            println!("RHF energy        : {:+.8} Eh ({} iterations)", r.energy, r.iterations);
+            println!(
+                "RHF energy        : {:+.8} Eh ({} iterations)",
+                r.energy, r.iterations
+            );
             (r.mo_coeffs, Some(r.energy), r.h_ao, r.eri_ao)
         } else {
-            println!("RHF did not converge; falling back to core orbitals (FCI is orbital-invariant)");
+            println!(
+                "RHF did not converge; falling back to core orbitals (FCI is orbital-invariant)"
+            );
             let (c, _) = core_orbitals(&basis, &mol);
             (c, None, r.h_ao, r.eri_ao)
         }
@@ -202,7 +217,11 @@ fn run(inp: &Input) -> Result<(), String> {
         let pg = detect_point_group(&mol);
         let s = overlap(&basis);
         let (cad, irr) = symmetry_adapt(&pg, &basis, &s, &c);
-        println!("point group       : {} ({} irreps)", pg.name(), pg.n_irrep());
+        println!(
+            "point group       : {} ({} irreps)",
+            pg.name(),
+            pg.n_irrep()
+        );
         (cad, irr, pg.n_irrep(), pg.name().to_string())
     } else {
         (c, vec![0u8; basis.n_basis()], 1, "C1".into())
@@ -210,8 +229,15 @@ fn run(inp: &Input) -> Result<(), String> {
     let _ = group;
 
     let n_active = inp.active.unwrap_or(basis.n_basis() - inp.frozen);
-    let mo = transform_integrals(&h_ao, &eri_ao, &c, mol.nuclear_repulsion(), inp.frozen, n_active)
-        .with_symmetry(irreps[inp.frozen..inp.frozen + n_active].to_vec(), n_irrep);
+    let mo = transform_integrals(
+        &h_ao,
+        &eri_ao,
+        &c,
+        mol.nuclear_repulsion(),
+        inp.frozen,
+        n_active,
+    )
+    .with_symmetry(irreps[inp.frozen..inp.frozen + n_active].to_vec(), n_irrep);
     let n_act_elec = nelec - 2 * inp.frozen;
     let na = inp.alpha.unwrap_or(n_act_elec.div_ceil(2));
     let nb = inp.beta.unwrap_or(n_act_elec - na);
@@ -221,20 +247,33 @@ fn run(inp: &Input) -> Result<(), String> {
         nproc: inp.msps,
         sigma: inp.sigma,
         method: inp.method,
-        diag: DiagOptions { tol: inp.tol, max_iter: inp.maxiter, ..Default::default() },
+        diag: DiagOptions {
+            tol: inp.tol,
+            max_iter: inp.maxiter,
+            ..Default::default()
+        },
         excitation_level: inp.excitation,
         ..Default::default()
     };
     let irrep = fci_best_irrep(&mo, na, nb);
     let r = solve(&mo, na, nb, irrep, &opts);
     println!("CI dimension      : {} (sector {})", r.dim, r.sector_dim);
-    println!("iterations        : {} (converged = {})", r.iterations, r.converged);
+    println!(
+        "iterations        : {} (converged = {})",
+        r.iterations, r.converged
+    );
     println!("E(FCI)            : {:+.10} Eh", r.energy);
     if let Some(e) = e_scf {
         println!("correlation energy: {:+.8} Eh", r.energy - e);
     }
     let total = r.sigma_cost.total();
-    println!("simulated X1 cost : {:.3} s over {} MSPs ({:.2} GF/MSP, {:.3} TF aggregate)", total.elapsed(), inp.msps, total.gflops_per_msp(), total.tflops());
+    println!(
+        "simulated X1 cost : {:.3} s over {} MSPs ({:.2} GF/MSP, {:.3} TF aggregate)",
+        total.elapsed(),
+        inp.msps,
+        total.gflops_per_msp(),
+        total.tflops()
+    );
     if inp.roots > 1 {
         use fcix::core::{diagonalize_roots, DetSpace, Hamiltonian, PoolParams, SigmaCtx};
         use fcix::ddi::{Backend, Ddi};
@@ -242,11 +281,21 @@ fn run(inp: &Input) -> Result<(), String> {
         let space = DetSpace::for_hamiltonian(&ham, na, nb, irrep);
         let ddi = Ddi::new(inp.msps, Backend::Serial);
         let machine = fcix::xsim::MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &machine, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &machine,
+            pool: PoolParams::default(),
+        };
         let roots = diagonalize_roots(
             &ctx,
             inp.sigma,
-            &DiagOptions { tol: inp.tol.max(1e-7), max_iter: inp.maxiter, ..Default::default() },
+            &DiagOptions {
+                tol: inp.tol.max(1e-7),
+                max_iter: inp.maxiter,
+                ..Default::default()
+            },
             inp.roots,
         );
         println!("\nlowest {} states (block Davidson):", inp.roots);
@@ -257,7 +306,11 @@ fn run(inp: &Input) -> Result<(), String> {
                 roots.energies[k] + ham.e_core,
                 roots.energies[k] - roots.energies[0],
                 s2,
-                if roots.converged[k] { "converged" } else { "NOT converged" }
+                if roots.converged[k] {
+                    "converged"
+                } else {
+                    "NOT converged"
+                }
             );
         }
     }
@@ -281,7 +334,10 @@ fn fci_best_irrep(mo: &fcix::scf::MoIntegrals, na: usize, nb: usize) -> u8 {
         for ib in 0..space.beta.len() {
             let d = ham.diagonal_element(space.alpha.mask(ia), space.beta.mask(ib));
             if d < best.0 {
-                best = (d, space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib));
+                best = (
+                    d,
+                    space.alpha.irrep_of_index(ia) ^ space.beta.irrep_of_index(ib),
+                );
             }
         }
     }

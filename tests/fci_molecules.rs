@@ -12,7 +12,14 @@ fn h2_mo(r: f64) -> (MoIntegrals, f64) {
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 0, 2);
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        0,
+        2,
+    );
     (mo, scf.energy)
 }
 
@@ -41,7 +48,12 @@ fn h2_triplet_above_singlet() {
     let singlet = solve(&mo, 1, 1, 0, &FciOptions::default());
     let triplet = solve(&mo, 2, 0, 0, &FciOptions::default());
     assert!(triplet.converged);
-    assert!(triplet.energy > singlet.energy + 0.1, "triplet {} vs singlet {}", triplet.energy, singlet.energy);
+    assert!(
+        triplet.energy > singlet.energy + 0.1,
+        "triplet {} vs singlet {}",
+        triplet.energy,
+        singlet.energy
+    );
 }
 
 #[test]
@@ -73,25 +85,56 @@ fn h4_chain_fci_matches_dense() {
     );
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 0, 4);
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        0,
+        4,
+    );
     let exact = dense_ground(&mo, 2, 2);
     for sigma in [SigmaMethod::Dgemm, SigmaMethod::Moc] {
-        let r = solve(&mo, 2, 2, 0, &FciOptions { sigma, ..Default::default() });
+        let r = solve(
+            &mo,
+            2,
+            2,
+            0,
+            &FciOptions {
+                sigma,
+                ..Default::default()
+            },
+        );
         assert!(r.converged, "{sigma:?}");
-        assert!((r.energy - exact).abs() < 1e-8, "{sigma:?}: {} vs {exact}", r.energy);
+        assert!(
+            (r.energy - exact).abs() < 1e-8,
+            "{sigma:?}: {} vs {exact}",
+            r.energy
+        );
     }
 }
 
 #[test]
 fn water_frozen_core_fci() {
     let mol = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.4305, 1.1092]),
+            ("H", [0.0, -1.4305, 1.1092]),
+        ],
         0,
     );
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 1, 6);
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        1,
+        6,
+    );
     let r = solve(&mo, 4, 4, 0, &FciOptions::default());
     assert!(r.converged);
     let exact = dense_ground(&mo, 4, 4);
@@ -104,7 +147,11 @@ fn water_frozen_core_fci() {
 #[test]
 fn symmetry_blocked_water_matches_c1() {
     let mol = Molecule::from_symbols_bohr(
-        &[("O", [0.0, 0.0, 0.0]), ("H", [0.0, 1.4305, 1.1092]), ("H", [0.0, -1.4305, 1.1092])],
+        &[
+            ("O", [0.0, 0.0, 0.0]),
+            ("H", [0.0, 1.4305, 1.1092]),
+            ("H", [0.0, -1.4305, 1.1092]),
+        ],
         0,
     );
     let basis = BasisSet::build(&mol, "sto-3g");
@@ -113,7 +160,14 @@ fn symmetry_blocked_water_matches_c1() {
     assert_eq!(pg.name(), "C2v");
     let s = overlap(&basis);
     let (cad, irreps) = symmetry_adapt(&pg, &basis, &s, &scf.mo_coeffs);
-    let mo_c1 = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 1, 6);
+    let mo_c1 = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        1,
+        6,
+    );
     let mo_sym = transform_integrals(&scf.h_ao, &scf.eri_ao, &cad, mol.nuclear_repulsion(), 1, 6)
         .with_symmetry(irreps[1..7].to_vec(), pg.n_irrep());
     let r_c1 = solve(&mo_c1, 4, 4, 0, &FciOptions::default());
@@ -121,7 +175,12 @@ fn symmetry_blocked_water_matches_c1() {
     assert!(r_c1.converged && r_sym.converged);
     // FCI is orbital-invariant: the energies agree even though the
     // orbital sets differ; the symmetry sector is strictly smaller.
-    assert!((r_c1.energy - r_sym.energy).abs() < 1e-7, "{} vs {}", r_c1.energy, r_sym.energy);
+    assert!(
+        (r_c1.energy - r_sym.energy).abs() < 1e-7,
+        "{} vs {}",
+        r_c1.energy,
+        r_sym.energy
+    );
     assert!(r_sym.sector_dim < r_sym.dim);
 }
 
@@ -151,11 +210,23 @@ fn fci_invariant_under_orbital_choice() {
     let mol = Molecule::from_symbols_bohr(&[("H", [0.0, 0.0, 0.0]), ("H", [0.0, 0.0, 1.6])], 0);
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
-    let mo1 = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 0, 2);
+    let mo1 = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        0,
+        2,
+    );
     let (c2, _) = core_orbitals(&basis, &mol);
     let mo2 = transform_integrals(&scf.h_ao, &scf.eri_ao, &c2, mol.nuclear_repulsion(), 0, 2);
     let r1 = solve(&mo1, 1, 1, 0, &FciOptions::default());
     let r2 = solve(&mo2, 1, 1, 0, &FciOptions::default());
     assert!(r1.converged && r2.converged);
-    assert!((r1.energy - r2.energy).abs() < 1e-9, "{} vs {}", r1.energy, r2.energy);
+    assert!(
+        (r1.energy - r2.energy).abs() < 1e-9,
+        "{} vs {}",
+        r1.energy,
+        r2.energy
+    );
 }

@@ -2,7 +2,10 @@
 //! processor count, the execution backend, the σ algorithm, or the task
 //! pool shape — only the simulated cost may change.
 
-use fcix::core::{apply_sigma, random_hamiltonian, solve, DetSpace, DiagMethod, DiagOptions, FciOptions, PoolParams, SigmaCtx, SigmaMethod};
+use fcix::core::{
+    apply_sigma, random_hamiltonian, solve, DetSpace, DiagMethod, DiagOptions, FciOptions,
+    PoolParams, SigmaCtx, SigmaMethod,
+};
 use fcix::ddi::{Backend, Ddi};
 use fcix::ints::EriTensor;
 use fcix::linalg::Matrix;
@@ -19,7 +22,14 @@ fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
     for i in 0..n {
         eri.set(i, i, i, i, u);
     }
-    MoIntegrals { n_orb: n, h, eri, e_core: 0.0, orb_sym: vec![0; n], n_irrep: 1 }
+    MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    }
 }
 
 #[test]
@@ -32,7 +42,11 @@ fn energy_invariant_across_processor_counts() {
         let opts = FciOptions {
             nproc: p,
             method: DiagMethod::Davidson,
-            diag: DiagOptions { max_iter: 150, model_space: 40, ..Default::default() },
+            diag: DiagOptions {
+                max_iter: 150,
+                model_space: 40,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = solve(&mo, 3, 3, 0, &opts);
@@ -51,7 +65,11 @@ fn threaded_backend_full_solve() {
         nproc: 3,
         backend: b,
         method: DiagMethod::Davidson,
-        diag: DiagOptions { max_iter: 120, model_space: 30, ..Default::default() },
+        diag: DiagOptions {
+            max_iter: 120,
+            model_space: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let serial = solve(&mo, 2, 2, 0, &opts(Backend::Serial));
@@ -67,12 +85,26 @@ fn pool_shape_does_not_change_sigma() {
     let model = MachineModel::cray_x1();
     let mut outs = Vec::new();
     for pool in [
-        PoolParams { fine_per_proc: 1, large_per_proc: 1, small_per_proc: 0 },
+        PoolParams {
+            fine_per_proc: 1,
+            large_per_proc: 1,
+            small_per_proc: 0,
+        },
         PoolParams::default(),
-        PoolParams { fine_per_proc: 128, large_per_proc: 128, small_per_proc: 0 },
+        PoolParams {
+            fine_per_proc: 128,
+            large_per_proc: 128,
+            small_per_proc: 0,
+        },
     ] {
         let ddi = Ddi::new(5, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool,
+        };
         let c = space.guess(&ham, 5);
         let (s, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
         outs.push(s.to_dense());
@@ -94,7 +126,13 @@ fn simulated_time_scales_down_with_processors() {
     let mut times = Vec::new();
     for p in [2usize, 8, 32] {
         let ddi = Ddi::new(p, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, p);
         let (_s, bd) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
         times.push(bd.total().elapsed());
@@ -117,7 +155,13 @@ fn moc_same_spin_does_not_scale_but_dgemm_does() {
     let mut dg = Vec::new();
     for p in [4usize, 32] {
         let ddi = Ddi::new(p, Backend::Serial);
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.guess(&ham, p);
         let (_a, bd_m) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
         let (_b, bd_d) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
@@ -127,7 +171,10 @@ fn moc_same_spin_does_not_scale_but_dgemm_does() {
     let moc_speedup = moc[0] / moc[1];
     let dg_speedup = dg[0] / dg[1];
     assert!(dg_speedup > 4.0, "DGEMM same-spin speedup {dg_speedup}");
-    assert!(moc_speedup < 3.0, "MOC same-spin speedup {moc_speedup} should be Amdahl-capped");
+    assert!(
+        moc_speedup < 3.0,
+        "MOC same-spin speedup {moc_speedup} should be Amdahl-capped"
+    );
 }
 
 #[test]
@@ -137,7 +184,13 @@ fn communication_accounting_dgemm_vs_moc() {
     let model = MachineModel::cray_x1();
     let p = 16;
     let ddi = Ddi::new(p, Backend::Serial);
-    let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
     let c = space.guess(&ham, p);
     let (_a, bd_m) = apply_sigma(&ctx, &c, SigmaMethod::Moc);
     let (_b, bd_d) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);

@@ -1,37 +1,79 @@
-//! Property-based tests (proptest) on the core invariants:
-//! σ-algorithm equivalence, kernel correctness, combinatorial tables.
+//! Property-style tests on the core invariants: σ-algorithm equivalence,
+//! kernel correctness, combinatorial tables. Cases are drawn from a
+//! deterministic in-repo generator (no external fuzzing dependency), so
+//! every run exercises the same inputs and failures are reproducible by
+//! construction.
 
-use fcix::core::{apply_sigma, random_hamiltonian, slater, DetSpace, PoolParams, SigmaCtx, SigmaMethod, TaskPool};
+use fcix::core::{
+    apply_sigma, random_hamiltonian, slater, DetSpace, PoolParams, SigmaCtx, SigmaMethod, TaskPool,
+};
 use fcix::ddi::{Backend, Ddi};
 use fcix::linalg::{dgemm, dgemm_naive, eigh, lu_solve, Matrix, Trans};
 use fcix::strings::{annihilate, binomial, create, SpinStrings};
 use fcix::xsim::MachineModel;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+/// Deterministic case generator (splitmix-style LCG).
+struct Gen(u64);
 
-    /// σ(DGEMM) == σ(MOC) == dense Slater–Condon for arbitrary electron
-    /// counts, processor counts and random (but physical) integrals.
-    #[test]
-    fn sigma_algorithms_agree(
-        n in 3usize..6,
-        na in 1usize..4,
-        nb in 0usize..4,
-        nproc in 1usize..7,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(na <= n && nb <= n);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next_u64() as f64 / (1u64 << 53) as f64)
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// σ(DGEMM) == σ(MOC) == dense Slater–Condon for arbitrary electron
+/// counts, processor counts and random (but physical) integrals.
+#[test]
+fn sigma_algorithms_agree() {
+    let mut g = Gen::new(0xFC1);
+    let mut cases = 0;
+    while cases < 24 {
+        let n = g.range(3, 6);
+        let na = g.range(1, 4);
+        let nb = g.range(0, 4);
+        let nproc = g.range(1, 7);
+        let seed = g.next_u64() % 1000;
+        if na > n || nb > n {
+            continue;
+        }
         let ham = random_hamiltonian(n, seed);
         let space = DetSpace::c1(n, na, nb);
-        prop_assume!(space.dim() <= 2500);
+        if space.dim() > 2500 {
+            continue;
+        }
+        cases += 1;
         let ddi = Ddi::new(nproc, Backend::Serial);
         let model = MachineModel::cray_x1();
-        let ctx = SigmaCtx { space: &space, ham: &ham, ddi: &ddi, model: &model, pool: PoolParams::default() };
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
         let c = space.zeros_ci(nproc);
         let mut s = seed.wrapping_mul(77).wrapping_add(13);
         c.map_inplace(|_, _, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         });
         let (sig_d, _) = apply_sigma(&ctx, &c, SigmaMethod::Dgemm);
@@ -40,24 +82,32 @@ proptest! {
         let dd = sig_d.to_dense();
         let dm = sig_m.to_dense();
         for i in 0..reference.len() {
-            prop_assert!((dd[i] - reference[i]).abs() < 1e-9, "dgemm[{i}]");
-            prop_assert!((dm[i] - reference[i]).abs() < 1e-9, "moc[{i}]");
+            assert!(
+                (dd[i] - reference[i]).abs() < 1e-9,
+                "dgemm[{i}] n={n} na={na} nb={nb}"
+            );
+            assert!(
+                (dm[i] - reference[i]).abs() < 1e-9,
+                "moc[{i}] n={n} na={na} nb={nb}"
+            );
         }
     }
+}
 
-    /// Blocked DGEMM equals the naive triple loop for arbitrary shapes,
-    /// transposes and alpha/beta.
-    #[test]
-    fn gemm_matches_naive(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 0usize..40,
-        ta in any::<bool>(),
-        tb in any::<bool>(),
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        seed in 0u64..100,
-    ) {
+/// Blocked DGEMM equals the naive triple loop for arbitrary shapes,
+/// transposes and alpha/beta.
+#[test]
+fn gemm_matches_naive() {
+    let mut g = Gen::new(0xD6E);
+    for _ in 0..40 {
+        let m = g.range(1, 40);
+        let n = g.range(1, 40);
+        let k = g.range(0, 40);
+        let ta = g.bool();
+        let tb = g.bool();
+        let alpha = g.f64_in(-2.0, 2.0);
+        let beta = g.f64_in(-2.0, 2.0);
+        let seed = g.next_u64() % 100;
         let tra = if ta { Trans::Yes } else { Trans::No };
         let trb = if tb { Trans::Yes } else { Trans::No };
         let mk = |r: usize, c: usize, s: u64| {
@@ -68,18 +118,30 @@ proptest! {
             })
         };
         let a = if ta { mk(k, m, seed) } else { mk(m, k, seed) };
-        let b = if tb { mk(n, k, seed + 7) } else { mk(k, n, seed + 7) };
+        let b = if tb {
+            mk(n, k, seed + 7)
+        } else {
+            mk(k, n, seed + 7)
+        };
         let c0 = mk(m, n, seed + 13);
         let mut c1 = c0.clone();
         let mut c2 = c0;
         dgemm(tra, trb, alpha, &a, &b, beta, &mut c1);
         dgemm_naive(tra, trb, alpha, &a, &b, beta, &mut c2);
-        prop_assert!(c1.max_abs_diff(&c2) < 1e-11 * (k as f64 + 1.0));
+        assert!(
+            c1.max_abs_diff(&c2) < 1e-11 * (k as f64 + 1.0),
+            "m={m} n={n} k={k}"
+        );
     }
+}
 
-    /// Jacobi eigendecomposition reconstructs the matrix.
-    #[test]
-    fn eigh_reconstructs(n in 1usize..12, seed in 0u64..100) {
+/// Jacobi eigendecomposition reconstructs the matrix.
+#[test]
+fn eigh_reconstructs() {
+    let mut g = Gen::new(0xE16);
+    for _ in 0..30 {
+        let n = g.range(1, 12);
+        let seed = g.next_u64() % 100;
         let mut st = seed.wrapping_add(3);
         let raw = Matrix::from_fn(n, n, |_, _| {
             st = st.wrapping_mul(6364136223846793005).wrapping_add(17);
@@ -98,12 +160,17 @@ proptest! {
                 recon[(i, j)] = acc;
             }
         }
-        prop_assert!(recon.max_abs_diff(&a) < 1e-9);
+        assert!(recon.max_abs_diff(&a) < 1e-9, "n={n} seed={seed}");
     }
+}
 
-    /// LU solve inverts well-conditioned systems.
-    #[test]
-    fn lu_roundtrip(n in 1usize..15, seed in 0u64..100) {
+/// LU solve inverts well-conditioned systems.
+#[test]
+fn lu_roundtrip() {
+    let mut g = Gen::new(0x107);
+    for _ in 0..30 {
+        let n = g.range(1, 15);
+        let seed = g.next_u64() % 100;
         let mut st = seed.wrapping_add(5);
         let a = Matrix::from_fn(n, n, |i, j| {
             st = st.wrapping_mul(6364136223846793005).wrapping_add(23);
@@ -119,63 +186,97 @@ proptest! {
         }
         let x = lu_solve(&a, &b).unwrap();
         for i in 0..n {
-            prop_assert!((x[i] - xt[i]).abs() < 1e-8);
+            assert!((x[i] - xt[i]).abs() < 1e-8, "n={n} i={i}");
         }
     }
+}
 
-    /// Task pools cover every item exactly once for arbitrary shapes.
-    #[test]
-    fn taskpool_partition(
-        nitems in 0usize..3000,
-        nproc in 1usize..64,
-        fine in 1usize..128,
-        large in 1usize..32,
-        small in 0usize..32,
-    ) {
-        let pool = TaskPool::aggregated(nitems, nproc, fcix::core::PoolParams {
-            fine_per_proc: fine, large_per_proc: large, small_per_proc: small });
+/// Task pools cover every item exactly once for arbitrary shapes.
+#[test]
+fn taskpool_partition() {
+    let mut g = Gen::new(0x7A5);
+    for _ in 0..60 {
+        let nitems = g.range(0, 3000);
+        let nproc = g.range(1, 64);
+        let fine = g.range(1, 128);
+        let large = g.range(1, 32);
+        let small = g.range(0, 32);
+        let pool = TaskPool::aggregated(
+            nitems,
+            nproc,
+            PoolParams {
+                fine_per_proc: fine,
+                large_per_proc: large,
+                small_per_proc: small,
+            },
+        );
         let mut seen = vec![0u8; nitems];
         for t in 0..pool.len() {
             for i in pool.task(t) {
                 seen[i] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "nitems={nitems} nproc={nproc} fine={fine} large={large} small={small}"
+        );
+        // The sizes() report must agree with the ranges themselves.
+        let sizes = pool.sizes();
+        assert_eq!(sizes.len(), pool.len());
+        for (t, &sz) in sizes.iter().enumerate() {
+            assert_eq!(sz, pool.task(t).len());
+        }
     }
+}
 
-    /// String creation/annihilation anticommute and the rank/space tables
-    /// are consistent.
-    #[test]
-    fn string_space_consistency(n in 1usize..12, ne in 0usize..6) {
-        prop_assume!(ne <= n);
+/// String creation/annihilation anticommute and the rank/space tables
+/// are consistent.
+#[test]
+fn string_space_consistency() {
+    let mut g = Gen::new(0x57A);
+    let mut cases = 0;
+    while cases < 30 {
+        let n = g.range(1, 12);
+        let ne = g.range(0, 6);
+        if ne > n {
+            continue;
+        }
+        cases += 1;
         let sp = SpinStrings::c1(n, ne);
-        prop_assert_eq!(sp.len(), binomial(n, ne));
+        assert_eq!(sp.len(), binomial(n, ne));
         for i in 0..sp.len() {
             let m = sp.mask(i);
-            prop_assert_eq!(m.count_ones() as usize, ne);
-            prop_assert_eq!(sp.index_of(m), Some(i));
+            assert_eq!(m.count_ones() as usize, ne);
+            assert_eq!(sp.index_of(m), Some(i));
             // a†_p a_p = n_p on any occupied p.
             if let Some(p) = (0..n).find(|&p| m & (1 << p) != 0) {
                 let (s1, m1) = annihilate(m, p).unwrap();
                 let (s2, m2) = create(m1, p).unwrap();
-                prop_assert_eq!(m2, m);
-                prop_assert_eq!(s1 * s2, 1);
+                assert_eq!(m2, m);
+                assert_eq!(s1 * s2, 1);
             }
         }
     }
+}
 
-    /// The Boys function satisfies its downward recursion everywhere.
-    #[test]
-    fn boys_recursion(t in 0.0f64..200.0) {
+/// The Boys function satisfies its downward recursion everywhere.
+#[test]
+fn boys_recursion() {
+    let mut g = Gen::new(0xB05);
+    for _ in 0..50 {
+        let t = g.f64_in(0.0, 200.0);
         let v = fcix::ints::boys::boys_vec(6, t);
         for m in 0..6 {
             let lhs = (2 * m + 1) as f64 * v[m];
             let rhs = 2.0 * t * v[m + 1] + (-t).exp();
-            prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-30), "m={m} t={t}");
+            assert!(
+                (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-30),
+                "m={m} t={t}"
+            );
         }
         // Bounds: 0 < F_m(T) ≤ 1/(2m+1).
-        for m in 0..=6 {
-            prop_assert!(v[m] > 0.0 && v[m] <= 1.0 / (2 * m + 1) as f64 + 1e-15);
+        for (m, &x) in v.iter().enumerate() {
+            assert!(x > 0.0 && x <= 1.0 / (2 * m + 1) as f64 + 1e-15);
         }
     }
 }

@@ -1,30 +1,64 @@
-//! Property tests for the extension modules: graphical string ranking,
-//! dipole integrals, excitation filters, spin diagnostics.
+//! Property-style tests for the extension modules: graphical string
+//! ranking, dipole integrals, excitation filters, spin diagnostics.
+//! Cases come from a deterministic in-repo generator (see
+//! `tests/property.rs`) so runs are reproducible without any external
+//! fuzzing dependency.
 
 use fcix::core::{random_hamiltonian, DetSpace, Hamiltonian};
 use fcix::ints::{dipole, overlap, BasisSet, Molecule, Shell};
 use fcix::strings::{binomial, rank_colex, unrank_colex};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+struct Gen(u64);
 
-    /// rank/unrank are mutually inverse bijections onto 0..C(n,k).
-    #[test]
-    fn rank_unrank_bijection(n in 1usize..16, ne_seed in 0usize..16, r_seed in 0usize..10_000) {
-        let ne = ne_seed % (n + 1);
-        let total = binomial(n, ne);
-        prop_assume!(total > 0);
-        let r = r_seed % total;
-        let mask = unrank_colex(n, ne, r);
-        prop_assert_eq!(mask.count_ones() as usize, ne);
-        prop_assert_eq!(rank_colex(mask), r);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
     }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next_u64() as f64 / (1u64 << 53) as f64)
+    }
+}
 
-    /// The dipole operator about a shifted origin differs from the
-    /// origin-centred one by exactly −C·S (operator identity).
-    #[test]
-    fn dipole_origin_identity(cx in -2.0f64..2.0, cy in -2.0f64..2.0, cz in -2.0f64..2.0, r in 0.8f64..3.0) {
+/// rank/unrank are mutually inverse bijections onto 0..C(n,k).
+#[test]
+fn rank_unrank_bijection() {
+    let mut g = Gen::new(0x4A4B);
+    let mut cases = 0;
+    while cases < 32 {
+        let n = g.range(1, 16);
+        let ne = g.range(0, 16) % (n + 1);
+        let total = binomial(n, ne);
+        if total == 0 {
+            continue;
+        }
+        cases += 1;
+        let r = g.range(0, 10_000) % total;
+        let mask = unrank_colex(n, ne, r);
+        assert_eq!(mask.count_ones() as usize, ne);
+        assert_eq!(rank_colex(mask), r);
+    }
+}
+
+/// The dipole operator about a shifted origin differs from the
+/// origin-centred one by exactly −C·S (operator identity).
+#[test]
+fn dipole_origin_identity() {
+    let mut g = Gen::new(0xD1B0);
+    for _ in 0..8 {
+        let cx = g.f64_in(-2.0, 2.0);
+        let cy = g.f64_in(-2.0, 2.0);
+        let cz = g.f64_in(-2.0, 2.0);
+        let r = g.f64_in(0.8, 3.0);
         let mol = Molecule::from_symbols_bohr(&[("H", [0.0; 3]), ("H", [0.0, 0.0, r])], 0);
         let b = BasisSet::build(&mol, "sto-3g");
         let s = overlap(&b);
@@ -35,17 +69,28 @@ proptest! {
             for i in 0..b.n_basis() {
                 for j in 0..b.n_basis() {
                     let expect = d0[ax][(i, j)] - c[ax] * s[(i, j)];
-                    prop_assert!((dc[ax][(i, j)] - expect).abs() < 1e-11);
+                    assert!((dc[ax][(i, j)] - expect).abs() < 1e-11);
                 }
             }
         }
     }
+}
 
-    /// Excitation-filtered sector sizes follow the CI-level combinatorics
-    /// and nest monotonically.
-    #[test]
-    fn excitation_filter_nesting(n in 3usize..7, na in 1usize..4, nb in 1usize..4, seed in 0u64..50) {
-        prop_assume!(na <= n && nb <= n);
+/// Excitation-filtered sector sizes follow the CI-level combinatorics
+/// and nest monotonically.
+#[test]
+fn excitation_filter_nesting() {
+    let mut g = Gen::new(0xE8C);
+    let mut cases = 0;
+    while cases < 12 {
+        let n = g.range(3, 7);
+        let na = g.range(1, 4);
+        let nb = g.range(1, 4);
+        let seed = g.next_u64() % 50;
+        if na > n || nb > n {
+            continue;
+        }
+        cases += 1;
         let ham = random_hamiltonian(n, seed);
         let space0 = DetSpace::c1(n, na, nb);
         // Reference: lowest diagonal determinant.
@@ -63,21 +108,32 @@ proptest! {
         for level in 0..=(na + nb) as u32 {
             let sp = DetSpace::c1(n, na, nb).with_excitation_limit(best.1, best.2, level);
             let d = sp.sector_dim();
-            prop_assert!(d >= prev, "levels must nest");
+            assert!(d >= prev, "levels must nest");
             prev = d;
             if level == 0 {
-                prop_assert_eq!(d, 1, "level 0 = the reference alone");
+                assert_eq!(d, 1, "level 0 = the reference alone");
             }
         }
-        prop_assert_eq!(prev, full, "max level must recover full CI");
+        assert_eq!(prev, full, "max level must recover full CI");
     }
+}
 
-    /// ⟨S²⟩ of any single determinant equals
-    /// Sz(Sz+1) + (number of unpaired β-only orbitals actually movable):
-    /// for a determinant, S₋S₊ counts β-occupied ∧ α-empty orbitals.
-    #[test]
-    fn s_squared_single_determinant_rule(n in 2usize..7, na in 1usize..4, nb in 0usize..4, pick in 0usize..1000) {
-        prop_assume!(na <= n && nb <= n && na >= nb);
+/// ⟨S²⟩ of any single determinant equals
+/// Sz(Sz+1) + (number of unpaired β-only orbitals actually movable):
+/// for a determinant, S₋S₊ counts β-occupied ∧ α-empty orbitals.
+#[test]
+fn s_squared_single_determinant_rule() {
+    let mut g = Gen::new(0x552);
+    let mut cases = 0;
+    while cases < 32 {
+        let n = g.range(2, 7);
+        let na = g.range(1, 4);
+        let nb = g.range(0, 4);
+        let pick = g.range(0, 1000);
+        if na > n || nb > n || na < nb {
+            continue;
+        }
+        cases += 1;
         let space = DetSpace::c1(n, na, nb);
         let ia = pick % space.alpha.len();
         let ib = (pick / 7) % space.beta.len();
@@ -86,13 +142,19 @@ proptest! {
         let s2 = fcix::core::s_squared(&space, &c);
         let sz = 0.5 * (na as f64 - nb as f64);
         let movable = (space.beta.mask(ib) & !space.alpha.mask(ia)).count_ones() as f64;
-        prop_assert!((s2 - (sz * (sz + 1.0) + movable)).abs() < 1e-10);
+        assert!((s2 - (sz * (sz + 1.0) + movable)).abs() < 1e-10);
     }
+}
 
-    /// The Hamiltonian diagonal is invariant under exchanging the α and β
-    /// occupations (spin-flip symmetry of the spin-free operator).
-    #[test]
-    fn diagonal_spin_flip_symmetry(n in 2usize..7, seed in 0u64..100, pick in 0usize..500) {
+/// The Hamiltonian diagonal is invariant under exchanging the α and β
+/// occupations (spin-flip symmetry of the spin-free operator).
+#[test]
+fn diagonal_spin_flip_symmetry() {
+    let mut g = Gen::new(0xD1A6);
+    for _ in 0..32 {
+        let n = g.range(2, 7);
+        let seed = g.next_u64() % 100;
+        let pick = g.range(0, 500);
         let ham = random_hamiltonian(n, seed);
         let sp = DetSpace::c1(n, 2.min(n), 1.min(n));
         let ia = pick % sp.alpha.len();
@@ -100,7 +162,7 @@ proptest! {
         let (am, bm) = (sp.alpha.mask(ia), sp.beta.mask(ib));
         let d1 = ham.diagonal_element(am, bm);
         let d2 = ham.diagonal_element(bm, am);
-        prop_assert!((d1 - d2).abs() < 1e-12);
+        assert!((d1 - d2).abs() < 1e-12);
     }
 }
 
@@ -142,7 +204,14 @@ fn hamiltonian_invariant_under_orbital_relabeling() {
             }
         }
     }
-    let mo = MoIntegrals { n_orb: n, h, eri, e_core: 0.0, orb_sym: vec![0; n], n_irrep: 1 };
+    let mo = MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    };
     let ham1 = Hamiltonian::new(&mo);
     let space = DetSpace::c1(4, 2, 1);
     let e0 = eigh(&dense_h(&space, &ham0)).eigenvalues;

@@ -1,0 +1,232 @@
+//! End-to-end telemetry invariants: the trace written while driving the
+//! simulated machine must agree — exactly, not approximately — with the
+//! `RunReport` clock aggregates it was derived from, the JSONL encoding
+//! must be deterministic modulo host wall-clock, and the Chrome export
+//! must be well-formed JSON.
+
+use fcix::core::{apply_sigma, random_hamiltonian, DetSpace, PoolParams, SigmaCtx, SigmaMethod};
+use fcix::ddi::{Backend, Ddi};
+use fcix::obs::{parse_jsonl, to_chrome, Category, Event, EventKind, JsonValue, RunSummary};
+use fcix::xsim::MachineModel;
+
+/// Deterministic case generator (same LCG as `tests/property.rs`).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// Run one traced σ evaluation; return the trace and the breakdown's
+/// merged report.
+fn traced_sigma(
+    n: usize,
+    na: usize,
+    nb: usize,
+    nproc: usize,
+    seed: u64,
+    method: SigmaMethod,
+) -> (Vec<Event>, fcix::xsim::RunReport) {
+    let ham = random_hamiltonian(n, seed);
+    let space = DetSpace::c1(n, na, nb);
+    let ddi = Ddi::new(nproc, Backend::Serial);
+    let tracer = fcix::obs::Tracer::in_memory();
+    ddi.attach_tracer(tracer.clone());
+    let model = MachineModel::cray_x1();
+    let ctx = SigmaCtx {
+        space: &space,
+        ham: &ham,
+        ddi: &ddi,
+        model: &model,
+        pool: PoolParams::default(),
+    };
+    let c = space.guess(&ham, nproc);
+    let (_sigma, bd) = apply_sigma(&ctx, &c, method);
+    (tracer.events().expect("in-memory tracer"), bd.total())
+}
+
+/// The summary rebuilt from the trace equals the clock-level summary of
+/// the merged `RunReport` — every field, to 1e-9.
+#[test]
+fn trace_summary_matches_report_summary() {
+    for method in [SigmaMethod::Dgemm, SigmaMethod::Moc] {
+        let (events, report) = traced_sigma(6, 3, 2, 5, 42, method);
+        let from_trace = RunSummary::from_events(&events);
+        let from_clocks = report.summary();
+        assert_eq!(from_trace.nproc, from_clocks.nproc);
+        let close = |a: f64, b: f64, what: &str| {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{what}: trace {a} vs clocks {b} ({method:?})"
+            );
+        };
+        for cat in Category::CLOCKED {
+            close(from_trace.time(cat), from_clocks.time(cat), cat.as_str());
+        }
+        close(from_trace.elapsed, from_clocks.elapsed, "elapsed");
+        close(from_trace.mean_busy, from_clocks.mean_busy, "mean_busy");
+        close(
+            from_trace.flops_dgemm,
+            from_clocks.flops_dgemm,
+            "flops_dgemm",
+        );
+        close(
+            from_trace.flops_daxpy,
+            from_clocks.flops_daxpy,
+            "flops_daxpy",
+        );
+        close(from_trace.net_bytes, from_clocks.net_bytes, "net_bytes");
+        close(from_trace.net_msgs, from_clocks.net_msgs, "net_msgs");
+        close(
+            from_trace.lock_acquires,
+            from_clocks.lock_acquires,
+            "lock_acquires",
+        );
+        close(
+            from_trace.nxtval_msgs,
+            from_clocks.nxtval_msgs,
+            "nxtval_msgs",
+        );
+    }
+}
+
+/// Property: for arbitrary problem shapes, each rank's span durations sum
+/// to that rank's simulated clock total within 1e-9 — the trace loses no
+/// time and invents none.
+#[test]
+fn per_rank_span_sums_match_clock_totals() {
+    let mut g = Gen::new(0x7E1E);
+    let mut cases = 0;
+    while cases < 10 {
+        let n = g.range(3, 6);
+        let na = g.range(1, 4);
+        let nb = g.range(1, 4);
+        let nproc = g.range(1, 7);
+        let seed = g.next_u64() % 500;
+        if na > n || nb > n {
+            continue;
+        }
+        cases += 1;
+        let method = if cases % 2 == 0 {
+            SigmaMethod::Dgemm
+        } else {
+            SigmaMethod::Moc
+        };
+        let (events, report) = traced_sigma(n, na, nb, nproc, seed, method);
+        for (rank, clock) in report.clocks.iter().enumerate() {
+            let span_sum: f64 = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Span && e.rank == Some(rank))
+                .map(|e| e.sim_dur_s)
+                .sum();
+            assert!(
+                (span_sum - clock.total()).abs() < 1e-9,
+                "rank {rank}: spans {span_sum} vs clock {} (n={n} na={na} nb={nb} p={nproc})",
+                clock.total()
+            );
+        }
+    }
+}
+
+/// Drop host wall-clock fields from a serialized event (the only
+/// non-deterministic part of a record).
+fn strip_host(v: JsonValue) -> JsonValue {
+    match v {
+        JsonValue::Obj(pairs) => JsonValue::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "host_us" && k != "host_dur_us")
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Two identical runs produce byte-identical JSONL once host timestamps
+/// are removed, and every record survives a serialize→parse round trip.
+#[test]
+fn jsonl_is_deterministic_and_round_trips() {
+    let (ev1, _) = traced_sigma(5, 2, 2, 3, 7, SigmaMethod::Dgemm);
+    let (ev2, _) = traced_sigma(5, 2, 2, 3, 7, SigmaMethod::Dgemm);
+    assert_eq!(ev1.len(), ev2.len());
+    for (a, b) in ev1.iter().zip(&ev2) {
+        assert_eq!(
+            strip_host(a.to_json()).to_string(),
+            strip_host(b.to_json()).to_string()
+        );
+    }
+    let jsonl: String = ev1.iter().map(|e| e.to_json().to_string() + "\n").collect();
+    let parsed = parse_jsonl(&jsonl).expect("own output must parse");
+    assert_eq!(parsed, ev1);
+}
+
+/// Golden check: a hand-written trace aggregates to exactly the expected
+/// Table-3 numbers.
+#[test]
+fn golden_summary_from_fixed_trace() {
+    let jsonl = r#"{"ev":"span","name":"bb","cat":"dgemm","rank":0,"host_us":0,"host_dur_us":10,"sim_s":0,"sim_dur_s":2.0,"args":{"flops":8000000000}}
+{"ev":"span","name":"bb","cat":"net","rank":0,"host_us":10,"host_dur_us":5,"sim_s":2.0,"sim_dur_s":0.5,"args":{"bytes":1000000,"msgs":10,"nxtval":3}}
+{"ev":"span","name":"bb","cat":"dgemm","rank":1,"host_us":0,"host_dur_us":10,"sim_s":0,"sim_dur_s":1.0,"args":{"flops":4000000000}}
+{"ev":"span","name":"bb","cat":"lock","rank":1,"host_us":10,"host_dur_us":2,"sim_s":1.0,"sim_dur_s":0.25,"args":{"acquires":4}}
+{"ev":"instant","name":"ddi_nxtval","cat":"net","rank":1,"host_us":12,"host_dur_us":0,"sim_s":1.25,"sim_dur_s":0,"args":{"nxtval":1}}
+"#;
+    // Counters ride on spans; instants are annotations and must not
+    // perturb any aggregate (the nxtval instant above is ignored).
+    let events = parse_jsonl(jsonl).unwrap();
+    let s = RunSummary::from_events(&events);
+    assert_eq!(s.nproc, 2);
+    assert_eq!(s.t_dgemm, 3.0);
+    assert_eq!(s.t_net, 0.5);
+    assert_eq!(s.t_lock, 0.25);
+    assert_eq!(s.elapsed, 2.5); // rank 0 is the slowest: 2.0 + 0.5
+    assert_eq!(s.mean_busy, (2.5 + 1.25) / 2.0);
+    assert_eq!(s.flops_dgemm, 12e9);
+    assert_eq!(s.net_bytes, 1e6);
+    assert_eq!(s.net_msgs, 10.0);
+    assert_eq!(s.lock_acquires, 4.0);
+    assert_eq!(s.nxtval_msgs, 3.0);
+    assert!((s.tflops() - 12e9 / 2.5 / 1e12).abs() < 1e-12);
+    // And the JSON round trip of the summary itself is exact.
+    let back = RunSummary::from_json(&s.to_json()).unwrap();
+    assert_eq!(back, s);
+}
+
+/// The Chrome export is valid JSON with one complete ("X") record per
+/// span, carried timestamps in microseconds, and rank→tid lane mapping.
+#[test]
+fn chrome_export_is_valid() {
+    let (events, _) = traced_sigma(5, 2, 2, 3, 11, SigmaMethod::Dgemm);
+    let out = to_chrome(&events);
+    let v = JsonValue::parse(&out).expect("chrome export must be valid JSON");
+    let arr = v.as_arr().expect("trace event array");
+    let spans: Vec<&JsonValue> = arr
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .collect();
+    let n_spans = events.iter().filter(|e| e.kind == EventKind::Span).count();
+    assert_eq!(spans.len(), n_spans);
+    for (chrome, ev) in spans
+        .iter()
+        .zip(events.iter().filter(|e| e.kind == EventKind::Span))
+    {
+        let ts = chrome.get_f64("ts").unwrap();
+        let dur = chrome.get_f64("dur").unwrap();
+        assert!((ts - ev.sim_s * 1e6).abs() < 1e-6);
+        assert!((dur - ev.sim_dur_s * 1e6).abs() < 1e-6);
+        assert_eq!(
+            chrome.get_f64("tid").unwrap() as usize,
+            ev.rank.unwrap_or(0)
+        );
+    }
+}

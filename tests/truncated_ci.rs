@@ -12,7 +12,14 @@ fn h2_mo(r: f64) -> (fcix::scf::MoIntegrals, f64) {
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
-    let mo = transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 0, 2);
+    let mo = transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        0,
+        2,
+    );
     (mo, scf.energy)
 }
 
@@ -30,7 +37,14 @@ fn h2_dimer_mo(d: f64) -> fcix::scf::MoIntegrals {
     let basis = BasisSet::build(&mol, "sto-3g");
     let scf = rhf(&mol, &basis, &RhfOptions::default());
     assert!(scf.converged);
-    transform_integrals(&scf.h_ao, &scf.eri_ao, &scf.mo_coeffs, mol.nuclear_repulsion(), 0, 4)
+    transform_integrals(
+        &scf.h_ao,
+        &scf.eri_ao,
+        &scf.mo_coeffs,
+        mol.nuclear_repulsion(),
+        0,
+        4,
+    )
 }
 
 #[test]
@@ -38,7 +52,16 @@ fn cisd_equals_fci_for_two_electrons() {
     // With 2 electrons, doubles already span the full space.
     let (mo, _) = h2_mo(1.4);
     let fci = solve(&mo, 1, 1, 0, &FciOptions::default());
-    let cisd = solve(&mo, 1, 1, 0, &FciOptions { excitation_level: Some(2), ..Default::default() });
+    let cisd = solve(
+        &mo,
+        1,
+        1,
+        0,
+        &FciOptions {
+            excitation_level: Some(2),
+            ..Default::default()
+        },
+    );
     assert!(fci.converged && cisd.converged);
     assert!((fci.energy - cisd.energy).abs() < 1e-9);
     assert_eq!(cisd.sector_dim, fci.sector_dim);
@@ -72,7 +95,17 @@ fn cisd_matches_dense_truncated_block() {
     // Reference: diagonalize H restricted to the CISD determinants.
     let mo = h2_dimer_mo(3.0);
     let ham = Hamiltonian::new(&mo);
-    let cisd = solve(&mo, 2, 2, 0, &FciOptions { excitation_level: Some(2), method: DiagMethod::Davidson, ..Default::default() });
+    let cisd = solve(
+        &mo,
+        2,
+        2,
+        0,
+        &FciOptions {
+            excitation_level: Some(2),
+            method: DiagMethod::Davidson,
+            ..Default::default()
+        },
+    );
     assert!(cisd.converged);
 
     // Build the same filtered space and the dense block.
@@ -89,11 +122,17 @@ fn cisd_matches_dense_truncated_block() {
     let space = space0.with_excitation_limit(best.1, best.2, 2);
     let h = slater::dense_h(&space, &ham);
     let nb = space.beta.len();
-    let idx: Vec<usize> = (0..space.dim()).filter(|&i| space.in_sector(i % nb, i / nb)).collect();
+    let idx: Vec<usize> = (0..space.dim())
+        .filter(|&i| space.in_sector(i % nb, i / nb))
+        .collect();
     assert_eq!(idx.len(), cisd.sector_dim);
     let hs = Matrix::from_fn(idx.len(), idx.len(), |i, j| h[(idx[i], idx[j])]);
     let exact = eigh(&hs).eigenvalues[0] + ham.e_core;
-    assert!((cisd.energy - exact).abs() < 1e-8, "{} vs {exact}", cisd.energy);
+    assert!(
+        (cisd.energy - exact).abs() < 1e-8,
+        "{} vs {exact}",
+        cisd.energy
+    );
 }
 
 #[test]
@@ -105,7 +144,17 @@ fn cisd_size_consistency_failure() {
     let mo_dimer = h2_dimer_mo(far);
 
     let e1_fci = solve(&mo_single, 1, 1, 0, &FciOptions::default()).energy;
-    let e2_fci = solve(&mo_dimer, 2, 2, 0, &FciOptions { method: DiagMethod::Davidson, ..Default::default() }).energy;
+    let e2_fci = solve(
+        &mo_dimer,
+        2,
+        2,
+        0,
+        &FciOptions {
+            method: DiagMethod::Davidson,
+            ..Default::default()
+        },
+    )
+    .energy;
     assert!(
         (e2_fci - 2.0 * e1_fci).abs() < 1e-5,
         "FCI must be size-consistent: {} vs {}",
@@ -113,13 +162,27 @@ fn cisd_size_consistency_failure() {
         2.0 * e1_fci
     );
 
-    let e1_cisd = solve(&mo_single, 1, 1, 0, &FciOptions { excitation_level: Some(2), ..Default::default() }).energy;
+    let e1_cisd = solve(
+        &mo_single,
+        1,
+        1,
+        0,
+        &FciOptions {
+            excitation_level: Some(2),
+            ..Default::default()
+        },
+    )
+    .energy;
     let e2_cisd = solve(
         &mo_dimer,
         2,
         2,
         0,
-        &FciOptions { excitation_level: Some(2), method: DiagMethod::Davidson, ..Default::default() },
+        &FciOptions {
+            excitation_level: Some(2),
+            method: DiagMethod::Davidson,
+            ..Default::default()
+        },
     )
     .energy;
     let defect = e2_cisd - 2.0 * e1_cisd;
