@@ -167,6 +167,7 @@ impl Bencher {
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
         black_box(f());
         for _ in 0..self.samples {
+            // lint: allow(wallclock) — the bench harness measures real host time
             let t0 = Instant::now();
             black_box(f());
             self.times.push(t0.elapsed().as_secs_f64());

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared infrastructure for the experiment harnesses.
 //!
 //! One binary per table/figure of the paper lives in `src/bin/`; the

@@ -1,0 +1,232 @@
+//! Dynamic correctness checks: `fcix-check <race|explore> [options]`.
+//!
+//! ```text
+//! fcix-check race --fault none        # correct DDI_ACC protocol → expects 0 races
+//! fcix-check race --fault skip-fence  # injected bug → expects the detector to flag it
+//! fcix-check race --fault skip-lock   # injected bug → expects the detector to flag it
+//! fcix-check race --solve             # online-check a small FCI solve (must be clean)
+//! fcix-check race --trace run.jsonl   # offline-analyze an fci-obs trace
+//! fcix-check explore --seeds 8        # schedule explorer: σ/energy must be bitwise equal
+//! ```
+//!
+//! Exit code 0 means the check passed: for `--fault none`, `--solve` and
+//! `--trace` that means no races; for the injected faults it means the
+//! detector *caught* the bug (a silent pass there is the failure).
+
+use fci_check::{analyze_trace_events, explore_mixed, ExploreConfig, RaceDetector};
+use fci_ddi::{AccFault, Backend, CheckConfig, Ddi, DistMatrix};
+use fci_ints::EriTensor;
+use fci_linalg::Matrix;
+use fci_scf::MoIntegrals;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-check race [--fault none|skip-fence|skip-lock] [--solve] [--trace FILE]"
+    );
+    eprintln!("       fcix-check explore [--seeds K]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("race") => race(&args[1..]),
+        Some("explore") => explore(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Hubbard-style synthetic integrals (hopping −t, on-site U): the
+/// standard small exactly-solvable case used across the test suite.
+fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n.saturating_sub(1) {
+        h[(i, i + 1)] = -t;
+        h[(i + 1, i)] = -t;
+    }
+    let mut eri = EriTensor::zeros(n);
+    for i in 0..n {
+        eri.set(i, i, i, i, u);
+    }
+    MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    }
+}
+
+fn race(args: &[String]) -> ExitCode {
+    let mut fault: Option<AccFault> = None;
+    let mut solve = false;
+    let mut trace: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fault" => match it.next().map(String::as_str) {
+                Some("none") => fault = Some(AccFault::None),
+                Some("skip-fence") => fault = Some(AccFault::SkipFence),
+                Some("skip-lock") => fault = Some(AccFault::SkipLock),
+                _ => return usage(),
+            },
+            "--solve" => solve = true,
+            "--trace" => match it.next() {
+                Some(f) => trace = Some(f.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if let Some(f) = trace {
+        return race_trace(&f);
+    }
+    if solve {
+        return race_solve();
+    }
+    race_fault(fault.unwrap_or(AccFault::None))
+}
+
+/// Replay the DDI_ACC protocol (optionally with an injected bug) under
+/// the threads backend with the happens-before detector attached.
+fn race_fault(fault: AccFault) -> ExitCode {
+    let nproc = 4;
+    let detector = Arc::new(RaceDetector::new());
+    let ddi = Ddi::new(nproc, Backend::Threads);
+    ddi.attach_recorder(detector.clone());
+    let m = DistMatrix::zeros(32, 8, nproc);
+    ddi.adopt(&m);
+    // Every rank accumulates into every column: maximal contention on the
+    // per-node locks, exactly the σ-accumulation pattern of the paper.
+    ddi.run(|rank, stats| {
+        let buf = vec![1.0 + rank as f64; 32];
+        for col in 0..8 {
+            m.acc_col_faulty(rank, col, &buf, fault, stats);
+        }
+    });
+    let races = detector.races();
+    for r in &races {
+        println!("{r}");
+    }
+    let expect_races = !matches!(fault, AccFault::None);
+    println!(
+        "fcix-check race: fault={fault:?}, {} protocol events, {} race report(s)",
+        detector.nevents(),
+        races.len()
+    );
+    let caught = !races.is_empty();
+    if expect_races == caught {
+        println!(
+            "fcix-check race: PASS ({})",
+            if expect_races {
+                "injected bug detected"
+            } else {
+                "correct protocol is race-free"
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fcix-check race: FAIL ({})",
+            if expect_races {
+                "injected bug NOT detected"
+            } else {
+                "false positive on correct protocol"
+            }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Online-check a full small FCI solve; the production protocol must be
+/// race-free.
+fn race_solve() -> ExitCode {
+    let nproc = 4;
+    let detector = Arc::new(RaceDetector::new());
+    let mo = hubbard(4, 1.0, 2.0);
+    let opts = fci_core::FciOptions {
+        nproc,
+        backend: Backend::Threads,
+        method: fci_core::DiagMethod::Davidson,
+        check: CheckConfig::online(detector.clone()),
+        ..Default::default()
+    };
+    let r = fci_core::solve(&mo, 2, 2, 0, &opts);
+    let races = detector.races();
+    for rep in &races {
+        println!("{rep}");
+    }
+    println!(
+        "fcix-check race --solve: E = {:.10} ({} iters, converged={}), {} protocol events, {} race report(s)",
+        r.energy,
+        r.iterations,
+        r.converged,
+        detector.nevents(),
+        races.len()
+    );
+    if races.is_empty() && r.converged {
+        println!("fcix-check race --solve: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("fcix-check race --solve: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+/// Offline analysis of an fci-obs JSONL trace.
+fn race_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fcix-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match fci_obs::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("fcix-check: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let races = analyze_trace_events(&events);
+    for r in &races {
+        println!("{r}");
+    }
+    println!(
+        "fcix-check race --trace: {} events, {} race report(s)",
+        events.len(),
+        races.len()
+    );
+    if races.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn explore(args: &[String]) -> ExitCode {
+    let mut cfg = ExploreConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(k) if k >= 1 => cfg.seeds = (1..=k).collect(),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let report = explore_mixed(&cfg);
+    println!("{}", report.summary());
+    if report.identical {
+        println!("fcix-check explore: PASS (σ and energy bitwise identical across schedules)");
+        ExitCode::SUCCESS
+    } else {
+        println!("fcix-check explore: FAIL (schedule-dependent result)");
+        ExitCode::FAILURE
+    }
+}

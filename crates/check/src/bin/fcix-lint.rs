@@ -1,0 +1,35 @@
+//! Workspace source lint: `fcix-lint [root]`.
+//!
+//! Scans every `.rs` file under `root` (default: current directory) for
+//! the repo conventions documented in `fci_check::lint` and prints one
+//! line per violation. Exit code 0 iff the tree is clean — wire it into
+//! CI next to `clippy`.
+
+use fci_check::{lint_workspace, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let cfg = LintConfig::new(root);
+    match lint_workspace(&cfg) {
+        Ok(violations) if violations.is_empty() => {
+            println!("fcix-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("fcix-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fcix-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! Correctness analysis for the fcix stack: `fci-check`.
+//!
+//! The paper asserts that its one-sided communication protocol
+//! (`DDI_ACC` = lock → get → add → put → fence → unlock, §3.1) and its
+//! manager/worker task pool produce correct, deterministic σ vectors.
+//! This crate *checks* those claims instead of trusting them:
+//!
+//! * [`race`] — a vector-clock happens-before race detector over the
+//!   protocol events `fci-ddi` records, online (attached to a live run
+//!   through `CheckConfig`) or offline (replayed from an `fci-obs` JSONL
+//!   trace). Validated against deliberately broken protocols
+//!   (fault-injected missing fence / missing lock).
+//! * [`explore`] — a deterministic, seeded schedule explorer that replays
+//!   the mixed-spin task pool of a small FCI case under adversarial worker
+//!   interleavings and checks σ and the variational energy are bitwise
+//!   identical across schedules.
+//! * [`lint`] — a std-only source scanner (`fcix-lint`) enforcing repo
+//!   conventions: `// SAFETY:` on `unsafe` blocks, no wall-clock reads
+//!   outside `crates/obs`, no `unwrap`/`expect` on hot paths, no stray
+//!   `println!`.
+
+pub mod explore;
+pub mod lint;
+pub mod race;
+
+pub use explore::{explore_mixed, ExploreConfig, ExploreOutcome, ExploreReport};
+pub use lint::{lint_paths, lint_source, lint_workspace, LintConfig, Violation};
+pub use race::{analyze, analyze_trace_events, RaceDetector, RaceReport, RaceSite, VectorClock};

@@ -1,0 +1,590 @@
+//! `fcix-lint`: a std-only source-convention scanner.
+//!
+//! No external parser crates are available in this environment, so the
+//! scanner is a hand-rolled character state machine: it splits every
+//! source file into per-line **code text** (string literals blanked, so
+//! patterns inside strings never match) and **comment text** (where
+//! `SAFETY:` justifications and waivers live), tracks `#[cfg(test)]`
+//! regions by brace depth, and then applies line-local rules:
+//!
+//! | rule       | requirement |
+//! |------------|-------------|
+//! | `unsafe`   | every `unsafe` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above |
+//! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
+//! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`); the mutex idiom `.lock().unwrap()` is allowed |
+//! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
+//!
+//! A violation can be waived in place with a trailing comment
+//! `lint: allow(<rule>)` on the offending line or the line above — the
+//! waiver is greppable, reviewable, and local.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`unsafe`, `wallclock`, `unwrap`, `println`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Scanner configuration. The defaults encode this repository's layout;
+/// tests point `root` at fixture directories.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Directory whose `.rs` files are scanned (recursively).
+    pub root: PathBuf,
+    /// Path fragments where `.unwrap()`/`.expect(` are forbidden.
+    pub hot_paths: Vec<String>,
+    /// Path fragment where wall-clock reads are allowed.
+    pub clock_crate: String,
+}
+
+impl LintConfig {
+    /// Defaults for a workspace rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig {
+            root: root.into(),
+            hot_paths: vec![
+                "crates/ddi/src".into(),
+                "crates/linalg/src".into(),
+                "crates/core/src/sigma".into(),
+            ],
+            clock_crate: "crates/obs".into(),
+        }
+    }
+}
+
+/// One source line, split into its code and comment parts.
+struct ScanLine {
+    /// Code with string/char literals blanked out.
+    code: String,
+    /// Concatenated comment text of the line.
+    comment: String,
+    /// Inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Character state machine: strip literals, collect comments, per line.
+fn scan_source(src: &str) -> Vec<ScanLine> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut lines: Vec<ScanLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(ScanLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    code.push(' ');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&code) => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        code.push(' ');
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                // Char literal vs lifetime: 'x' or '\…' is a literal,
+                // 'ident is a lifetime.
+                '\'' if next == Some('\\') || chars.get(i + 2) == Some(&'\'') => {
+                    st = St::Char;
+                    code.push(' ');
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        st = St::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(ScanLine {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Mark every line inside an item annotated `#[cfg(test)]` (tracked by
+/// brace depth from the attribute's following `{`).
+fn mark_test_regions(lines: &mut [ScanLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the annotated item.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                lines[j].in_test = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether a token occurrence at `pos` is preceded by an identifier char
+/// (`eprintln!` must not match `println!`).
+fn boundary_before(code: &str, pos: usize) -> bool {
+    pos == 0
+        || !code[..pos]
+            .chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Whether the char after the match is an identifier char
+/// (`unsafe_code` must not match `unsafe`).
+fn boundary_after(code: &str, end: usize) -> bool {
+    !code[end..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Token occurrences of `needle` in `code` respecting identifier
+/// boundaries on both sides.
+fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(needle) {
+        let pos = from + p;
+        if boundary_before(code, pos) && boundary_after(code, pos + needle.len()) {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+fn waived(lines: &[ScanLine], idx: usize, rule: &str) -> bool {
+    let tag = format!("lint: allow({rule})");
+    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
+}
+
+fn safety_covered(lines: &[ScanLine], idx: usize) -> bool {
+    let lo = idx.saturating_sub(3);
+    lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains("SAFETY:"))
+}
+
+/// Normalize a path to forward slashes relative to `root` (best effort).
+fn rel(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn is_test_context(relpath: &str) -> bool {
+    relpath.contains("/tests/") || relpath.starts_with("tests/")
+}
+
+fn println_allowed(relpath: &str) -> bool {
+    relpath.contains("/bin/")
+        || relpath.starts_with("src/bin/")
+        || is_test_context(relpath)
+        || relpath.contains("/benches/")
+        || relpath.contains("/examples/")
+        || relpath.starts_with("examples/")
+        || relpath.starts_with("crates/bench/")
+        || relpath.ends_with("build.rs")
+}
+
+/// Lint one file's contents. `relpath` is the `/`-separated path relative
+/// to the workspace root, which selects which rules apply.
+pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation> {
+    let lines = scan_source(src);
+    let mut out = Vec::new();
+    let file = PathBuf::from(relpath);
+    let hot = cfg
+        .hot_paths
+        .iter()
+        .any(|h| relpath.starts_with(h.as_str()));
+    let clock_ok = relpath.starts_with(cfg.clock_crate.as_str());
+    let println_ok = println_allowed(relpath);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = &line.code;
+
+        // Rule: unsafe needs SAFETY.
+        for _pos in token_positions(code, "unsafe") {
+            if waived(&lines, idx, "unsafe") || safety_covered(&lines, idx) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.clone(),
+                line: lineno,
+                rule: "unsafe",
+                message: "`unsafe` without a `// SAFETY:` comment on this line or the 3 above"
+                    .into(),
+            });
+        }
+
+        // Rule: wall-clock reads only in the obs crate.
+        if !clock_ok {
+            for needle in ["Instant::now", "SystemTime"] {
+                for _pos in token_positions(code, needle) {
+                    if waived(&lines, idx, "wallclock") {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "wallclock",
+                        message: format!(
+                            "`{needle}` outside crates/obs — simulated code must take time \
+                             from the cost model, host time from the tracer"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule: no unwrap/expect on hot paths (tests exempt).
+        if hot && !line.in_test && !is_test_context(relpath) {
+            let collapsed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+            let prev_code: String = if idx > 0 {
+                lines[idx - 1]
+                    .code
+                    .chars()
+                    .filter(|c| !c.is_whitespace())
+                    .collect()
+            } else {
+                String::new()
+            };
+            let mut from = 0;
+            while let Some(p) = collapsed[from..].find(".unwrap()") {
+                let pos = from + p;
+                let lock_idiom = collapsed[..pos].ends_with(".lock()")
+                    || (pos == 0 && prev_code.ends_with(".lock()"));
+                if !lock_idiom && !waived(&lines, idx, "unwrap") {
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "unwrap",
+                        message: "`.unwrap()` in hot-path code — handle the error or use \
+                                  `unwrap_or_else`/`total_cmp`; `.lock().unwrap()` is the \
+                                  only allowed form"
+                            .into(),
+                    });
+                }
+                from = pos + ".unwrap()".len();
+            }
+            if collapsed.contains(".expect(") && !waived(&lines, idx, "unwrap") {
+                out.push(Violation {
+                    file: file.clone(),
+                    line: lineno,
+                    rule: "unwrap",
+                    message: "`.expect(…)` in hot-path code — propagate or handle the error".into(),
+                });
+            }
+        }
+
+        // Rule: no stray println!.
+        if !println_ok && !line.in_test {
+            for _pos in token_positions(code, "println!") {
+                if waived(&lines, idx, "println") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.clone(),
+                    line: lineno,
+                    rule: "println",
+                    message: "`println!` outside bins/tests — libraries report through \
+                              return values or the tracer"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output and
+/// VCS internals.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the given files (paths may be absolute; rule selection uses their
+/// path relative to `cfg.root`).
+pub fn lint_paths(cfg: &LintConfig, files: &[PathBuf]) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(f)?;
+        let relpath = rel(&cfg.root, f);
+        out.extend(lint_source(cfg, &relpath, &src));
+    }
+    Ok(out)
+}
+
+/// Lint every `.rs` file under `cfg.root`.
+pub fn lint_workspace(cfg: &LintConfig) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(&cfg.root, &mut files)?;
+    files.sort();
+    lint_paths(cfg, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig::new(".")
+    }
+
+    fn lint(relpath: &str, src: &str) -> Vec<Violation> {
+        lint_source(&cfg(), relpath, src)
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        let v = lint("crates/linalg/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe");
+        let good = "// SAFETY: bounds checked above.\nfn f() { unsafe { g() } }\n";
+        assert!(lint("crates/linalg/src/x.rs", good).is_empty());
+        // `forbid(unsafe_code)` is not an unsafe token.
+        assert!(lint("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_does_not_count() {
+        let src = "fn f() { let s = \"unsafe { }\"; }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let raw = "fn f() { let s = r#\"unsafe\"#; }\n";
+        assert!(lint("crates/core/src/x.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn wallclock_only_in_obs() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+        assert!(lint("crates/obs/src/tracer.rs", src).is_empty());
+        let waived =
+            "// lint: allow(wallclock) — real timing harness\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint("crates/bench/src/harness.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rules_on_hot_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint("crates/ddi/src/dist.rs", src).len(), 1);
+        // Cold paths are free to unwrap.
+        assert!(lint("crates/core/src/solver.rs", src).is_empty());
+        // The mutex idiom is allowed, including rustfmt's line split.
+        let lock = "fn f() { m.lock().unwrap(); }\n";
+        assert!(lint("crates/ddi/src/dist.rs", lock).is_empty());
+        let split = "fn f() {\n    m\n        .lock()\n        .unwrap();\n}\n";
+        assert!(lint("crates/ddi/src/dist.rs", split).is_empty());
+        let expect = "fn f() { x.expect(\"boom\"); }\n";
+        assert_eq!(lint("crates/linalg/src/gemm.rs", expect).len(), 1);
+        // Tests inside the hot file are exempt.
+        let test = "#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(lint("crates/ddi/src/dist.rs", test).is_empty());
+    }
+
+    #[test]
+    fn println_rules() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+        assert!(lint("src/bin/fcix.rs", src).is_empty());
+        assert!(lint("crates/check/src/bin/fcix-lint.rs", src).is_empty());
+        assert!(lint("crates/core/tests/t.rs", src).is_empty());
+        // eprintln is fine anywhere.
+        let e = "fn f() { eprintln!(\"x\"); }\n";
+        assert!(lint("crates/core/src/x.rs", e).is_empty());
+    }
+
+    #[test]
+    fn waiver_on_preceding_line() {
+        let src = "// lint: allow(unwrap) — guarded above\nfn f() { x.unwrap(); }\n";
+        assert!(lint("crates/ddi/src/dist.rs", src).is_empty());
+        let trailing = "fn f() { x.unwrap() } // lint: allow(unwrap)\n";
+        assert!(lint("crates/ddi/src/dist.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_break_scanning() {
+        let src = "fn f() { let c = '\"'; let d = '\\n'; x.unwrap(); }\n";
+        assert_eq!(lint("crates/ddi/src/dist.rs", src).len(), 1);
+        let lifetime = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        assert!(lint("crates/ddi/src/dist.rs", lifetime).is_empty());
+    }
+
+    #[test]
+    fn block_comments_and_nesting() {
+        let src = "/* unsafe { } */\nfn f() {}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let nested = "/* a /* unsafe */ b */\nfn f() {}\n";
+        assert!(lint("crates/core/src/x.rs", nested).is_empty());
+    }
+}

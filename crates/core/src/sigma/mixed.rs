@@ -35,6 +35,11 @@ use fci_obs::Category;
 use fci_xsim::{Clock, MachineModel, RunReport};
 use std::sync::Mutex;
 
+/// Receives one α-column contribution of a task: `(column, values, stats)`.
+/// The default sink remote-accumulates into σ; the `fci-check` schedule
+/// explorer substitutes a collecting sink to study accumulation order.
+pub type ColumnSink<'s> = dyn FnMut(usize, &[f64], &mut CommStats) + 's;
+
 /// Per-rank working storage for the mixed-spin routine (the paper's
 /// "working area to store the gathered C vector coefficients and the
 /// computed update coefficients", §3.1).
@@ -61,17 +66,18 @@ impl WorkBufs {
     }
 }
 
-/// Execute the work of one Kα family on `rank`.
+/// Execute the work of one Kα family on `rank`, handing each α-column
+/// update to `sink` (which normally performs the `DDI_ACC`).
 #[allow(clippy::too_many_arguments)]
-fn process_task(
+fn process_task_into(
     ctx: &SigmaCtx,
     c: &DistMatrix,
-    sigma: &DistMatrix,
     ka: usize,
     rank: usize,
     bufs: &mut WorkBufs,
     stats: &mut CommStats,
     clock: &mut Clock,
+    sink: &mut ColumnSink,
 ) {
     let space = ctx.space;
     let ham = ctx.ham;
@@ -153,10 +159,84 @@ fn process_task(
         for (i, cb) in bufs.colbuf.iter_mut().enumerate() {
             *cb = sgn * bufs.u[i + slot * nbstr];
         }
-        sigma.acc_col(rank, e.to as usize, &bufs.colbuf, stats);
+        sink(e.to as usize, &bufs.colbuf, stats);
     }
     clock.charge_gather(model, (nq * nbstr) as f64);
     clock.charge_scalar(model, (2 * nq + 2 * nkb) as f64);
+}
+
+/// Execute the work of one Kα family on `rank`, accumulating into σ.
+#[allow(clippy::too_many_arguments)]
+fn process_task(
+    ctx: &SigmaCtx,
+    c: &DistMatrix,
+    sigma: &DistMatrix,
+    ka: usize,
+    rank: usize,
+    bufs: &mut WorkBufs,
+    stats: &mut CommStats,
+    clock: &mut Clock,
+) {
+    process_task_into(
+        ctx,
+        c,
+        ka,
+        rank,
+        bufs,
+        stats,
+        clock,
+        &mut |col, vals, st| sigma.acc_col(rank, col, vals, st),
+    );
+}
+
+/// A persistent mixed-spin worker: owns one rank's working buffers,
+/// statistics, and simulated clock across tasks, exactly like a real
+/// worker holds its scratch area for the whole phase. Used by the
+/// `fci-check` schedule explorer to replay the task pool under arbitrary
+/// interleavings — reusing the same buffers across tasks is what gives
+/// the replay teeth against stale-buffer contamination.
+pub struct MixedWorker {
+    bufs: WorkBufs,
+    /// Communication charged to this worker so far.
+    pub stats: CommStats,
+    /// Simulated time charged to this worker so far.
+    pub clock: Clock,
+}
+
+impl MixedWorker {
+    /// Fresh worker with buffers sized for `ctx.space`.
+    pub fn new(ctx: &SigmaCtx) -> MixedWorker {
+        let space = ctx.space;
+        let n = space.n_orb();
+        let nq = n - (space.alpha.n_elec() - 1);
+        MixedWorker {
+            bufs: WorkBufs::new(space.beta.len(), nq, n, space.beta_nm1.len()),
+            stats: CommStats::default(),
+            clock: Clock::default(),
+        }
+    }
+
+    /// Run one Kα family as `rank`, handing each α-column update to
+    /// `sink` instead of accumulating into a σ matrix.
+    pub fn run_task(
+        &mut self,
+        ctx: &SigmaCtx,
+        c: &DistMatrix,
+        ka: usize,
+        rank: usize,
+        sink: &mut ColumnSink,
+    ) {
+        process_task_into(
+            ctx,
+            c,
+            ka,
+            rank,
+            &mut self.bufs,
+            &mut self.stats,
+            &mut self.clock,
+            sink,
+        );
+    }
 }
 
 /// Apply the mixed-spin contribution: `sigma += H_αβ · c`.
@@ -195,7 +275,12 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
             let mut bufs = WorkBufs::new(nbstr, nq, n, nkb);
             for t in 0..pool.len() {
                 let rank = argmin_clock(&clocks, model, &stats);
-                stats[rank].nxtval_msgs += 1;
+                // Claim through the real counter so traces and protocol
+                // records see the same ddi_nxtval stream as the threaded
+                // backend (the greedy argmin IS the claim order here, so
+                // the counter hands back exactly `t`).
+                let claimed = ctx.ddi.nxtval_rank(rank, &mut stats[rank]);
+                debug_assert_eq!(claimed, t);
                 tracer.instant(
                     Some(rank),
                     "task_grab",
@@ -216,8 +301,9 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                 }
             }
             // Every rank's terminating counter probe.
-            for st in stats.iter_mut() {
-                st.nxtval_msgs += 1;
+            for (rank, st) in stats.iter_mut().enumerate() {
+                let t = ctx.ddi.nxtval_rank(rank, st);
+                debug_assert!(t >= pool.len());
             }
             for (ck, st) in clocks.iter_mut().zip(&stats) {
                 charge_comm(ck, st, model);
@@ -230,7 +316,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                 let mut clock = Clock::default();
                 let mut bufs = WorkBufs::new(nbstr, nq, n, nkb);
                 loop {
-                    let t = ctx.ddi.nxtval(stats);
+                    let t = ctx.ddi.nxtval_rank(rank, stats);
                     if t >= pool.len() {
                         break;
                     }
@@ -246,7 +332,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                 }
                 clocks.lock().unwrap()[rank] = clock;
             });
-            let mut clocks = clocks.into_inner().unwrap();
+            let mut clocks = clocks.into_inner().unwrap_or_else(|e| e.into_inner());
             for (ck, st) in clocks.iter_mut().zip(&stats_out) {
                 charge_comm(ck, st, model);
             }

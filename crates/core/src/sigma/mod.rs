@@ -93,6 +93,10 @@ pub fn apply_sigma(
 ) -> (DistMatrix, SigmaBreakdown) {
     let space = ctx.space;
     let sigma = space.zeros_ci(ctx.ddi.nproc());
+    // Wire both vectors into the world's tracer/recorder (no-ops when the
+    // world has none attached; first attachment wins for reused `c`).
+    ctx.ddi.adopt(c);
+    ctx.ddi.adopt(&sigma);
     let mut bd = SigmaBreakdown::default();
 
     // β-spin same-spin part (one-electron + ββ doubles): local.
@@ -124,6 +128,8 @@ pub fn apply_sigma(
         let mut tstats = vec![fci_ddi::CommStats::default(); ctx.ddi.nproc()];
         let ct = c.transpose(&mut tstats);
         let sigma_t = DistMatrix::zeros(ct.nrows(), ct.ncols(), ctx.ddi.nproc());
+        ctx.ddi.adopt(&ct);
+        ctx.ddi.adopt(&sigma_t);
         let host_t1 = tracer.now_us();
         bd.alpha_alpha = match method {
             SigmaMethod::Dgemm => same_spin::half_sigma_dgemm(

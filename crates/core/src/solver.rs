@@ -5,7 +5,7 @@ use crate::diag::{diagonalize, DiagMethod, DiagOptions, DiagResult};
 use crate::hamiltonian::Hamiltonian;
 use crate::sigma::{SigmaBreakdown, SigmaCtx, SigmaMethod};
 use crate::taskpool::PoolParams;
-use fci_ddi::{Backend, Ddi};
+use fci_ddi::{Backend, CheckConfig, Ddi};
 use fci_obs::ObsConfig;
 use fci_scf::MoIntegrals;
 use fci_xsim::MachineModel;
@@ -33,6 +33,10 @@ pub struct FciOptions {
     /// Run telemetry: disabled by default (zero cost); enable to collect
     /// span/event traces of every solver phase.
     pub obs: ObsConfig,
+    /// Correctness checking: disabled by default (zero cost); attach a
+    /// recorder (e.g. `fci-check`'s race detector) to observe every DDI
+    /// protocol step of the run.
+    pub check: CheckConfig,
 }
 
 impl Default for FciOptions {
@@ -47,6 +51,7 @@ impl Default for FciOptions {
             machine: MachineModel::cray_x1(),
             excitation_level: None,
             obs: ObsConfig::off(),
+            check: CheckConfig::off(),
         }
     }
 }
@@ -110,6 +115,9 @@ pub fn solve(
         fci_obs::Tracer::disabled()
     });
     ddi.attach_tracer(tracer.clone());
+    if let Some(rec) = &opts.check.recorder {
+        ddi.attach_recorder(rec.clone());
+    }
     tracer.instant(
         None,
         "solve_begin",

@@ -1,8 +1,31 @@
 //! Column-distributed dense matrices with one-sided access.
 
+use crate::record::{AccessKind, AccessRecorder, DdiAccess, DdiSite};
 use crate::stats::CommStats;
 use fci_obs::{Category, Tracer};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide matrix id source; ids label matrices in protocol records.
+static NEXT_MAT_ID: AtomicU32 = AtomicU32::new(0);
+
+/// How `acc_col_faulty` corrupts the accumulate protocol. Exists so the
+/// `fci-check` race detector can be validated against *known* ordering
+/// bugs; production code must always use [`DistMatrix::acc_col`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccFault {
+    /// The full, correct protocol (identical to `acc_col`).
+    None,
+    /// Lock, get, add, put, unlock — **no fence** before the unlock, so
+    /// the remote put is not ordered before the lock release (on real
+    /// hardware the next locker may read stale data).
+    SkipFence,
+    /// Get, add, put with **no per-node lock** spanning the
+    /// read-modify-write. Under the threads backend this genuinely loses
+    /// updates; under the serial backend the numbers survive but the
+    /// protocol violation is still visible to a recorder.
+    SkipLock,
+}
 
 /// A dense `nrows × ncols` matrix distributed by contiguous column blocks
 /// over `nproc` virtual processors.
@@ -11,17 +34,32 @@ use std::sync::{Mutex, OnceLock};
 /// strings and columns by α strings, "distributed by columns evenly among
 /// all the processors" (§3.1). Each processor's segment sits behind its own
 /// mutex — the same per-node lock `DDI_ACC` takes on the X1.
-#[derive(Debug)]
 pub struct DistMatrix {
     nrows: usize,
     ncols: usize,
     nproc: usize,
+    /// Process-unique id; names this matrix in protocol records.
+    mat_id: u32,
     /// `col_offsets[p]..col_offsets[p+1]` = columns owned by rank p.
     col_offsets: Vec<usize>,
     /// Per-rank column-major segments.
     segments: Vec<Mutex<Vec<f64>>>,
     /// Optional tracer; remote one-sided ops emit events through it.
     tracer: OnceLock<Tracer>,
+    /// Optional protocol recorder (see [`crate::record`]).
+    recorder: OnceLock<Arc<dyn AccessRecorder>>,
+}
+
+impl std::fmt::Debug for DistMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistMatrix")
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("nproc", &self.nproc)
+            .field("mat_id", &self.mat_id)
+            .field("recorder", &self.recorder.get().is_some())
+            .finish()
+    }
 }
 
 impl DistMatrix {
@@ -45,9 +83,11 @@ impl DistMatrix {
             nrows,
             ncols,
             nproc,
+            mat_id: NEXT_MAT_ID.fetch_add(1, Ordering::Relaxed),
             col_offsets,
             segments,
             tracer: OnceLock::new(),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -55,6 +95,34 @@ impl DistMatrix {
     /// matrix then emit byte-counted events. First attachment wins.
     pub fn attach_tracer(&self, tracer: Tracer) {
         let _ = self.tracer.set(tracer);
+    }
+
+    /// Attach a protocol recorder; every one-sided operation then reports
+    /// its lock/get/put/fence steps. First attachment wins.
+    pub fn attach_recorder(&self, recorder: Arc<dyn AccessRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// Process-unique id of this matrix (stable for the lifetime of the
+    /// process; used to key protocol records).
+    pub fn mat_id(&self) -> u32 {
+        self.mat_id
+    }
+
+    #[inline]
+    fn rec(&self, access: DdiAccess) {
+        if let Some(r) = self.recorder.get() {
+            r.record(&access);
+        }
+    }
+
+    /// Model collective / whole-matrix operations as a global
+    /// synchronization point: everything before is ordered before
+    /// everything after (the driver-level vector algebra is collective in
+    /// the real program, bracketed by barriers).
+    #[inline]
+    fn rec_barrier(&self) {
+        self.rec(DdiAccess::Barrier);
     }
 
     #[inline]
@@ -106,9 +174,39 @@ impl DistMatrix {
 
     /// Run `f` with rank `p`'s segment locked (column-major slab of the
     /// locally owned columns).
+    ///
+    /// Recorded as lock → read+write → unlock by the calling rank `p`
+    /// (the closure gets `&mut`, so a write is assumed conservatively).
     pub fn with_local<R>(&self, p: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
         let mut seg = self.segments[p].lock().unwrap();
-        f(&mut seg)
+        self.rec(DdiAccess::Lock {
+            rank: p,
+            mat: self.mat_id,
+            owner: p,
+        });
+        self.rec(DdiAccess::Access {
+            rank: p,
+            mat: self.mat_id,
+            kind: AccessKind::Read,
+            cols: self.local_cols(p),
+            owner: p,
+            site: DdiSite::WithLocal,
+        });
+        let out = f(&mut seg);
+        self.rec(DdiAccess::Access {
+            rank: p,
+            mat: self.mat_id,
+            kind: AccessKind::Write,
+            cols: self.local_cols(p),
+            owner: p,
+            site: DdiSite::WithLocal,
+        });
+        self.rec(DdiAccess::Unlock {
+            rank: p,
+            mat: self.mat_id,
+            owner: p,
+        });
+        out
     }
 
     /// One-sided `DDI_GET` of a single column into `buf`.
@@ -121,6 +219,14 @@ impl DistMatrix {
         let local0 = col - self.col_offsets[owner];
         {
             let seg = self.segments[owner].lock().unwrap();
+            self.rec(DdiAccess::Access {
+                rank,
+                mat: self.mat_id,
+                kind: AccessKind::Read,
+                cols: col..col + 1,
+                owner,
+                site: DdiSite::Get,
+            });
             buf.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
         }
         if owner != rank {
@@ -142,13 +248,144 @@ impl DistMatrix {
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
         {
+            // The protocol of §3.1, recorded step by step while the node
+            // mutex is held so the record order is the true lock order:
+            // lock → SHMEM_GET → add → SHMEM_PUT → fence → unlock.
             let mut seg = self.segments[owner].lock().unwrap();
+            self.rec(DdiAccess::Lock {
+                rank,
+                mat: self.mat_id,
+                owner,
+            });
+            self.rec(DdiAccess::Access {
+                rank,
+                mat: self.mat_id,
+                kind: AccessKind::Read,
+                cols: col..col + 1,
+                owner,
+                site: DdiSite::AccGet,
+            });
             let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
             for (d, s) in dst.iter_mut().zip(buf) {
                 *d += s;
             }
+            self.rec(DdiAccess::Access {
+                rank,
+                mat: self.mat_id,
+                kind: AccessKind::Write,
+                cols: col..col + 1,
+                owner,
+                site: DdiSite::AccPut,
+            });
+            self.rec(DdiAccess::Fence { rank });
+            self.rec(DdiAccess::Unlock {
+                rank,
+                mat: self.mat_id,
+                owner,
+            });
         }
         stats.mutex_acquires += 1;
+        if owner != rank {
+            stats.acc_msgs += 1;
+            stats.acc_bytes += (self.nrows * 16) as u64;
+            self.trace_op(rank, "ddi_acc", (self.nrows * 16) as u64, col, owner);
+        }
+    }
+
+    /// `DDI_ACC` with a deliberately broken protocol — fault injection for
+    /// the `fci-check` race detector. See [`AccFault`] for the menu.
+    ///
+    /// Traffic accounting matches [`DistMatrix::acc_col`], except that
+    /// [`AccFault::SkipLock`] charges no mutex acquisition (that is the
+    /// injected bug). Never call this from production code.
+    pub fn acc_col_faulty(
+        &self,
+        rank: usize,
+        col: usize,
+        buf: &[f64],
+        fault: AccFault,
+        stats: &mut CommStats,
+    ) {
+        match fault {
+            AccFault::None => return self.acc_col(rank, col, buf, stats),
+            AccFault::SkipFence => {
+                assert_eq!(buf.len(), self.nrows);
+                let owner = self.owner(col);
+                let local0 = col - self.col_offsets[owner];
+                let mut seg = self.segments[owner].lock().unwrap();
+                self.rec(DdiAccess::Lock {
+                    rank,
+                    mat: self.mat_id,
+                    owner,
+                });
+                self.rec(DdiAccess::Access {
+                    rank,
+                    mat: self.mat_id,
+                    kind: AccessKind::Read,
+                    cols: col..col + 1,
+                    owner,
+                    site: DdiSite::AccGet,
+                });
+                let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
+                for (d, s) in dst.iter_mut().zip(buf) {
+                    *d += s;
+                }
+                self.rec(DdiAccess::Access {
+                    rank,
+                    mat: self.mat_id,
+                    kind: AccessKind::Write,
+                    cols: col..col + 1,
+                    owner,
+                    site: DdiSite::AccPut,
+                });
+                // BUG under test: no fence — the put is not ordered
+                // before the unlock that publishes it.
+                self.rec(DdiAccess::Unlock {
+                    rank,
+                    mat: self.mat_id,
+                    owner,
+                });
+                drop(seg);
+                stats.mutex_acquires += 1;
+            }
+            AccFault::SkipLock => {
+                assert_eq!(buf.len(), self.nrows);
+                let owner = self.owner(col);
+                let local0 = col - self.col_offsets[owner];
+                let range = local0 * self.nrows..(local0 + 1) * self.nrows;
+                // BUG under test: the read-modify-write is not spanned by
+                // the per-node lock. The two short internal borrows below
+                // only keep Rust memory-safe; between them another rank
+                // can update the column and its update is then lost.
+                let snapshot: Vec<f64> = {
+                    let seg = self.segments[owner].lock().unwrap();
+                    self.rec(DdiAccess::Access {
+                        rank,
+                        mat: self.mat_id,
+                        kind: AccessKind::Read,
+                        cols: col..col + 1,
+                        owner,
+                        site: DdiSite::AccGet,
+                    });
+                    seg[range.clone()].to_vec()
+                };
+                let sum: Vec<f64> = snapshot.iter().zip(buf).map(|(d, s)| d + s).collect();
+                {
+                    let mut seg = self.segments[owner].lock().unwrap();
+                    self.rec(DdiAccess::Access {
+                        rank,
+                        mat: self.mat_id,
+                        kind: AccessKind::Write,
+                        cols: col..col + 1,
+                        owner,
+                        site: DdiSite::AccPut,
+                    });
+                    seg[range].copy_from_slice(&sum);
+                }
+                self.rec(DdiAccess::Fence { rank });
+            }
+        }
+        let owner = self.owner(col);
         if owner != rank {
             stats.acc_msgs += 1;
             stats.acc_bytes += (self.nrows * 16) as u64;
@@ -163,6 +400,14 @@ impl DistMatrix {
         let local0 = col - self.col_offsets[owner];
         {
             let mut seg = self.segments[owner].lock().unwrap();
+            self.rec(DdiAccess::Access {
+                rank,
+                mat: self.mat_id,
+                kind: AccessKind::Write,
+                cols: col..col + 1,
+                owner,
+                site: DdiSite::Put,
+            });
             seg[local0 * self.nrows..(local0 + 1) * self.nrows].copy_from_slice(buf);
         }
         if owner != rank {
@@ -174,14 +419,17 @@ impl DistMatrix {
 
     /// Zero all elements.
     pub fn fill_zero(&self) {
+        self.rec_barrier();
         for s in &self.segments {
             s.lock().unwrap().iter_mut().for_each(|x| *x = 0.0);
         }
+        self.rec_barrier();
     }
 
     /// Gather the whole matrix into a local column-major buffer
     /// (test/diagnostic helper; not part of the scalable path).
     pub fn to_dense(&self) -> Vec<f64> {
+        self.rec_barrier();
         let mut out = vec![0.0; self.nrows * self.ncols];
         for p in 0..self.nproc {
             let seg = self.segments[p].lock().unwrap();
@@ -216,6 +464,8 @@ impl DistMatrix {
     pub fn dot(&self, other: &DistMatrix) -> f64 {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!(self.nproc, other.nproc);
+        self.rec_barrier();
+        other.rec_barrier();
         let aliased = std::ptr::eq(self, other);
         let mut acc = 0.0;
         for p in 0..self.nproc {
@@ -243,6 +493,8 @@ impl DistMatrix {
         );
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!(self.nproc, other.nproc);
+        self.rec_barrier();
+        other.rec_barrier();
         for p in 0..self.nproc {
             let mut x = self.segments[p].lock().unwrap();
             let y = other.segments[p].lock().unwrap();
@@ -250,10 +502,12 @@ impl DistMatrix {
                 *xi += a * yi;
             }
         }
+        self.rec_barrier();
     }
 
     /// `self *= a`.
     pub fn scale(&self, a: f64) {
+        self.rec_barrier();
         for p in 0..self.nproc {
             self.segments[p]
                 .lock()
@@ -261,6 +515,7 @@ impl DistMatrix {
                 .iter_mut()
                 .for_each(|x| *x *= a);
         }
+        self.rec_barrier();
     }
 
     /// Copy `other` into `self`.
@@ -271,11 +526,14 @@ impl DistMatrix {
         );
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!(self.nproc, other.nproc);
+        self.rec_barrier();
+        other.rec_barrier();
         for p in 0..self.nproc {
             let mut x = self.segments[p].lock().unwrap();
             let y = other.segments[p].lock().unwrap();
             x.copy_from_slice(&y);
         }
+        self.rec_barrier();
     }
 
     /// Read one element (diagnostic / small-model-space use; takes the
@@ -302,6 +560,9 @@ impl DistMatrix {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         assert_eq!((self.nrows, self.ncols), (w.nrows, w.ncols));
         assert_eq!(self.nproc, other.nproc);
+        self.rec_barrier();
+        w.rec_barrier();
+        other.rec_barrier();
         // The per-segment mutexes are not reentrant — handle aliasing
         // among the three operands explicitly.
         let mut acc = 0.0;
@@ -324,7 +585,7 @@ impl DistMatrix {
                 } else if std::ptr::eq(other, w) {
                     wv
                 } else {
-                    b.as_ref().unwrap()[i]
+                    b.as_ref().unwrap()[i] // lint: allow(unwrap) — guarded by the aliasing branches above
                 };
                 if wv.is_finite() {
                     acc += wv * a[i] * bv;
@@ -336,6 +597,7 @@ impl DistMatrix {
 
     /// Elementwise map in place.
     pub fn map_inplace(&self, mut f: impl FnMut(usize, usize, f64) -> f64) {
+        self.rec_barrier();
         for p in 0..self.nproc {
             let c0 = self.col_offsets[p];
             let mut seg = self.segments[p].lock().unwrap();
@@ -345,6 +607,7 @@ impl DistMatrix {
                 *v = f(row, col, *v);
             }
         }
+        self.rec_barrier();
     }
 
     /// Distributed transpose: returns a new `ncols × nrows` matrix with the
@@ -353,6 +616,7 @@ impl DistMatrix {
     /// stats entry, modelling an all-to-all built from one-sided gets.
     pub fn transpose(&self, stats: &mut [CommStats]) -> DistMatrix {
         assert_eq!(stats.len(), self.nproc);
+        self.rec_barrier();
         let t = DistMatrix::zeros(self.ncols, self.nrows, self.nproc);
         let dense = self.to_dense();
         for (p, stat) in stats.iter_mut().enumerate() {

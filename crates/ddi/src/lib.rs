@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Simulated Distributed Data Interface (DDI).
 //!
@@ -23,11 +24,20 @@
 //! on real OS threads (used by tests to validate the locking protocol).
 //! Every operation updates per-rank [`CommStats`] so harnesses can report
 //! communication volumes the way Table 3 does.
+//!
+//! For correctness analysis, every one-sided operation can additionally
+//! report its protocol steps (lock, get, put, fence, unlock, counter swap)
+//! to an [`AccessRecorder`] — see [`record`] and the `fci-check` crate's
+//! happens-before race detector built on top of it.
 
 pub mod dist;
+pub mod record;
 pub mod stats;
 pub mod world;
 
-pub use dist::DistMatrix;
+pub use dist::{AccFault, DistMatrix};
+pub use record::{
+    protocol_events, AccessKind, AccessRecorder, CheckConfig, DdiAccess, DdiSite, TraceRecorder,
+};
 pub use stats::CommStats;
 pub use world::{Backend, Ddi};

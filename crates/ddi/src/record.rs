@@ -1,0 +1,406 @@
+//! Protocol-level access recording for correctness checking.
+//!
+//! The paper's one-sided semantics (§3.1) decompose `DDI_ACC` into
+//! *lock node → SHMEM_GET → add locally → SHMEM_PUT → fence → unlock*.
+//! Whether that protocol is actually race-free is asserted, never checked,
+//! in the original program. This module gives every one-sided operation a
+//! place to report what it did — at protocol granularity, not just byte
+//! counts — so an external happens-before checker (`fci-check`) can verify
+//! the ordering instead of trusting it.
+//!
+//! The hooks mirror the tracer: a [`DistMatrix`](crate::DistMatrix) or
+//! [`Ddi`](crate::Ddi) without an attached recorder pays one pointer load
+//! and a branch per operation. Recording is strictly observational — it
+//! never changes what the operation does.
+//!
+//! Events can also be serialized into `fci-obs` trace instants
+//! ([`TraceRecorder`]) and parsed back ([`DdiAccess::from_event`]), which
+//! is how the offline race detector replays a JSONL trace.
+
+use fci_obs::{Category, Event, EventKind, Tracer};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Whether an access reads or writes the target columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The access only reads the columns (`SHMEM_GET`).
+    Read,
+    /// The access writes the columns (`SHMEM_PUT`, local store).
+    Write,
+}
+
+/// Which source-level operation produced an access — the "site" named in
+/// race reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DdiSite {
+    /// `DistMatrix::get_col` — one-sided `DDI_GET`.
+    Get,
+    /// The `SHMEM_GET` half of `DDI_ACC`.
+    AccGet,
+    /// The `SHMEM_PUT` half of `DDI_ACC`.
+    AccPut,
+    /// `DistMatrix::put_col` — one-sided `DDI_PUT`.
+    Put,
+    /// `DistMatrix::with_local` — direct access to the owned segment.
+    WithLocal,
+}
+
+impl DdiSite {
+    /// Stable numeric code used in serialized traces.
+    pub fn code(self) -> u32 {
+        match self {
+            DdiSite::Get => 0,
+            DdiSite::AccGet => 1,
+            DdiSite::AccPut => 2,
+            DdiSite::Put => 3,
+            DdiSite::WithLocal => 4,
+        }
+    }
+
+    /// Inverse of [`DdiSite::code`].
+    pub fn from_code(code: u32) -> Option<DdiSite> {
+        match code {
+            0 => Some(DdiSite::Get),
+            1 => Some(DdiSite::AccGet),
+            2 => Some(DdiSite::AccPut),
+            3 => Some(DdiSite::Put),
+            4 => Some(DdiSite::WithLocal),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DdiSite::Get => "ddi_get",
+            DdiSite::AccGet => "ddi_acc.get",
+            DdiSite::AccPut => "ddi_acc.put",
+            DdiSite::Put => "ddi_put",
+            DdiSite::WithLocal => "with_local",
+        }
+    }
+}
+
+/// One protocol-level event on the virtual machine.
+///
+/// `mat` identifies the distributed matrix (each [`DistMatrix`] gets a
+/// process-unique id at construction); `owner` is the rank whose segment
+/// holds the touched columns.
+///
+/// [`DistMatrix`]: crate::DistMatrix
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdiAccess {
+    /// A read or write of a column range.
+    Access {
+        /// Issuing rank.
+        rank: usize,
+        /// Matrix id.
+        mat: u32,
+        /// Read or write.
+        kind: AccessKind,
+        /// Touched columns (global indices).
+        cols: Range<usize>,
+        /// Rank owning the columns.
+        owner: usize,
+        /// Source operation.
+        site: DdiSite,
+    },
+    /// Acquisition of `owner`'s per-node mutex on matrix `mat`.
+    Lock {
+        /// Issuing rank.
+        rank: usize,
+        /// Matrix id.
+        mat: u32,
+        /// Whose node mutex.
+        owner: usize,
+    },
+    /// Release of `owner`'s per-node mutex on matrix `mat`.
+    Unlock {
+        /// Issuing rank.
+        rank: usize,
+        /// Matrix id.
+        mat: u32,
+        /// Whose node mutex.
+        owner: usize,
+    },
+    /// `SHMEM_QUIET`: all puts issued by `rank` so far are complete.
+    Fence {
+        /// Issuing rank.
+        rank: usize,
+    },
+    /// `SHMEM_SWAP` on the shared task counter.
+    Nxtval {
+        /// Issuing rank.
+        rank: usize,
+        /// Task number handed out.
+        value: usize,
+    },
+    /// A global synchronization point: collective matrix operations and
+    /// the start/end of a [`Ddi::run`](crate::Ddi::run) phase.
+    Barrier,
+}
+
+impl DdiAccess {
+    /// The issuing rank (`None` for barriers).
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            DdiAccess::Access { rank, .. }
+            | DdiAccess::Lock { rank, .. }
+            | DdiAccess::Unlock { rank, .. }
+            | DdiAccess::Fence { rank }
+            | DdiAccess::Nxtval { rank, .. } => Some(*rank),
+            DdiAccess::Barrier => None,
+        }
+    }
+
+    /// Trace event name used by [`TraceRecorder`].
+    pub fn trace_name(&self) -> &'static str {
+        match self {
+            DdiAccess::Access { .. } => "hb_access",
+            DdiAccess::Lock { .. } => "hb_lock",
+            DdiAccess::Unlock { .. } => "hb_unlock",
+            DdiAccess::Fence { .. } => "hb_fence",
+            DdiAccess::Nxtval { .. } => "hb_nxtval",
+            DdiAccess::Barrier => "hb_barrier",
+        }
+    }
+
+    /// Parse an event previously written by [`TraceRecorder`]. Returns
+    /// `None` for events that are not protocol records.
+    pub fn from_event(ev: &Event) -> Option<DdiAccess> {
+        let rank = ev.rank.unwrap_or(0);
+        match ev.name.as_str() {
+            "hb_access" => Some(DdiAccess::Access {
+                rank,
+                mat: ev.arg("mat")? as u32,
+                kind: if ev.arg("write")? != 0.0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                cols: (ev.arg("col0")? as usize)..(ev.arg("col1")? as usize),
+                owner: ev.arg("owner")? as usize,
+                site: DdiSite::from_code(ev.arg("site")? as u32)?,
+            }),
+            "hb_lock" => Some(DdiAccess::Lock {
+                rank,
+                mat: ev.arg("mat")? as u32,
+                owner: ev.arg("owner")? as usize,
+            }),
+            "hb_unlock" => Some(DdiAccess::Unlock {
+                rank,
+                mat: ev.arg("mat")? as u32,
+                owner: ev.arg("owner")? as usize,
+            }),
+            "hb_fence" => Some(DdiAccess::Fence { rank }),
+            "hb_nxtval" => Some(DdiAccess::Nxtval {
+                rank,
+                value: ev.arg("task")? as usize,
+            }),
+            "hb_barrier" => Some(DdiAccess::Barrier),
+            _ => None,
+        }
+    }
+}
+
+/// Observer of protocol-level DDI events.
+///
+/// Implementations must tolerate concurrent calls (the threads backend
+/// records from every rank thread) and must not call back into the matrix
+/// or world being recorded.
+pub trait AccessRecorder: Send + Sync {
+    /// Observe one event. Called in the real interleaved order: lock and
+    /// unlock records are emitted while the segment mutex is held, so the
+    /// recorded lock order is the true lock order.
+    fn record(&self, access: &DdiAccess);
+}
+
+/// Recorder that serializes every protocol event into an `fci-obs` trace
+/// as `hb_*` instants — the input format of the offline race detector.
+pub struct TraceRecorder {
+    tracer: Tracer,
+}
+
+impl TraceRecorder {
+    /// Record through `tracer` (which may share a sink with ordinary
+    /// telemetry; `hb_*` names keep the streams separable).
+    pub fn new(tracer: Tracer) -> TraceRecorder {
+        TraceRecorder { tracer }
+    }
+}
+
+impl AccessRecorder for TraceRecorder {
+    fn record(&self, access: &DdiAccess) {
+        let name = access.trace_name();
+        match access {
+            DdiAccess::Access {
+                rank,
+                mat,
+                kind,
+                cols,
+                owner,
+                site,
+            } => self.tracer.instant(
+                Some(*rank),
+                name,
+                Category::Net,
+                &[
+                    ("mat", f64::from(*mat)),
+                    ("write", if *kind == AccessKind::Write { 1.0 } else { 0.0 }),
+                    ("col0", cols.start as f64),
+                    ("col1", cols.end as f64),
+                    ("owner", *owner as f64),
+                    ("site", f64::from(site.code())),
+                ],
+            ),
+            DdiAccess::Lock { rank, mat, owner } | DdiAccess::Unlock { rank, mat, owner } => {
+                self.tracer.instant(
+                    Some(*rank),
+                    name,
+                    Category::Lock,
+                    &[("mat", f64::from(*mat)), ("owner", *owner as f64)],
+                )
+            }
+            DdiAccess::Fence { rank } => self.tracer.instant(Some(*rank), name, Category::Net, &[]),
+            DdiAccess::Nxtval { rank, value } => {
+                self.tracer
+                    .instant(Some(*rank), name, Category::Net, &[("task", *value as f64)])
+            }
+            DdiAccess::Barrier => self.tracer.instant(None, name, Category::Other, &[]),
+        }
+    }
+}
+
+/// Round-trip helper for tests and the offline detector: keep only
+/// protocol records of a trace, in order.
+pub fn protocol_events(events: &[Event]) -> Vec<DdiAccess> {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant)
+        .filter_map(DdiAccess::from_event)
+        .collect()
+}
+
+/// Correctness-checking options, carried on `FciOptions` next to
+/// `ObsConfig`. Default is fully disabled: no recorder is attached and
+/// every instrumented operation costs a single branch.
+#[derive(Clone, Default)]
+pub struct CheckConfig {
+    /// Online recorder (e.g. `fci-check`'s race detector) attached to the
+    /// run's DDI world and every matrix it adopts.
+    pub recorder: Option<Arc<dyn AccessRecorder>>,
+}
+
+impl CheckConfig {
+    /// Checking disabled (same as `Default`).
+    pub fn off() -> CheckConfig {
+        CheckConfig::default()
+    }
+
+    /// Record every protocol event into `recorder` as the run executes.
+    pub fn online(recorder: Arc<dyn AccessRecorder>) -> CheckConfig {
+        CheckConfig {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// Whether a recorder is attached.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+}
+
+impl std::fmt::Debug for CheckConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckConfig")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Recorder collecting events for assertions.
+    pub struct MemoryRecorder(pub Mutex<Vec<DdiAccess>>);
+
+    impl MemoryRecorder {
+        pub fn new() -> Arc<MemoryRecorder> {
+            Arc::new(MemoryRecorder(Mutex::new(Vec::new())))
+        }
+    }
+
+    impl AccessRecorder for MemoryRecorder {
+        fn record(&self, access: &DdiAccess) {
+            self.0.lock().unwrap().push(access.clone());
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip_preserves_protocol_events() {
+        let tracer = Tracer::in_memory();
+        let rec = TraceRecorder::new(tracer.clone());
+        let evs = vec![
+            DdiAccess::Lock {
+                rank: 1,
+                mat: 7,
+                owner: 2,
+            },
+            DdiAccess::Access {
+                rank: 1,
+                mat: 7,
+                kind: AccessKind::Read,
+                cols: 3..4,
+                owner: 2,
+                site: DdiSite::AccGet,
+            },
+            DdiAccess::Access {
+                rank: 1,
+                mat: 7,
+                kind: AccessKind::Write,
+                cols: 3..4,
+                owner: 2,
+                site: DdiSite::AccPut,
+            },
+            DdiAccess::Fence { rank: 1 },
+            DdiAccess::Unlock {
+                rank: 1,
+                mat: 7,
+                owner: 2,
+            },
+            DdiAccess::Nxtval { rank: 0, value: 9 },
+            DdiAccess::Barrier,
+        ];
+        for e in &evs {
+            rec.record(e);
+        }
+        let back = protocol_events(&tracer.events().unwrap());
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn site_codes_roundtrip() {
+        for site in [
+            DdiSite::Get,
+            DdiSite::AccGet,
+            DdiSite::AccPut,
+            DdiSite::Put,
+            DdiSite::WithLocal,
+        ] {
+            assert_eq!(DdiSite::from_code(site.code()), Some(site));
+        }
+        assert_eq!(DdiSite::from_code(99), None);
+    }
+
+    #[test]
+    fn check_config_debug_and_flags() {
+        assert!(!CheckConfig::off().enabled());
+        let rec: Arc<dyn AccessRecorder> = MemoryRecorder::new();
+        let cfg = CheckConfig::online(rec);
+        assert!(cfg.enabled());
+        assert_eq!(format!("{cfg:?}"), "CheckConfig { enabled: true }");
+    }
+}

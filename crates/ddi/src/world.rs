@@ -1,10 +1,12 @@
 //! The DDI "world": virtual processor set, execution backends, and the
 //! dynamic load-balancing counter.
 
+use crate::dist::DistMatrix;
+use crate::record::{AccessRecorder, DdiAccess};
 use crate::stats::CommStats;
 use fci_obs::{Category, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// How the per-rank closures are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +27,7 @@ pub struct Ddi {
     backend: Backend,
     counter: AtomicUsize,
     tracer: OnceLock<Tracer>,
+    recorder: OnceLock<Arc<dyn AccessRecorder>>,
 }
 
 impl Ddi {
@@ -36,6 +39,7 @@ impl Ddi {
             backend,
             counter: AtomicUsize::new(0),
             tracer: OnceLock::new(),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -61,6 +65,37 @@ impl Ddi {
         self.tracer.get().cloned().unwrap_or_default()
     }
 
+    /// Attach a protocol recorder; `nxtval` and `run` then report counter
+    /// acquire/release and barrier edges, and matrices adopted via
+    /// [`Ddi::adopt`] report their one-sided protocol steps. First
+    /// attachment wins.
+    pub fn attach_recorder(&self, recorder: Arc<dyn AccessRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<dyn AccessRecorder>> {
+        self.recorder.get().cloned()
+    }
+
+    /// Wire a matrix into this world's observability: it inherits the
+    /// world's tracer and protocol recorder (each a no-op if unset).
+    pub fn adopt(&self, m: &DistMatrix) {
+        if let Some(t) = self.tracer.get() {
+            m.attach_tracer(t.clone());
+        }
+        if let Some(r) = self.recorder.get() {
+            m.attach_recorder(r.clone());
+        }
+    }
+
+    #[inline]
+    fn rec(&self, access: DdiAccess) {
+        if let Some(r) = self.recorder.get() {
+            r.record(&access);
+        }
+    }
+
     /// Reset the shared task counter (call before each dynamically
     /// balanced phase).
     pub fn reset_counter(&self) {
@@ -78,13 +113,26 @@ impl Ddi {
         t
     }
 
+    /// `nxtval` that also names the calling rank in the protocol record
+    /// (the raw counter has no rank; race analysis needs one to build the
+    /// release–acquire chain through the counter).
+    pub fn nxtval_rank(&self, rank: usize, stats: &mut CommStats) -> usize {
+        let t = self.nxtval(stats);
+        self.rec(DdiAccess::Nxtval { rank, value: t });
+        t
+    }
+
     /// Execute `f(rank, &mut stats)` once per rank and return the per-rank
     /// communication statistics.
     pub fn run<F>(&self, f: F) -> Vec<CommStats>
     where
         F: Fn(usize, &mut CommStats) + Sync,
     {
-        match self.backend {
+        // A `run` is a parallel region bracketed by global barriers:
+        // everything before it happens-before every rank's work, and all
+        // ranks' work happens-before everything after.
+        self.rec(DdiAccess::Barrier);
+        let all = match self.backend {
             Backend::Serial => {
                 let mut all = vec![CommStats::default(); self.nproc];
                 for (rank, st) in all.iter_mut().enumerate() {
@@ -106,12 +154,17 @@ impl Ddi {
                         })
                         .collect();
                     for (rank, h) in handles.into_iter().enumerate() {
-                        all[rank] = h.join().expect("rank thread panicked");
+                        match h.join() {
+                            Ok(st) => all[rank] = st,
+                            Err(p) => std::panic::resume_unwind(p),
+                        }
                     }
                 });
                 all
             }
-        }
+        };
+        self.rec(DdiAccess::Barrier);
+        all
     }
 }
 

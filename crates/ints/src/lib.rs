@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Molecular integrals over contracted Cartesian Gaussian basis functions.
 //!

@@ -101,7 +101,7 @@ pub fn eigh_jacobi(a: &Matrix) -> Eigh {
 
     // Sort ascending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+    order.sort_by(|&i, &j| m[(i, i)].total_cmp(&m[(j, j)]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     Eigh {

@@ -225,12 +225,18 @@ fn micro_4x4(
     for l in 0..kc {
         let ab = l * MR;
         let bb = l * NR;
-        // SAFETY: panels were packed with capacity >= kc*MR / kc*NR.
-        let a0 = unsafe { *at.get_unchecked(ab) };
-        let a1 = unsafe { *at.get_unchecked(ab + 1) };
-        let a2 = unsafe { *at.get_unchecked(ab + 2) };
-        let a3 = unsafe { *at.get_unchecked(ab + 3) };
+        // SAFETY: `at` was packed with capacity >= kc*MR, so indices
+        // ab..ab+MR are in bounds for every l < kc.
+        let (a0, a1, a2, a3) = unsafe {
+            (
+                *at.get_unchecked(ab),
+                *at.get_unchecked(ab + 1),
+                *at.get_unchecked(ab + 2),
+                *at.get_unchecked(ab + 3),
+            )
+        };
         for s in 0..NR {
+            // SAFETY: `bt` was packed with capacity >= kc*NR; s < NR.
             let bv = unsafe { *bt.get_unchecked(bb + s) };
             acc[0][s] += a0 * bv;
             acc[1][s] += a1 * bv;

@@ -35,7 +35,7 @@ pub fn eigh_tridiag(a: &Matrix) -> Eigh {
 
     // Sort ascending.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let eigenvectors = Matrix::from_fn(n, n, |i, j| z[(i, order[j])]);
     Eigh {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Observability for the fcix stack (`fci-obs`).
 //!

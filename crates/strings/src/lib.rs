@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Occupation-string machinery for determinant-based FCI.
 //!

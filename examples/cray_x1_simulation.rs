@@ -50,6 +50,7 @@ fn main() {
         ("DGEMM (paper)", SigmaMethod::Dgemm),
         ("MOC (baseline)", SigmaMethod::Moc),
     ] {
+        // lint: allow(wallclock) — example compares host time to simulated time
         let t0 = std::time::Instant::now();
         let (_sigma, bd) = apply_sigma(&ctx, &c, method);
         let host = t0.elapsed().as_secs_f64();
