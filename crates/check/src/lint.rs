@@ -11,7 +11,7 @@
 //! |------------|-------------|
 //! | `unsafe`   | every `unsafe` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above |
 //! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
-//! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`); the mutex idiom `.lock().unwrap()` is allowed |
+//! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
 //!
 //! A violation can be waived in place with a trailing comment
@@ -68,6 +68,11 @@ impl LintConfig {
                 "crates/ddi/src".into(),
                 "crates/linalg/src".into(),
                 "crates/core/src/sigma".into(),
+                // Recovery code must not panic: a fault plane that
+                // unwraps its way out of a fault defeats the point.
+                "crates/fault/src".into(),
+                "crates/core/src/recovery.rs".into(),
+                "crates/core/src/checkpoint.rs".into(),
             ],
             clock_crate: "crates/obs".into(),
         }
@@ -538,6 +543,10 @@ mod tests {
     fn unwrap_rules_on_hot_paths() {
         let src = "fn f() { x.unwrap(); }\n";
         assert_eq!(lint("crates/ddi/src/dist.rs", src).len(), 1);
+        // Recovery paths are hot too: they run *because* something broke.
+        assert_eq!(lint("crates/fault/src/plan.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/recovery.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/checkpoint.rs", src).len(), 1);
         // Cold paths are free to unwrap.
         assert!(lint("crates/core/src/solver.rs", src).is_empty());
         // The mutex idiom is allowed, including rustfmt's line split.

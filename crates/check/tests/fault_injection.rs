@@ -2,32 +2,46 @@
 //!
 //! The detector is only trustworthy if it (a) reports nothing on the
 //! correct DDI_ACC protocol and (b) catches deliberately broken variants.
-//! `DistMatrix::acc_col_faulty` provides two test-only broken protocols —
-//! skip the fence, skip the per-node lock — and these tests assert both
-//! are flagged with actionable two-site reports while the unmodified
-//! protocol passes cleanly, online and offline, up to a full FCI solve.
+//! Broken protocols are injected through the one fault mechanism — a
+//! [`FaultPlan`] carrying a [`ProtocolFault`] attached to the world — so
+//! ordinary `acc_col` call sites exercise the broken path with no
+//! test-only entry points. These tests assert both broken variants are
+//! flagged with actionable two-site reports while the unmodified protocol
+//! passes cleanly, online and offline, up to a full FCI solve.
 
 use fci_check::{analyze, RaceDetector};
-use fci_ddi::{protocol_events, AccFault, Backend, CheckConfig, Ddi, DistMatrix, TraceRecorder};
+use fci_ddi::{
+    protocol_events, AccFault, Backend, CheckConfig, Ddi, DistMatrix, FaultConfig, FaultPlan,
+    ProtocolFault, TraceRecorder,
+};
 use fci_ints::EriTensor;
 use fci_linalg::Matrix;
 use fci_obs::Tracer;
 use fci_scf::MoIntegrals;
 use std::sync::Arc;
 
+/// A plan whose only fault is the given broken accumulate protocol.
+fn protocol_plan(pf: Option<ProtocolFault>) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(FaultConfig {
+        protocol: pf,
+        ..FaultConfig::quiet(1)
+    }))
+}
+
 /// All-ranks-accumulate-into-all-columns, the σ pattern, with a chosen
-/// protocol fault; returns the race reports.
-fn run_with_fault(fault: AccFault) -> Vec<fci_check::RaceReport> {
+/// protocol fault injected via the fault plan; returns the race reports.
+fn run_with_fault(pf: Option<ProtocolFault>) -> Vec<fci_check::RaceReport> {
     let nproc = 4;
     let detector = Arc::new(RaceDetector::new());
     let ddi = Ddi::new(nproc, Backend::Threads);
     ddi.attach_recorder(detector.clone());
+    ddi.attach_faults(protocol_plan(pf));
     let m = DistMatrix::zeros(16, 8, nproc);
     ddi.adopt(&m);
     ddi.run(|rank, stats| {
         let buf = vec![1.0; 16];
         for col in 0..8 {
-            m.acc_col_faulty(rank, col, &buf, fault, stats);
+            m.acc_col(rank, col, &buf, stats);
         }
     });
     detector.races()
@@ -35,13 +49,13 @@ fn run_with_fault(fault: AccFault) -> Vec<fci_check::RaceReport> {
 
 #[test]
 fn correct_protocol_passes_cleanly() {
-    let races = run_with_fault(AccFault::None);
+    let races = run_with_fault(None);
     assert!(races.is_empty(), "false positives: {races:?}");
 }
 
 #[test]
 fn skipped_fence_is_flagged() {
-    let races = run_with_fault(AccFault::SkipFence);
+    let races = run_with_fault(Some(ProtocolFault::SkipFence));
     assert!(!races.is_empty(), "missing fence went undetected");
     // Actionable report: both access sites named, with ranks and columns.
     let msg = races[0].to_string();
@@ -53,33 +67,63 @@ fn skipped_fence_is_flagged() {
 
 #[test]
 fn skipped_lock_is_flagged() {
-    let races = run_with_fault(AccFault::SkipLock);
+    let races = run_with_fault(Some(ProtocolFault::SkipLock));
     assert!(!races.is_empty(), "missing lock went undetected");
     let msg = races[0].to_string();
     assert!(msg.contains("no lock/fence/barrier edge"), "{msg}");
     assert_ne!(races[0].first.rank, races[0].second.rank);
 }
 
+/// The legacy [`AccFault`] entry point is a shim over the same mechanism:
+/// it must reach the identical broken protocols.
+#[test]
+fn legacy_shim_matches_fault_plan_routing() {
+    for (legacy, pf) in [
+        (AccFault::None, None),
+        (AccFault::SkipFence, Some(ProtocolFault::SkipFence)),
+        (AccFault::SkipLock, Some(ProtocolFault::SkipLock)),
+    ] {
+        assert_eq!(legacy.protocol(), pf);
+        let detector = Arc::new(RaceDetector::new());
+        let ddi = Ddi::new(4, Backend::Threads);
+        ddi.attach_recorder(detector.clone());
+        let m = DistMatrix::zeros(16, 8, 4);
+        ddi.adopt(&m);
+        ddi.run(|rank, stats| {
+            let buf = vec![1.0; 16];
+            for col in 0..8 {
+                m.acc_col_faulty(rank, col, &buf, legacy, stats);
+            }
+        });
+        assert_eq!(
+            !detector.races().is_empty(),
+            pf.is_some(),
+            "shim verdict diverged for {legacy:?}"
+        );
+    }
+}
+
 /// Offline path: record protocol events into an fci-obs trace, replay the
 /// trace through the analyzer, and reach the same verdicts.
 #[test]
 fn offline_trace_analysis_matches_online() {
-    for (fault, expect_races) in [
-        (AccFault::None, false),
-        (AccFault::SkipFence, true),
-        (AccFault::SkipLock, true),
+    for (pf, expect_races) in [
+        (None, false),
+        (Some(ProtocolFault::SkipFence), true),
+        (Some(ProtocolFault::SkipLock), true),
     ] {
         let nproc = 3;
         let tracer = Tracer::in_memory();
         let recorder = Arc::new(TraceRecorder::new(tracer.clone()));
         let ddi = Ddi::new(nproc, Backend::Serial);
         ddi.attach_recorder(recorder);
+        ddi.attach_faults(protocol_plan(pf));
         let m = DistMatrix::zeros(8, 6, nproc);
         ddi.adopt(&m);
         ddi.run(|rank, stats| {
             let buf = vec![1.0; 8];
             for col in 0..6 {
-                m.acc_col_faulty(rank, col, &buf, fault, stats);
+                m.acc_col(rank, col, &buf, stats);
             }
         });
         let events = tracer.events().expect("in-memory tracer");
@@ -89,7 +133,7 @@ fn offline_trace_analysis_matches_online() {
         assert_eq!(
             !races.is_empty(),
             expect_races,
-            "fault {fault:?}: wrong offline verdict ({} reports)",
+            "fault {pf:?}: wrong offline verdict ({} reports)",
             races.len()
         );
     }

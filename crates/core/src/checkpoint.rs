@@ -10,54 +10,107 @@
 //! ([`crate::diag::diagonalize_from`] accepts the loaded vector).
 
 use fci_ddi::DistMatrix;
+use fci_fault::Crc32;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"FCIXCKP1";
+/// Current format: magic, version byte, shape, payload, CRC32 trailer.
+const MAGIC_V2: &[u8; 8] = b"FCIXCKP2";
+/// Legacy format (no version byte, no checksum); still readable.
+const MAGIC_V1: &[u8; 8] = b"FCIXCKP1";
+/// Format version written after [`MAGIC_V2`].
+const VERSION: u8 = 2;
+/// I/O chunk size in f64 elements (64 KiB blocks).
+const CHUNK: usize = 8192;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// Write a CI vector to `path` (atomic via a temp file + rename).
+///
+/// Layout: `FCIXCKP2` magic, one version byte, `nrows`/`ncols` as LE
+/// u64, the payload as LE f64, then a LE u32 CRC32 of the payload bytes.
+/// The checksum is what lets a restart distinguish a bit-rotted
+/// checkpoint from a good one instead of silently resuming from garbage.
 pub fn save_ci(path: &Path, c: &DistMatrix) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
-        f.write_all(MAGIC)?;
+        f.write_all(MAGIC_V2)?;
+        f.write_all(&[VERSION])?;
         f.write_all(&(c.nrows() as u64).to_le_bytes())?;
         f.write_all(&(c.ncols() as u64).to_le_bytes())?;
-        for v in c.to_dense() {
-            f.write_all(&v.to_le_bytes())?;
+        let dense = c.to_dense();
+        let mut crc = Crc32::new();
+        let mut block = Vec::with_capacity(CHUNK * 8);
+        for chunk in dense.chunks(CHUNK) {
+            block.clear();
+            for v in chunk {
+                block.extend_from_slice(&v.to_le_bytes());
+            }
+            crc.update(&block);
+            f.write_all(&block)?;
         }
+        f.write_all(&crc.finish().to_le_bytes())?;
         f.flush()?;
     }
     std::fs::rename(&tmp, path)
 }
 
 /// Load a CI vector from `path`, distributing it over `nproc` ranks.
+///
+/// Reads the current checksummed format and, behind the magic check, the
+/// legacy `FCIXCKP1` layout (no version byte, no CRC). A checksum
+/// mismatch, unknown version, truncation, or trailing garbage is an
+/// `InvalidData` error.
 pub fn load_ci(path: &Path, nproc: usize) -> io::Result<DistMatrix> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 8];
     f.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not an fcix checkpoint",
-        ));
-    }
+    let checksummed = match &magic {
+        m if m == MAGIC_V2 => {
+            let mut ver = [0u8; 1];
+            f.read_exact(&mut ver)?;
+            if ver[0] != VERSION {
+                return Err(bad("unsupported checkpoint format version"));
+            }
+            true
+        }
+        m if m == MAGIC_V1 => false,
+        _ => return Err(bad("not an fcix checkpoint")),
+    };
     let mut b8 = [0u8; 8];
     f.read_exact(&mut b8)?;
     let nrows = u64::from_le_bytes(b8) as usize;
     f.read_exact(&mut b8)?;
     let ncols = u64::from_le_bytes(b8) as usize;
-    let mut data = vec![0.0f64; nrows * ncols];
-    for v in &mut data {
-        f.read_exact(&mut b8)?;
-        *v = f64::from_le_bytes(b8);
+    let n = nrows
+        .checked_mul(ncols)
+        .ok_or_else(|| bad("checkpoint shape overflows"))?;
+    let mut data = vec![0.0f64; n];
+    let mut crc = Crc32::new();
+    let mut block = vec![0u8; CHUNK * 8];
+    for chunk in data.chunks_mut(CHUNK) {
+        let bytes = &mut block[..chunk.len() * 8];
+        f.read_exact(bytes)?;
+        crc.update(bytes);
+        for (v, b) in chunk.iter_mut().zip(bytes.chunks_exact(8)) {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(b);
+            *v = f64::from_le_bytes(le);
+        }
+    }
+    if checksummed {
+        let mut b4 = [0u8; 4];
+        f.read_exact(&mut b4)?;
+        if u32::from_le_bytes(b4) != crc.finish() {
+            return Err(bad("checkpoint payload checksum mismatch (corrupted file)"));
+        }
     }
     // Reject trailing garbage (truncated/corrupted files fail above).
     if f.read(&mut [0u8; 1])? != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "trailing bytes in checkpoint",
-        ));
+        return Err(bad("trailing bytes in checkpoint"));
     }
     Ok(DistMatrix::from_dense(nrows, ncols, nproc, &data))
 }
@@ -109,6 +162,102 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 9]).unwrap();
         assert!(load_ci(&path, 1).is_err());
+    }
+
+    /// Byte offset of the first payload byte in the v2 layout.
+    const V2_PAYLOAD: usize = 8 + 1 + 8 + 8;
+
+    #[test]
+    fn flipped_payload_byte_caught_by_crc() {
+        let m = DistMatrix::from_dense(
+            4,
+            4,
+            2,
+            &(0..16).map(|x| (x as f64).cos()).collect::<Vec<_>>(),
+        );
+        let path = tmpdir().join("flip.ckp");
+        save_ci(&path, &m).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[V2_PAYLOAD + 37] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_ci(&path, 1).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn corrupted_crc_trailer_rejected() {
+        let m = DistMatrix::from_dense(2, 2, 1, &[1.0, 2.0, 3.0, 4.0]);
+        let path = tmpdir().join("trailer.ckp");
+        save_ci(&path, &m).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_ci(&path, 1).is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let m = DistMatrix::from_dense(2, 2, 1, &[1.0; 4]);
+        let path = tmpdir().join("ver.ckp");
+        save_ci(&path, &m).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 99; // version byte
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_ci(&path, 1).unwrap_err();
+        assert!(err.to_string().contains("version"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn reads_legacy_v1_format() {
+        // A pre-CRC checkpoint written by an older build: plain header +
+        // payload, no version byte, no trailer. Must still load.
+        let data: Vec<f64> = (0..6).map(|x| x as f64 * 1.5 - 4.0).collect();
+        let path = tmpdir().join("legacy.ckp");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FCIXCKP1");
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        for v in &data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let back = load_ci(&path, 2).unwrap();
+        assert_eq!((back.nrows(), back.ncols()), (2, 3));
+        assert_eq!(back.to_dense(), data);
+        // The legacy reader still rejects trailing garbage.
+        bytes.push(0xab);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_ci(&path, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "guess shape mismatch")]
+    fn wrong_shape_resume_rejected() {
+        // Resuming a solve from a checkpoint of a different CI space must
+        // fail loudly at the shape check, not corrupt the iteration.
+        let ham = random_hamiltonian(5, 41);
+        let space = DetSpace::c1(5, 2, 2);
+        let ddi = Ddi::new(2, Backend::Serial);
+        let model = MachineModel::cray_x1();
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let path = tmpdir().join("wrong-shape.ckp");
+        let wrong = DistMatrix::from_dense(3, 3, 2, &[0.5; 9]);
+        save_ci(&path, &wrong).unwrap();
+        let c0 = load_ci(&path, 2).unwrap();
+        diagonalize_from(
+            &ctx,
+            SigmaMethod::Dgemm,
+            DiagMethod::AutoAdjust,
+            &DiagOptions::default(),
+            c0,
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod multiroot;
 pub mod perf_model;
 pub mod phase;
 pub mod properties;
+pub mod recovery;
 pub mod sigma;
 pub mod slater;
 pub mod solver;
@@ -72,6 +73,7 @@ pub use multiroot::{diagonalize_roots, MultiRootResult};
 pub use perf_model::PerfModel;
 pub use phase::run_phase;
 pub use properties::{natural_occupations, one_rdm, s_squared};
+pub use recovery::{solve_resilient, RecoveryOptions, ResilientResult};
 pub use sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 pub use solver::{solve, FciOptions, FciResult};
 pub use taskpool::{PoolParams, TaskPool};

@@ -39,6 +39,9 @@ pub fn charge_comm(clock: &mut Clock, stats: &CommStats, model: &MachineModel) {
     clock.charge_net(model, stats.total_bytes(), stats.total_msgs());
     clock.charge_mutex(model, stats.mutex_acquires);
     clock.note_nxtval(stats.nxtval_msgs);
+    if stats.retries > 0 || stats.backoff_ns > 0 {
+        clock.charge_backoff(stats.backoff_ns, stats.retries);
+    }
 }
 
 #[cfg(test)]

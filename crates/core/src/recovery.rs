@@ -1,0 +1,375 @@
+//! Checkpointed, self-healing solves.
+//!
+//! The paper's production runs hold hundreds of MSPs for hours; the
+//! recovery story there is the classic one — checkpoint the single
+//! current CI vector every iteration and restart the job. This module
+//! automates that loop against the `fci-fault` plane:
+//!
+//! * the solve runs in *chunks* of `save_every` iterations, saving the
+//!   CI vector (CRC-protected, see [`crate::checkpoint`]) after every
+//!   clean chunk;
+//! * transient comm faults are invisible here — the checked DDI paths
+//!   retry them away inside the chunk;
+//! * a **permanent rank death** (fired by the plan's op-counter clock)
+//!   taints the chunk in flight: its output is discarded (the dead
+//!   rank's column block is gone), the world is rebuilt over the
+//!   survivors — column ownership and the mixed-spin task pool
+//!   redistribute automatically, since both are derived from `nproc` —
+//!   and the solve resumes from the last good checkpoint;
+//! * an existing checkpoint at start seeds the run (resume-on-restart
+//!   after a kill).
+
+use crate::checkpoint::{load_ci, save_ci};
+use crate::diag::{diagonalize_from, DiagOptions, Preconditioner};
+use crate::hamiltonian::Hamiltonian;
+use crate::sigma::{SigmaBreakdown, SigmaCtx};
+use crate::solver::{build_space, FciOptions, FciResult};
+use fci_ddi::{Ddi, DistMatrix, FaultConfig, FaultPlan, FaultStats};
+use fci_scf::MoIntegrals;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Knobs of the checkpoint/restart loop.
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    /// Checkpoint file. If it exists when the solve starts, the run
+    /// resumes from it instead of the model-space guess.
+    pub checkpoint: PathBuf,
+    /// Iterations per chunk between checkpoints.
+    pub save_every: usize,
+    /// Rank deaths survived before giving up.
+    pub max_restarts: usize,
+}
+
+impl RecoveryOptions {
+    /// Defaults: checkpoint at `path`, save every 4 iterations, survive
+    /// up to 3 rank deaths.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        RecoveryOptions {
+            checkpoint: path.into(),
+            save_every: 4,
+            max_restarts: 3,
+        }
+    }
+}
+
+/// Outcome of a resilient solve.
+#[derive(Debug)]
+pub struct ResilientResult {
+    /// The solve outcome; `iterations` and the histories span all
+    /// chunks and restarts (σ evaluations of discarded chunks are not
+    /// counted — their work died with the rank).
+    pub fci: FciResult,
+    /// World rebuilds forced by rank death.
+    pub restarts: usize,
+    /// Ranks lost over the run.
+    pub ranks_lost: usize,
+    /// Fault-plane counters at the end of the run.
+    pub fault_stats: FaultStats,
+}
+
+/// Like [`crate::solve`], but checkpointed every `save_every` iterations
+/// and able to survive the fault plan's permanent rank death by
+/// rebuilding the world over the survivors and resuming from the last
+/// checkpoint.
+///
+/// Errors are I/O only (checkpoint read/write) plus exhaustion of
+/// `max_restarts`.
+pub fn solve_resilient(
+    mo: &MoIntegrals,
+    n_alpha: usize,
+    n_beta: usize,
+    target_irrep: u8,
+    opts: &FciOptions,
+    rec: &RecoveryOptions,
+) -> io::Result<ResilientResult> {
+    assert!(rec.save_every >= 1, "save_every must be at least 1");
+    let ham = Hamiltonian::new(mo);
+    let space = build_space(&ham, n_alpha, n_beta, target_irrep, opts.excitation_level);
+    // One plan for the whole run: the op counter, rng stream, and death
+    // latch persist across world rebuilds.
+    let plan = Arc::new(FaultPlan::new(
+        opts.fault.clone().unwrap_or_else(|| FaultConfig::quiet(1)),
+    ));
+    let tracer = opts.obs.tracer().unwrap_or_else(|e| {
+        eprintln!("warning: could not open trace output: {e}; tracing disabled");
+        fci_obs::Tracer::disabled()
+    });
+
+    let mut nproc = opts.nproc;
+    let mut restarts = 0usize;
+    let mut ranks_lost = 0usize;
+    let mut total_iters = 0usize;
+    let mut energy_history: Vec<f64> = Vec::new();
+    let mut residual_history: Vec<f64> = Vec::new();
+    let mut sigma_cost = SigmaBreakdown::default();
+    let mut have_ckp = rec.checkpoint.exists();
+
+    'world: loop {
+        let ddi = Ddi::new(nproc, opts.backend);
+        ddi.attach_tracer(tracer.clone());
+        if let Some(r) = &opts.check.recorder {
+            ddi.attach_recorder(r.clone());
+        }
+        ddi.attach_faults(plan.clone());
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &opts.machine,
+            pool: opts.pool,
+        };
+        let mut c0 = if have_ckp {
+            load_ci(&rec.checkpoint, nproc)?
+        } else {
+            initial_guess(&ctx, &opts.diag, nproc)
+        };
+        if !have_ckp {
+            // Checkpoint the starting vector so a death inside the very
+            // first chunk still has something to fall back to.
+            save_ci(&rec.checkpoint, &c0)?;
+            have_ckp = true;
+        }
+        loop {
+            let budget = (opts.diag.max_iter - total_iters).min(rec.save_every);
+            let chunk = diagonalize_from(
+                &ctx,
+                opts.sigma,
+                opts.method,
+                &DiagOptions {
+                    max_iter: budget,
+                    ..opts.diag
+                },
+                c0,
+            );
+            if plan.dead_rank().is_some() {
+                // The chunk ran through a rank death: its data is lost
+                // with the rank. Discard it, shrink the world to the
+                // survivors, and resume from the last good checkpoint.
+                if restarts >= rec.max_restarts {
+                    return Err(io::Error::other(format!(
+                        "rank died and the restart budget ({}) is exhausted",
+                        rec.max_restarts
+                    )));
+                }
+                restarts += 1;
+                ranks_lost += 1;
+                nproc = (nproc - 1).max(1);
+                plan.acknowledge_death();
+                tracer.instant(
+                    None,
+                    "rank_death_recovery",
+                    fci_obs::Category::Other,
+                    &[("survivors", nproc as f64), ("restart", restarts as f64)],
+                );
+                continue 'world;
+            }
+            total_iters += chunk.iterations;
+            energy_history.extend(&chunk.energy_history);
+            residual_history.extend(&chunk.residual_history);
+            sigma_cost.merge(&chunk.sigma_cost);
+            save_ci(&rec.checkpoint, &chunk.c)?;
+            if chunk.converged || total_iters >= opts.diag.max_iter {
+                let mut d = chunk;
+                d.iterations = total_iters;
+                d.energy_history = energy_history;
+                d.residual_history = residual_history;
+                tracer.flush();
+                return Ok(ResilientResult {
+                    fci: FciResult {
+                        energy: d.e_elec + ham.e_core,
+                        e_elec: d.e_elec,
+                        e_core: ham.e_core,
+                        iterations: d.iterations,
+                        converged: d.converged,
+                        energy_history: d.energy_history.iter().map(|e| e + ham.e_core).collect(),
+                        residual_history: d.residual_history.clone(),
+                        dim: space.dim(),
+                        sector_dim: space.sector_dim(),
+                        sigma_cost: {
+                            // `sigma_cost` already includes the final chunk.
+                            let mut s = SigmaBreakdown::default();
+                            s.merge(&sigma_cost);
+                            s
+                        },
+                        diag: d,
+                    },
+                    restarts,
+                    ranks_lost,
+                    fault_stats: plan.stats(),
+                });
+            }
+            c0 = chunk.c;
+        }
+    }
+}
+
+/// The same starting vector [`crate::diag::diagonalize`] uses: ground
+/// vector of the exact model-space block, falling back to the
+/// lowest-diagonal determinant.
+fn initial_guess(ctx: &SigmaCtx, opts: &DiagOptions, nproc: usize) -> DistMatrix {
+    if opts.model_space > 0 {
+        let diag = ctx.space.diagonal(ctx.ham, nproc);
+        let pre = Preconditioner::new(ctx.space, ctx.ham, &diag, opts.model_space);
+        pre.model_space_guess(nproc)
+            .unwrap_or_else(|| ctx.space.guess(ctx.ham, nproc))
+    } else {
+        ctx.space.guess(ctx.ham, nproc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagMethod;
+    use crate::solver::solve;
+    use fci_ddi::RankDeath;
+    use fci_ints::EriTensor;
+    use fci_linalg::Matrix;
+
+    fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
+        let mut h = Matrix::zeros(n, n);
+        for i in 0..n.saturating_sub(1) {
+            h[(i, i + 1)] = -t;
+            h[(i + 1, i)] = -t;
+        }
+        let mut eri = EriTensor::zeros(n);
+        for i in 0..n {
+            eri.set(i, i, i, i, u);
+        }
+        MoIntegrals {
+            n_orb: n,
+            h,
+            eri,
+            e_core: 0.0,
+            orb_sym: vec![0; n],
+            n_irrep: 1,
+        }
+    }
+
+    fn ckp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fcix-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn base_opts(nproc: usize) -> FciOptions {
+        FciOptions {
+            nproc,
+            method: DiagMethod::Davidson,
+            diag: DiagOptions {
+                max_iter: 120,
+                model_space: 24,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_resilient_matches_plain_solve() {
+        let mo = hubbard(4, 1.0, 2.5);
+        let plain = solve(&mo, 2, 2, 0, &base_opts(3));
+        let r = solve_resilient(
+            &mo,
+            2,
+            2,
+            0,
+            &base_opts(3),
+            &RecoveryOptions::new(ckp("clean.ckp")),
+        )
+        .unwrap();
+        assert!(r.fci.converged);
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.fault_stats.injected(), 0);
+        assert!((r.fci.energy - plain.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_rank_death_mid_solve() {
+        let mo = hubbard(4, 1.0, 2.5);
+        let plain = solve(&mo, 2, 2, 0, &base_opts(4));
+        let mut opts = base_opts(4);
+        opts.fault = Some(FaultConfig {
+            seed: 11,
+            rank_death: Some(RankDeath {
+                rank: 2,
+                after_ops: 400,
+            }),
+            ..FaultConfig::default()
+        });
+        let r =
+            solve_resilient(&mo, 2, 2, 0, &opts, &RecoveryOptions::new(ckp("death.ckp"))).unwrap();
+        assert!(r.fci.converged);
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.ranks_lost, 1);
+        assert_eq!(r.fault_stats.rank_deaths, 1);
+        assert!(
+            (r.fci.energy - plain.energy).abs() < 1e-9,
+            "recovered energy {} vs reference {}",
+            r.fci.energy,
+            plain.energy
+        );
+    }
+
+    #[test]
+    fn resumes_from_existing_checkpoint() {
+        // Kill-and-restart: run a few iterations, "crash", then start a
+        // fresh resilient solve pointed at the same checkpoint. It must
+        // pick up the saved vector, not start over.
+        let mo = hubbard(4, 1.0, 2.5);
+        let path = ckp("resume.ckp");
+        let mut first = base_opts(2);
+        first.diag.max_iter = 6;
+        let partial = solve_resilient(&mo, 2, 2, 0, &first, &RecoveryOptions::new(&path)).unwrap();
+        assert!(!partial.fci.converged);
+        assert!(path.exists());
+
+        let full = solve(&mo, 2, 2, 0, &base_opts(2));
+        // Baseline for iteration counting: same chunked solver, but from
+        // scratch (chunking restarts the Davidson subspace, so the plain
+        // solve's count is not comparable).
+        let scratch = solve_resilient(
+            &mo,
+            2,
+            2,
+            0,
+            &base_opts(2),
+            &RecoveryOptions::new(ckp("scratch.ckp")),
+        )
+        .unwrap();
+        let resumed =
+            solve_resilient(&mo, 2, 2, 0, &base_opts(2), &RecoveryOptions::new(&path)).unwrap();
+        assert!(resumed.fci.converged);
+        assert!((resumed.fci.energy - full.energy).abs() < 1e-9);
+        assert!(
+            resumed.fci.iterations < scratch.fci.iterations,
+            "resume did not reuse checkpoint progress: {} vs {}",
+            resumed.fci.iterations,
+            scratch.fci.iterations
+        );
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_an_error() {
+        let mo = hubbard(4, 1.0, 2.5);
+        let mut opts = base_opts(3);
+        opts.fault = Some(FaultConfig {
+            seed: 5,
+            rank_death: Some(RankDeath {
+                rank: 1,
+                after_ops: 100,
+            }),
+            ..FaultConfig::default()
+        });
+        let rec = RecoveryOptions {
+            max_restarts: 0,
+            ..RecoveryOptions::new(ckp("budget.ckp"))
+        };
+        let err = solve_resilient(&mo, 2, 2, 0, &opts, &rec).unwrap_err();
+        assert!(err.to_string().contains("restart budget"));
+    }
+}

@@ -29,7 +29,7 @@
 use super::SigmaCtx;
 use crate::phase::charge_comm;
 use crate::taskpool::TaskPool;
-use fci_ddi::{Backend, CommStats, DistMatrix};
+use fci_ddi::{Backend, CommStats, Corruption, DistMatrix, FaultPlan};
 use fci_linalg::{dgemm, Matrix, Trans};
 use fci_obs::Category;
 use fci_xsim::{Clock, MachineModel, RunReport};
@@ -166,6 +166,11 @@ fn process_task_into(
 }
 
 /// Execute the work of one Kα family on `rank`, accumulating into σ.
+///
+/// With a fault plan present the task runs *guarded*: updates are
+/// buffered, validated finite as a whole, and only then committed — a
+/// poisoned working area triggers a full task recompute instead of
+/// polluting σ. Without a plan the sink accumulates directly (fast path).
 #[allow(clippy::too_many_arguments)]
 fn process_task(
     ctx: &SigmaCtx,
@@ -176,17 +181,94 @@ fn process_task(
     bufs: &mut WorkBufs,
     stats: &mut CommStats,
     clock: &mut Clock,
+    plan: Option<&FaultPlan>,
 ) {
-    process_task_into(
-        ctx,
-        c,
-        ka,
-        rank,
-        bufs,
-        stats,
-        clock,
-        &mut |col, vals, st| sigma.acc_col(rank, col, vals, st),
-    );
+    let Some(plan) = plan else {
+        process_task_into(
+            ctx,
+            c,
+            ka,
+            rank,
+            bufs,
+            stats,
+            clock,
+            &mut |col, vals, st| sigma.acc_col(rank, col, vals, st),
+        );
+        return;
+    };
+    process_task_guarded(ctx, c, sigma, ka, rank, bufs, stats, clock, plan);
+}
+
+/// The guarded task path: compute into a staging buffer, inject any
+/// scheduled poison, run the column guard (every value finite), and
+/// either commit all accumulates or recompute the whole task. The
+/// all-or-nothing commit means a detected fault never leaves a partial
+/// task in σ, and the recompute's recomputed gathers/DGEMM re-charge the
+/// clock naturally.
+#[allow(clippy::too_many_arguments)]
+fn process_task_guarded(
+    ctx: &SigmaCtx,
+    c: &DistMatrix,
+    sigma: &DistMatrix,
+    ka: usize,
+    rank: usize,
+    bufs: &mut WorkBufs,
+    stats: &mut CommStats,
+    clock: &mut Clock,
+    plan: &FaultPlan,
+) {
+    let tracer = ctx.ddi.tracer();
+    let mut attempt: u32 = 0;
+    loop {
+        let mut pending: Vec<(usize, Vec<f64>)> = Vec::new();
+        process_task_into(
+            ctx,
+            c,
+            ka,
+            rank,
+            bufs,
+            stats,
+            clock,
+            &mut |col, vals, _st| pending.push((col, vals.to_vec())),
+        );
+        // An injected single-event upset strikes the working area after
+        // the compute, before the commit (the plan caps attempts, so the
+        // recompute loop terminates by construction).
+        if plan.poison_task(attempt) {
+            if let Some((_, vals)) = pending.first_mut() {
+                plan.corrupt(Corruption::Nan, vals);
+            }
+            tracer.instant(
+                Some(rank),
+                "fault_injected",
+                Category::Other,
+                &[
+                    ("kind", 5.0),
+                    ("ka", ka as f64),
+                    ("attempt", attempt as f64),
+                ],
+            );
+        }
+        let clean = pending
+            .iter()
+            .all(|(_, vals)| vals.iter().all(|v| v.is_finite()));
+        if clean {
+            for (col, vals) in &pending {
+                sigma.acc_col(rank, *col, vals, stats);
+            }
+            return;
+        }
+        // Column guard tripped: discard the whole task and redo it.
+        plan.count_recompute();
+        stats.backoff_ns += plan.backoff_ns(attempt);
+        tracer.instant(
+            Some(rank),
+            "task_recompute",
+            Category::Other,
+            &[("ka", ka as f64), ("attempt", attempt as f64)],
+        );
+        attempt += 1;
+    }
 }
 
 /// A persistent mixed-spin worker: owns one rank's working buffers,
@@ -249,6 +331,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
     let nkb = space.beta_nm1.len();
     let nq = n - (space.alpha.n_elec() - 1);
     let nproc = ctx.ddi.nproc();
+    let plan = ctx.ddi.faults();
     let pool = TaskPool::aggregated(nka, nproc, ctx.pool);
     ctx.ddi.reset_counter();
     let tracer = ctx.ddi.tracer();
@@ -297,6 +380,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                         &mut bufs,
                         &mut stats[rank],
                         &mut clocks[rank],
+                        plan.as_deref(),
                     );
                 }
             }
@@ -327,7 +411,17 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                         &[("task", t as f64), ("size", pool.task(t).len() as f64)],
                     );
                     for ka in pool.task(t) {
-                        process_task(ctx, c, sigma, ka, rank, &mut bufs, stats, &mut clock);
+                        process_task(
+                            ctx,
+                            c,
+                            sigma,
+                            ka,
+                            rank,
+                            &mut bufs,
+                            stats,
+                            &mut clock,
+                            plan.as_deref(),
+                        );
                     }
                 }
                 clocks.lock().unwrap()[rank] = clock;

@@ -5,10 +5,11 @@ use crate::diag::{diagonalize, DiagMethod, DiagOptions, DiagResult};
 use crate::hamiltonian::Hamiltonian;
 use crate::sigma::{SigmaBreakdown, SigmaCtx, SigmaMethod};
 use crate::taskpool::PoolParams;
-use fci_ddi::{Backend, CheckConfig, Ddi};
+use fci_ddi::{Backend, CheckConfig, Ddi, FaultConfig, FaultPlan};
 use fci_obs::ObsConfig;
 use fci_scf::MoIntegrals;
 use fci_xsim::MachineModel;
+use std::sync::Arc;
 
 /// Everything configurable about an FCI run.
 #[derive(Clone, Debug)]
@@ -37,6 +38,12 @@ pub struct FciOptions {
     /// recorder (e.g. `fci-check`'s race detector) to observe every DDI
     /// protocol step of the run.
     pub check: CheckConfig,
+    /// Fault injection: `None` (default) runs the unchecked fast path;
+    /// `Some(cfg)` attaches a seeded [`FaultPlan`] so every remote DDI
+    /// op runs the checked retry/recovery path. Transient faults are
+    /// recovered inside `solve`; permanent rank death needs
+    /// [`crate::recovery::solve_resilient`].
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for FciOptions {
@@ -52,6 +59,7 @@ impl Default for FciOptions {
             excitation_level: None,
             obs: ObsConfig::off(),
             check: CheckConfig::off(),
+            fault: None,
         }
     }
 }
@@ -83,17 +91,17 @@ pub struct FciResult {
     pub diag: DiagResult,
 }
 
-/// Solve for the lowest FCI state of the given spin/symmetry sector.
-pub fn solve(
-    mo: &MoIntegrals,
+/// Build the determinant space of a run, honoring the configured CI
+/// truncation (shared by [`solve`] and `recovery::solve_resilient`).
+pub(crate) fn build_space(
+    ham: &Hamiltonian,
     n_alpha: usize,
     n_beta: usize,
     target_irrep: u8,
-    opts: &FciOptions,
-) -> FciResult {
-    let ham = Hamiltonian::new(mo);
-    let mut space = DetSpace::for_hamiltonian(&ham, n_alpha, n_beta, target_irrep);
-    if let Some(level) = opts.excitation_level {
+    excitation_level: Option<u32>,
+) -> DetSpace {
+    let mut space = DetSpace::for_hamiltonian(ham, n_alpha, n_beta, target_irrep);
+    if let Some(level) = excitation_level {
         // Reference = the lowest-diagonal in-sector determinant.
         let mut best = (f64::INFINITY, 0u64, 0u64);
         for ia in 0..space.alpha.len() {
@@ -109,7 +117,23 @@ pub fn solve(
         }
         space = space.with_excitation_limit(best.1, best.2, level);
     }
+    space
+}
+
+/// Solve for the lowest FCI state of the given spin/symmetry sector.
+pub fn solve(
+    mo: &MoIntegrals,
+    n_alpha: usize,
+    n_beta: usize,
+    target_irrep: u8,
+    opts: &FciOptions,
+) -> FciResult {
+    let ham = Hamiltonian::new(mo);
+    let space = build_space(&ham, n_alpha, n_beta, target_irrep, opts.excitation_level);
     let ddi = Ddi::new(opts.nproc, opts.backend);
+    if let Some(cfg) = &opts.fault {
+        ddi.attach_faults(Arc::new(FaultPlan::new(cfg.clone())));
+    }
     let tracer = opts.obs.tracer().unwrap_or_else(|e| {
         eprintln!("warning: could not open trace output: {e}; tracing disabled");
         fci_obs::Tracer::disabled()

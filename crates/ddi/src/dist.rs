@@ -2,8 +2,9 @@
 
 use crate::record::{AccessKind, AccessRecorder, DdiAccess, DdiSite};
 use crate::stats::CommStats;
+use fci_fault::{checksum_f64s, FaultPlan, ProtocolFault, TransferFault, TransferOp};
 use fci_obs::{Category, Tracer};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Process-wide matrix id source; ids label matrices in protocol records.
@@ -12,6 +13,12 @@ static NEXT_MAT_ID: AtomicU32 = AtomicU32::new(0);
 /// How `acc_col_faulty` corrupts the accumulate protocol. Exists so the
 /// `fci-check` race detector can be validated against *known* ordering
 /// bugs; production code must always use [`DistMatrix::acc_col`].
+///
+/// Legacy shim: the one fault-injection mechanism is now
+/// [`fci_fault::FaultPlan`] — a plan whose
+/// [`FaultConfig::protocol`](fci_fault::FaultConfig) is set routes plain
+/// `acc_col` calls through the same broken protocols. This enum survives
+/// only as a convenience mapping for old call sites.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccFault {
     /// The full, correct protocol (identical to `acc_col`).
@@ -25,6 +32,17 @@ pub enum AccFault {
     /// updates; under the serial backend the numbers survive but the
     /// protocol violation is still visible to a recorder.
     SkipLock,
+}
+
+impl AccFault {
+    /// The [`ProtocolFault`] this legacy variant corresponds to.
+    pub fn protocol(self) -> Option<ProtocolFault> {
+        match self {
+            AccFault::None => None,
+            AccFault::SkipFence => Some(ProtocolFault::SkipFence),
+            AccFault::SkipLock => Some(ProtocolFault::SkipLock),
+        }
+    }
 }
 
 /// A dense `nrows × ncols` matrix distributed by contiguous column blocks
@@ -48,6 +66,14 @@ pub struct DistMatrix {
     tracer: OnceLock<Tracer>,
     /// Optional protocol recorder (see [`crate::record`]).
     recorder: OnceLock<Arc<dyn AccessRecorder>>,
+    /// Optional fault plan; when attached, remote transfers run the
+    /// checked (sequence + CRC32, retry-with-backoff) delivery path.
+    faults: OnceLock<Arc<FaultPlan>>,
+    /// Per-matrix message sequence source for checked deliveries.
+    seq: AtomicU64,
+    /// Highest sequence number applied per sender rank; a re-arrival
+    /// bearing a seen sequence number is discarded (duplicate guard).
+    last_seq: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for DistMatrix {
@@ -88,6 +114,9 @@ impl DistMatrix {
             segments,
             tracer: OnceLock::new(),
             recorder: OnceLock::new(),
+            faults: OnceLock::new(),
+            seq: AtomicU64::new(0),
+            last_seq: (0..nproc).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -101,6 +130,15 @@ impl DistMatrix {
     /// its lock/get/put/fence steps. First attachment wins.
     pub fn attach_recorder(&self, recorder: Arc<dyn AccessRecorder>) {
         let _ = self.recorder.set(recorder);
+    }
+
+    /// Attach a fault plan; remote one-sided ops on this matrix then run
+    /// the checked delivery path (per-message sequence numbers + CRC32,
+    /// bounded retry-with-backoff on injected transients). First
+    /// attachment wins. With no plan attached the original fast path
+    /// runs unchanged.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>) {
+        let _ = self.faults.set(plan);
     }
 
     /// Process-unique id of this matrix (stable for the lifetime of the
@@ -212,27 +250,100 @@ impl DistMatrix {
     /// One-sided `DDI_GET` of a single column into `buf`.
     ///
     /// `rank` is the calling processor; traffic is counted only when the
-    /// column is remote.
+    /// column is remote. With a fault plan attached, remote gets run the
+    /// checked delivery path: every response carries a sequence number
+    /// and a CRC32, a dropped or garbled response is detected and resent
+    /// (bounded by the plan's [`fci_fault::RetryPolicy`]), and the wasted
+    /// traffic plus backoff wait are charged to the caller's stats.
     pub fn get_col(&self, rank: usize, col: usize, buf: &mut [f64], stats: &mut CommStats) {
         assert_eq!(buf.len(), self.nrows);
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
-        {
-            let seg = self.segments[owner].lock().unwrap();
-            self.rec(DdiAccess::Access {
-                rank,
-                mat: self.mat_id,
-                kind: AccessKind::Read,
-                cols: col..col + 1,
-                owner,
-                site: DdiSite::Get,
-            });
-            buf.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
+        if let Some(plan) = self.faults.get() {
+            plan.note_op();
+            if owner != rank {
+                return self.get_col_checked(plan, rank, col, owner, local0, buf, stats);
+            }
         }
+        self.get_protocol(rank, col, owner, local0, buf);
         if owner != rank {
             stats.get_msgs += 1;
             stats.get_bytes += (self.nrows * 8) as u64;
             self.trace_op(rank, "ddi_get", (self.nrows * 8) as u64, col, owner);
+        }
+    }
+
+    /// The unperturbed get protocol: copy the column out under the
+    /// owner's lock, recording the read.
+    fn get_protocol(&self, rank: usize, col: usize, owner: usize, local0: usize, buf: &mut [f64]) {
+        let seg = self.segments[owner].lock().unwrap();
+        self.rec(DdiAccess::Access {
+            rank,
+            mat: self.mat_id,
+            kind: AccessKind::Read,
+            cols: col..col + 1,
+            owner,
+            site: DdiSite::Get,
+        });
+        buf.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
+    }
+
+    /// Checked remote get: delivery attempts draw faults from the plan;
+    /// faulted attempts are detected (timeout for drops, CRC mismatch
+    /// for corruption) and retried without touching `buf` or emitting
+    /// protocol records — only the final validated delivery performs the
+    /// recorded read, so the race detector sees the same protocol as the
+    /// fast path.
+    #[allow(clippy::too_many_arguments)]
+    fn get_col_checked(
+        &self,
+        plan: &FaultPlan,
+        rank: usize,
+        col: usize,
+        owner: usize,
+        local0: usize,
+        buf: &mut [f64],
+        stats: &mut CommStats,
+    ) {
+        let bytes = (self.nrows * 8) as u64;
+        let mut attempt: u32 = 0;
+        loop {
+            match plan.on_transfer(TransferOp::Get, attempt) {
+                Some(TransferFault::Drop) => {
+                    // The response is lost in flight; the requester's ack
+                    // timeout fires and the get is reissued after backoff.
+                    self.charge_retry(plan, TransferOp::Get, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                Some(TransferFault::Corrupt(kind)) => {
+                    // The response arrives garbled: its CRC32 disagrees
+                    // with the checksum the owner computed, so the
+                    // delivery is rejected before any data is used.
+                    let mut wire = vec![0.0; self.nrows];
+                    let sent = {
+                        let seg = self.segments[owner].lock().unwrap();
+                        wire.copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
+                        checksum_f64s(&wire)
+                    };
+                    plan.corrupt(kind, &mut wire);
+                    debug_assert_ne!(sent, checksum_f64s(&wire), "corruption escaped the CRC");
+                    self.charge_retry(plan, TransferOp::Get, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                fault => {
+                    // Clean (possibly duplicated) delivery: the real
+                    // protocol, recorded exactly once.
+                    self.get_protocol(rank, col, owner, local0, buf);
+                    stats.get_msgs += 1;
+                    stats.get_bytes += bytes;
+                    self.trace_op(rank, "ddi_get", bytes, col, owner);
+                    let seq = self.next_seq(rank);
+                    if fault == Some(TransferFault::Duplicate) {
+                        self.discard_duplicate(plan, TransferOp::Get, rank, col, bytes, seq, stats);
+                    }
+                    return;
+                }
+            }
         }
     }
 
@@ -247,43 +358,18 @@ impl DistMatrix {
         assert_eq!(buf.len(), self.nrows);
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
-        {
-            // The protocol of §3.1, recorded step by step while the node
-            // mutex is held so the record order is the true lock order:
-            // lock → SHMEM_GET → add → SHMEM_PUT → fence → unlock.
-            let mut seg = self.segments[owner].lock().unwrap();
-            self.rec(DdiAccess::Lock {
-                rank,
-                mat: self.mat_id,
-                owner,
-            });
-            self.rec(DdiAccess::Access {
-                rank,
-                mat: self.mat_id,
-                kind: AccessKind::Read,
-                cols: col..col + 1,
-                owner,
-                site: DdiSite::AccGet,
-            });
-            let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
-            for (d, s) in dst.iter_mut().zip(buf) {
-                *d += s;
+        if let Some(plan) = self.faults.get() {
+            plan.note_op();
+            // A plan carrying a broken-protocol mode (race-detector
+            // validation) routes every accumulate through that protocol.
+            if let Some(pf) = plan.protocol_fault() {
+                return self.acc_col_broken(rank, col, buf, pf, stats);
             }
-            self.rec(DdiAccess::Access {
-                rank,
-                mat: self.mat_id,
-                kind: AccessKind::Write,
-                cols: col..col + 1,
-                owner,
-                site: DdiSite::AccPut,
-            });
-            self.rec(DdiAccess::Fence { rank });
-            self.rec(DdiAccess::Unlock {
-                rank,
-                mat: self.mat_id,
-                owner,
-            });
+            if owner != rank {
+                return self.acc_col_checked(plan, rank, col, owner, local0, buf, stats);
+            }
         }
+        self.acc_protocol(rank, col, owner, local0, buf);
         stats.mutex_acquires += 1;
         if owner != rank {
             stats.acc_msgs += 1;
@@ -292,26 +378,224 @@ impl DistMatrix {
         }
     }
 
-    /// `DDI_ACC` with a deliberately broken protocol — fault injection for
-    /// the `fci-check` race detector. See [`AccFault`] for the menu.
+    /// The protocol of §3.1, recorded step by step while the node mutex
+    /// is held so the record order is the true lock order:
+    /// lock → SHMEM_GET → add → SHMEM_PUT → fence → unlock.
+    fn acc_protocol(&self, rank: usize, col: usize, owner: usize, local0: usize, buf: &[f64]) {
+        let mut seg = self.segments[owner].lock().unwrap();
+        self.rec(DdiAccess::Lock {
+            rank,
+            mat: self.mat_id,
+            owner,
+        });
+        self.rec(DdiAccess::Access {
+            rank,
+            mat: self.mat_id,
+            kind: AccessKind::Read,
+            cols: col..col + 1,
+            owner,
+            site: DdiSite::AccGet,
+        });
+        let dst = &mut seg[local0 * self.nrows..(local0 + 1) * self.nrows];
+        for (d, s) in dst.iter_mut().zip(buf) {
+            *d += s;
+        }
+        self.rec(DdiAccess::Access {
+            rank,
+            mat: self.mat_id,
+            kind: AccessKind::Write,
+            cols: col..col + 1,
+            owner,
+            site: DdiSite::AccPut,
+        });
+        self.rec(DdiAccess::Fence { rank });
+        self.rec(DdiAccess::Unlock {
+            rank,
+            mat: self.mat_id,
+            owner,
+        });
+    }
+
+    /// Checked remote accumulate: the update payload is CRC32-validated
+    /// *before* it is applied, so a corrupted delivery never pollutes the
+    /// remote column — it is rejected and resent. Only the final
+    /// validated attempt runs the (recorded) lock/fence protocol.
+    #[allow(clippy::too_many_arguments)]
+    fn acc_col_checked(
+        &self,
+        plan: &FaultPlan,
+        rank: usize,
+        col: usize,
+        owner: usize,
+        local0: usize,
+        buf: &[f64],
+        stats: &mut CommStats,
+    ) {
+        let bytes = (self.nrows * 16) as u64;
+        let mut attempt: u32 = 0;
+        let duplicated = loop {
+            match plan.on_transfer(TransferOp::Acc, attempt) {
+                Some(TransferFault::Drop) => {
+                    self.charge_retry(plan, TransferOp::Acc, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                Some(TransferFault::Corrupt(kind)) => {
+                    let sent = checksum_f64s(buf);
+                    let mut wire = buf.to_vec();
+                    plan.corrupt(kind, &mut wire);
+                    debug_assert_ne!(sent, checksum_f64s(&wire), "corruption escaped the CRC");
+                    self.charge_retry(plan, TransferOp::Acc, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                Some(TransferFault::Duplicate) => break true,
+                None => break false,
+            }
+        };
+        self.acc_protocol(rank, col, owner, local0, buf);
+        stats.mutex_acquires += 1;
+        stats.acc_msgs += 1;
+        stats.acc_bytes += bytes;
+        self.trace_op(rank, "ddi_acc", bytes, col, owner);
+        let seq = self.next_seq(rank);
+        if duplicated {
+            self.discard_duplicate(plan, TransferOp::Acc, rank, col, bytes, seq, stats);
+        }
+        // Injected fence delay: the accumulate's trailing memory fence
+        // takes longer to drain; pure simulated wait, no reordering.
+        if let Some(ns) = plan.on_fence() {
+            stats.backoff_ns += ns;
+            self.trace_fault(rank, "fence_delay", TransferOp::Acc, col, 0);
+        }
+    }
+
+    /// Stamp the next sequence number for a delivery from `rank` and
+    /// record it as applied.
+    fn next_seq(&self, rank: usize) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.last_seq[rank].store(seq, Ordering::Release);
+        seq
+    }
+
+    /// A duplicated delivery re-arrives bearing an already-applied
+    /// sequence number: it is discarded by the sequence guard, costing
+    /// only the extra wire traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn discard_duplicate(
+        &self,
+        plan: &FaultPlan,
+        op: TransferOp,
+        rank: usize,
+        col: usize,
+        bytes: u64,
+        seq: u64,
+        stats: &mut CommStats,
+    ) {
+        if self.last_seq[rank].load(Ordering::Acquire) >= seq {
+            plan.count_dup_discard();
+        }
+        match op {
+            TransferOp::Get => {
+                stats.get_msgs += 1;
+                stats.get_bytes += bytes;
+            }
+            TransferOp::Acc => {
+                stats.acc_msgs += 1;
+                stats.acc_bytes += bytes;
+            }
+            TransferOp::Put => {
+                stats.put_msgs += 1;
+                stats.put_bytes += bytes;
+            }
+        }
+        self.trace_fault(rank, "duplicate", op, col, 0);
+    }
+
+    /// Charge one failed delivery attempt: the lost/garbled message
+    /// still crossed the wire, and the sender backs off before the
+    /// resend. Both are folded into the caller's stats (and from there
+    /// into the xsim clock).
+    #[allow(clippy::too_many_arguments)]
+    fn charge_retry(
+        &self,
+        plan: &FaultPlan,
+        op: TransferOp,
+        rank: usize,
+        col: usize,
+        bytes: u64,
+        attempt: u32,
+        stats: &mut CommStats,
+    ) {
+        match op {
+            TransferOp::Get => {
+                stats.get_msgs += 1;
+                stats.get_bytes += bytes;
+            }
+            TransferOp::Acc => {
+                stats.acc_msgs += 1;
+                stats.acc_bytes += bytes;
+            }
+            TransferOp::Put => {
+                stats.put_msgs += 1;
+                stats.put_bytes += bytes;
+            }
+        }
+        stats.retries += 1;
+        stats.backoff_ns += plan.backoff_ns(attempt);
+        plan.count_retry();
+        self.trace_fault(rank, "transient", op, col, attempt);
+    }
+
+    /// Emit a `fault_injected` instant for an injected fault handled on
+    /// this matrix.
+    fn trace_fault(&self, rank: usize, kind: &str, op: TransferOp, col: usize, attempt: u32) {
+        if let Some(t) = self.tracer.get() {
+            let opcode = match op {
+                TransferOp::Get => 0.0,
+                TransferOp::Acc => 1.0,
+                TransferOp::Put => 2.0,
+            };
+            let kindcode = match kind {
+                "transient" => 0.0,
+                "duplicate" => 1.0,
+                "fence_delay" => 2.0,
+                _ => 3.0,
+            };
+            t.instant(
+                Some(rank),
+                "fault_injected",
+                Category::Other,
+                &[
+                    ("op", opcode),
+                    ("col", col as f64),
+                    ("attempt", attempt as f64),
+                    ("kind", kindcode),
+                ],
+            );
+        }
+    }
+
+    /// `DDI_ACC` with a deliberately broken protocol — fault injection
+    /// for the `fci-check` race detector. See [`ProtocolFault`] for the
+    /// menu. [`DistMatrix::acc_col`] routes here automatically when the
+    /// attached [`FaultPlan`] carries a protocol fault; never call this
+    /// from production code.
     ///
     /// Traffic accounting matches [`DistMatrix::acc_col`], except that
-    /// [`AccFault::SkipLock`] charges no mutex acquisition (that is the
-    /// injected bug). Never call this from production code.
-    pub fn acc_col_faulty(
+    /// [`ProtocolFault::SkipLock`] charges no mutex acquisition (that is
+    /// the injected bug).
+    pub fn acc_col_broken(
         &self,
         rank: usize,
         col: usize,
         buf: &[f64],
-        fault: AccFault,
+        pf: ProtocolFault,
         stats: &mut CommStats,
     ) {
-        match fault {
-            AccFault::None => return self.acc_col(rank, col, buf, stats),
-            AccFault::SkipFence => {
-                assert_eq!(buf.len(), self.nrows);
-                let owner = self.owner(col);
-                let local0 = col - self.col_offsets[owner];
+        assert_eq!(buf.len(), self.nrows);
+        let owner = self.owner(col);
+        let local0 = col - self.col_offsets[owner];
+        match pf {
+            ProtocolFault::SkipFence => {
                 let mut seg = self.segments[owner].lock().unwrap();
                 self.rec(DdiAccess::Lock {
                     rank,
@@ -348,10 +632,7 @@ impl DistMatrix {
                 drop(seg);
                 stats.mutex_acquires += 1;
             }
-            AccFault::SkipLock => {
-                assert_eq!(buf.len(), self.nrows);
-                let owner = self.owner(col);
-                let local0 = col - self.col_offsets[owner];
+            ProtocolFault::SkipLock => {
                 let range = local0 * self.nrows..(local0 + 1) * self.nrows;
                 // BUG under test: the read-modify-write is not spanned by
                 // the per-node lock. The two short internal borrows below
@@ -385,7 +666,6 @@ impl DistMatrix {
                 self.rec(DdiAccess::Fence { rank });
             }
         }
-        let owner = self.owner(col);
         if owner != rank {
             stats.acc_msgs += 1;
             stats.acc_bytes += (self.nrows * 16) as u64;
@@ -393,27 +673,100 @@ impl DistMatrix {
         }
     }
 
-    /// One-sided `DDI_PUT`: overwrite a column.
+    /// Legacy entry point kept for old call sites: maps the [`AccFault`]
+    /// shim onto the one fault-injection mechanism ([`FaultPlan`] /
+    /// [`ProtocolFault`]) and delegates.
+    pub fn acc_col_faulty(
+        &self,
+        rank: usize,
+        col: usize,
+        buf: &[f64],
+        fault: AccFault,
+        stats: &mut CommStats,
+    ) {
+        match fault.protocol() {
+            None => self.acc_col(rank, col, buf, stats),
+            Some(pf) => self.acc_col_broken(rank, col, buf, pf, stats),
+        }
+    }
+
+    /// One-sided `DDI_PUT`: overwrite a column. With a fault plan
+    /// attached, remote puts run the same checked (sequence + CRC32,
+    /// retry-with-backoff) delivery path as [`DistMatrix::get_col`].
     pub fn put_col(&self, rank: usize, col: usize, buf: &[f64], stats: &mut CommStats) {
         assert_eq!(buf.len(), self.nrows);
         let owner = self.owner(col);
         let local0 = col - self.col_offsets[owner];
-        {
-            let mut seg = self.segments[owner].lock().unwrap();
-            self.rec(DdiAccess::Access {
-                rank,
-                mat: self.mat_id,
-                kind: AccessKind::Write,
-                cols: col..col + 1,
-                owner,
-                site: DdiSite::Put,
-            });
-            seg[local0 * self.nrows..(local0 + 1) * self.nrows].copy_from_slice(buf);
+        if let Some(plan) = self.faults.get() {
+            plan.note_op();
+            if owner != rank {
+                return self.put_col_checked(plan, rank, col, owner, local0, buf, stats);
+            }
         }
+        self.put_protocol(rank, col, owner, local0, buf);
         if owner != rank {
             stats.put_msgs += 1;
             stats.put_bytes += (self.nrows * 8) as u64;
             self.trace_op(rank, "ddi_put", (self.nrows * 8) as u64, col, owner);
+        }
+    }
+
+    /// The unperturbed put protocol: overwrite the column under the
+    /// owner's lock, recording the write.
+    fn put_protocol(&self, rank: usize, col: usize, owner: usize, local0: usize, buf: &[f64]) {
+        let mut seg = self.segments[owner].lock().unwrap();
+        self.rec(DdiAccess::Access {
+            rank,
+            mat: self.mat_id,
+            kind: AccessKind::Write,
+            cols: col..col + 1,
+            owner,
+            site: DdiSite::Put,
+        });
+        seg[local0 * self.nrows..(local0 + 1) * self.nrows].copy_from_slice(buf);
+    }
+
+    /// Checked remote put: the payload is CRC32-validated before the
+    /// overwrite is applied, so a garbled delivery never lands — it is
+    /// rejected and resent, bounded by the plan's retry policy.
+    #[allow(clippy::too_many_arguments)]
+    fn put_col_checked(
+        &self,
+        plan: &FaultPlan,
+        rank: usize,
+        col: usize,
+        owner: usize,
+        local0: usize,
+        buf: &[f64],
+        stats: &mut CommStats,
+    ) {
+        let bytes = (self.nrows * 8) as u64;
+        let mut attempt: u32 = 0;
+        let duplicated = loop {
+            match plan.on_transfer(TransferOp::Put, attempt) {
+                Some(TransferFault::Drop) => {
+                    self.charge_retry(plan, TransferOp::Put, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                Some(TransferFault::Corrupt(kind)) => {
+                    let sent = checksum_f64s(buf);
+                    let mut wire = buf.to_vec();
+                    plan.corrupt(kind, &mut wire);
+                    debug_assert_ne!(sent, checksum_f64s(&wire), "corruption escaped the CRC");
+                    self.charge_retry(plan, TransferOp::Put, rank, col, bytes, attempt, stats);
+                    attempt += 1;
+                }
+                Some(TransferFault::Duplicate) => break true,
+                None => break false,
+            }
+        };
+        self.put_protocol(rank, col, owner, local0, buf);
+        stats.put_msgs += 1;
+        stats.put_bytes += bytes;
+        self.trace_op(rank, "ddi_put", bytes, col, owner);
+        let seq = self.next_seq(rank);
+        if duplicated {
+            self.discard_duplicate(plan, TransferOp::Put, rank, col, bytes, seq, stats);
         }
     }
 
@@ -767,6 +1120,83 @@ mod tests {
         assert_eq!(a.dot3(&w, &a), 25.0);
         assert_eq!(a.dot3(&a, &a), 27.0 + 64.0);
         assert_eq!(w.dot3(&a, &a), 25.0);
+    }
+
+    #[test]
+    fn quiet_plan_leaves_ops_bitwise_identical() {
+        let data: Vec<f64> = (0..24).map(|x| (x as f64).sin()).collect();
+        let plain = DistMatrix::from_dense(4, 6, 3, &data);
+        let checked = DistMatrix::from_dense(4, 6, 3, &data);
+        checked.attach_faults(Arc::new(FaultPlan::new(fci_fault::FaultConfig::quiet(7))));
+        let v = [0.5, -0.25, 1.0, 2.0];
+        let (mut sa, mut sb) = (CommStats::default(), CommStats::default());
+        for m in [&plain, &checked] {
+            let st = if std::ptr::eq(m, &plain) {
+                &mut sa
+            } else {
+                &mut sb
+            };
+            m.put_col(0, 5, &v, st);
+            m.acc_col(0, 5, &v, st);
+            m.acc_col(2, 4, &v, st);
+        }
+        assert_eq!(plain.to_dense(), checked.to_dense());
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn checked_paths_recover_exact_values_under_heavy_faults() {
+        let cfg = fci_fault::FaultConfig {
+            seed: 42,
+            p_drop: 0.3,
+            p_corrupt: 0.3,
+            p_duplicate: 0.2,
+            ..fci_fault::FaultConfig::default()
+        };
+        let m = DistMatrix::zeros(4, 6, 3);
+        m.attach_faults(Arc::new(FaultPlan::new(cfg)));
+        let mut st = CommStats::default();
+        let v = [1.0, 2.0, 3.0, 4.0];
+        for _ in 0..50 {
+            m.acc_col(0, 5, &v, &mut st); // remote acc (owner = 2)
+        }
+        m.put_col(0, 3, &v, &mut st); // remote put (owner = 1)
+        let mut buf = [0.0; 4];
+        for _ in 0..50 {
+            m.get_col(0, 5, &mut buf, &mut st); // remote get
+        }
+        // Every injected fault was detected and recovered: values exact.
+        assert_eq!(buf, [50.0, 100.0, 150.0, 200.0]);
+        let mut buf3 = [0.0; 4];
+        m.get_col(1, 3, &mut buf3, &mut st); // owner-local get
+        assert_eq!(buf3, v);
+        // With these probabilities over 101 remote ops, retries are
+        // statistically certain (and seeded, so deterministic).
+        assert!(st.retries > 0, "no retries injected");
+        assert!(st.backoff_ns > 0);
+    }
+
+    #[test]
+    fn checked_path_charges_wasted_traffic() {
+        // p_drop = 1.0: every attempt before the cap drops, so each get
+        // costs max_retries extra messages plus the clean delivery.
+        let cfg = fci_fault::FaultConfig {
+            seed: 3,
+            p_drop: 1.0,
+            ..fci_fault::FaultConfig::default()
+        };
+        let cap = cfg.retry.max_retries as u64;
+        let m = DistMatrix::from_dense(2, 2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let plan = Arc::new(FaultPlan::new(cfg));
+        m.attach_faults(plan.clone());
+        let mut st = CommStats::default();
+        let mut buf = [0.0; 2];
+        m.get_col(0, 1, &mut buf, &mut st);
+        assert_eq!(buf, [3.0, 4.0]);
+        assert_eq!(st.get_msgs, cap + 1);
+        assert_eq!(st.retries, cap);
+        assert_eq!(plan.stats().retries, cap);
+        assert_eq!(plan.stats().drops, cap);
     }
 
     #[test]

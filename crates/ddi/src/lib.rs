@@ -29,6 +29,13 @@
 //! report its protocol steps (lock, get, put, fence, unlock, counter swap)
 //! to an [`AccessRecorder`] — see [`record`] and the `fci-check` crate's
 //! happens-before race detector built on top of it.
+//!
+//! For robustness testing, a seeded [`FaultPlan`] (from `fci-fault`) can
+//! be attached to a world: remote transfers then run a checked delivery
+//! path (per-message sequence numbers + CRC32) that detects injected
+//! drops/duplicates/corruption and recovers by bounded
+//! retry-with-backoff, with the wasted traffic and wait time charged to
+//! the caller's [`CommStats`].
 
 pub mod dist;
 pub mod record;
@@ -36,6 +43,9 @@ pub mod stats;
 pub mod world;
 
 pub use dist::{AccFault, DistMatrix};
+pub use fci_fault::{
+    Corruption, FaultConfig, FaultPlan, FaultStats, ProtocolFault, RankDeath, RetryPolicy,
+};
 pub use record::{
     protocol_events, AccessKind, AccessRecorder, CheckConfig, DdiAccess, DdiSite, TraceRecorder,
 };

@@ -23,6 +23,14 @@ pub struct CommStats {
     pub nxtval_msgs: u64,
     /// Number of mutex acquisitions performed for accumulates.
     pub mutex_acquires: u64,
+    /// Resent deliveries: transient faults (drops, CRC-rejected
+    /// corruptions) detected and retried by the checked DDI paths. The
+    /// retransmitted traffic itself is already folded into the byte and
+    /// message counts above.
+    pub retries: u64,
+    /// Simulated nanoseconds this rank spent backing off before resends
+    /// and waiting out injected stalls/fence delays.
+    pub backoff_ns: u64,
 }
 
 impl CommStats {
@@ -46,6 +54,8 @@ impl CommStats {
         self.put_msgs += other.put_msgs;
         self.nxtval_msgs += other.nxtval_msgs;
         self.mutex_acquires += other.mutex_acquires;
+        self.retries += other.retries;
+        self.backoff_ns += other.backoff_ns;
     }
 }
 
@@ -64,6 +74,8 @@ mod tests {
             put_msgs: 1,
             nxtval_msgs: 5,
             mutex_acquires: 1,
+            retries: 3,
+            backoff_ns: 40_000,
         };
         assert_eq!(a.total_bytes(), 144);
         assert_eq!(a.total_msgs(), 9);
@@ -72,5 +84,7 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.get_bytes, 200);
         assert_eq!(b.nxtval_msgs, 10);
+        assert_eq!(b.retries, 6);
+        assert_eq!(b.backoff_ns, 80_000);
     }
 }

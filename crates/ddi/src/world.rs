@@ -4,6 +4,7 @@
 use crate::dist::DistMatrix;
 use crate::record::{AccessRecorder, DdiAccess};
 use crate::stats::CommStats;
+use fci_fault::FaultPlan;
 use fci_obs::{Category, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -28,6 +29,7 @@ pub struct Ddi {
     counter: AtomicUsize,
     tracer: OnceLock<Tracer>,
     recorder: OnceLock<Arc<dyn AccessRecorder>>,
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 impl Ddi {
@@ -40,6 +42,7 @@ impl Ddi {
             counter: AtomicUsize::new(0),
             tracer: OnceLock::new(),
             recorder: OnceLock::new(),
+            faults: OnceLock::new(),
         }
     }
 
@@ -78,14 +81,31 @@ impl Ddi {
         self.recorder.get().cloned()
     }
 
-    /// Wire a matrix into this world's observability: it inherits the
-    /// world's tracer and protocol recorder (each a no-op if unset).
+    /// Attach a fault plan; `nxtval` then draws stall faults from it,
+    /// and matrices adopted via [`Ddi::adopt`] inherit it (their remote
+    /// one-sided ops run the checked delivery path). First attachment
+    /// wins. With no plan attached nothing changes.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>) {
+        let _ = self.faults.set(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.get().cloned()
+    }
+
+    /// Wire a matrix into this world's observability and fault plane: it
+    /// inherits the world's tracer, protocol recorder, and fault plan
+    /// (each a no-op if unset).
     pub fn adopt(&self, m: &DistMatrix) {
         if let Some(t) = self.tracer.get() {
             m.attach_tracer(t.clone());
         }
         if let Some(r) = self.recorder.get() {
             m.attach_recorder(r.clone());
+        }
+        if let Some(p) = self.faults.get() {
+            m.attach_faults(p.clone());
         }
     }
 
@@ -103,9 +123,25 @@ impl Ddi {
     }
 
     /// `SHMEM_SWAP`-style shared counter: returns the next global task
-    /// number. One counter message is charged to the caller.
+    /// number. One counter message is charged to the caller. With a
+    /// fault plan attached, the op counts against the plan's simulated
+    /// clock and may draw an injected stall, charged as backoff wait.
     pub fn nxtval(&self, stats: &mut CommStats) -> usize {
         stats.nxtval_msgs += 1;
+        if let Some(plan) = self.faults.get() {
+            plan.note_op();
+            if let Some(ns) = plan.on_nxtval() {
+                stats.backoff_ns += ns;
+                if let Some(tracer) = self.tracer.get() {
+                    tracer.instant(
+                        None,
+                        "fault_injected",
+                        Category::Other,
+                        &[("kind", 4.0), ("stall_ns", ns as f64)],
+                    );
+                }
+            }
+        }
         let t = self.counter.fetch_add(1, Ordering::SeqCst);
         if let Some(tracer) = self.tracer.get() {
             tracer.instant(None, "ddi_nxtval", Category::Net, &[("task", t as f64)]);

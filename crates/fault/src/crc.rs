@@ -1,0 +1,132 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) message checksums.
+//!
+//! Every checked DDI transfer and every checkpoint payload carries a
+//! CRC32: it is cheap relative to an 8·n-byte column move, and it is the
+//! detection mechanism that turns an injected corruption into a *retry*
+//! instead of silent garbage in the σ vector. The table is built at
+//! compile time; no external crates, no allocation.
+
+/// 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC32 state, for checksumming data read in chunks.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Absorb a chunk of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// CRC32 over the little-endian byte image of an `f64` slice — the
+/// checksum a DDI message carrying a column of CI coefficients would
+/// bear on the wire.
+pub fn checksum_f64s(vals: &[f64]) -> u32 {
+    let mut c = Crc32::new();
+    for v in vals {
+        c.update(&v.to_le_bytes());
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(5) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn f64_checksum_detects_single_bit_flip() {
+        let vals: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let clean = checksum_f64s(&vals);
+        for i in [0usize, 13, 63] {
+            for bit in [0u32, 31, 52, 63] {
+                let mut garbled = vals.clone();
+                garbled[i] = f64::from_bits(garbled[i].to_bits() ^ (1u64 << bit));
+                assert_ne!(clean, checksum_f64s(&garbled), "flip at [{i}] bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_checksum_detects_nan_and_sign() {
+        let vals = vec![0.5, -1.25, 3.0];
+        let clean = checksum_f64s(&vals);
+        let mut nan = vals.clone();
+        nan[1] = f64::NAN;
+        assert_ne!(clean, checksum_f64s(&nan));
+        let mut sign = vals.clone();
+        sign[2] = -sign[2];
+        assert_ne!(clean, checksum_f64s(&sign));
+        // Even -0.0 vs 0.0 differs bitwise, so sign flips on zeros are
+        // still caught.
+        assert_ne!(checksum_f64s(&[0.0]), checksum_f64s(&[-0.0]));
+    }
+}

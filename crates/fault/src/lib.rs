@@ -1,0 +1,35 @@
+//! fci-fault — deterministic fault injection and recovery policy for fcix.
+//!
+//! The paper's production runs hold hundreds of MSPs for hours; at that
+//! scale a dropped one-sided message, a garbled column, or a dead rank
+//! is a *when*, not an *if*. This crate is the fault plane the rest of
+//! the stack tests itself against:
+//!
+//! * [`FaultPlan`] — a seeded, wall-clock-free schedule of transient
+//!   comm faults (drop / duplicate / corrupt), `nxtval` stalls, fence
+//!   delays, σ-task poisoning, and permanent rank death, shared across
+//!   the DDI world and consulted by every checked operation. Same seed,
+//!   same workload → same faults, every run.
+//! * [`RetryPolicy`] — the bounded exponential retry/backoff contract
+//!   DDI recovery loops follow; the plan guarantees the final allowed
+//!   attempt is always clean, so recovery terminates by construction.
+//! * [`crc32`]/[`checksum_f64s`] — the per-message CRC32 that turns an
+//!   injected corruption into a detected-and-retried event instead of
+//!   silent garbage (also used by the checkpoint format).
+//!
+//! The crate is std-only and depends on nothing, so `fci-ddi` can sit
+//! on top of it without cycles: obs ← fault ← ddi ← core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod plan;
+mod rng;
+
+pub use crc::{checksum_f64s, crc32, Crc32};
+pub use plan::{
+    Corruption, FaultConfig, FaultPlan, FaultStats, ProtocolFault, RankDeath, RetryPolicy,
+    TransferFault, TransferOp,
+};
+pub use rng::Xorshift64;

@@ -49,6 +49,13 @@ pub struct RunSummary {
     pub lock_acquires: f64,
     /// `nxtval` counter messages (aggregate).
     pub nxtval_msgs: f64,
+    /// Faults injected by the fault plane (`fault_injected` instants).
+    pub faults_injected: f64,
+    /// Message resends performed by DDI recovery loops (aggregate).
+    pub retries: f64,
+    /// σ tasks recomputed after failing a column guard
+    /// (`task_recompute` instants).
+    pub recomputes: f64,
 }
 
 impl RunSummary {
@@ -116,6 +123,14 @@ impl RunSummary {
         let mut busy: Vec<f64> = Vec::new();
         for e in events {
             if e.kind != EventKind::Span {
+                // Fault-plane instants carry the injection/recovery tally.
+                if e.kind == EventKind::Instant {
+                    match e.name.as_str() {
+                        "fault_injected" => s.faults_injected += 1.0,
+                        "task_recompute" => s.recomputes += 1.0,
+                        _ => {}
+                    }
+                }
                 continue;
             }
             *s.time_mut(e.cat) += e.sim_dur_s;
@@ -132,6 +147,7 @@ impl RunSummary {
                     s.net_bytes += e.arg("bytes").unwrap_or(0.0);
                     s.net_msgs += e.arg("msgs").unwrap_or(0.0);
                     s.nxtval_msgs += e.arg("nxtval").unwrap_or(0.0);
+                    s.retries += e.arg("retries").unwrap_or(0.0);
                 }
                 Category::Lock => s.lock_acquires += e.arg("acquires").unwrap_or(0.0),
                 _ => {}
@@ -166,6 +182,9 @@ impl RunSummary {
             ("net_msgs", JsonValue::Num(self.net_msgs)),
             ("lock_acquires", JsonValue::Num(self.lock_acquires)),
             ("nxtval_msgs", JsonValue::Num(self.nxtval_msgs)),
+            ("faults_injected", JsonValue::Num(self.faults_injected)),
+            ("retries", JsonValue::Num(self.retries)),
+            ("recomputes", JsonValue::Num(self.recomputes)),
             ("gflops_per_msp", JsonValue::Num(self.gflops_per_msp())),
             ("tflops", JsonValue::Num(self.tflops())),
         ])
@@ -191,6 +210,9 @@ impl RunSummary {
             net_msgs: v.get_f64("net_msgs").unwrap_or(0.0),
             lock_acquires: v.get_f64("lock_acquires").unwrap_or(0.0),
             nxtval_msgs: v.get_f64("nxtval_msgs").unwrap_or(0.0),
+            faults_injected: v.get_f64("faults_injected").unwrap_or(0.0),
+            retries: v.get_f64("retries").unwrap_or(0.0),
+            recomputes: v.get_f64("recomputes").unwrap_or(0.0),
         })
     }
 
@@ -241,6 +263,12 @@ impl RunSummary {
             "  traffic: {:.3e} bytes in {} msgs; nxtval {}; lock acquires {}\n",
             self.net_bytes, self.net_msgs, self.nxtval_msgs, self.lock_acquires
         ));
+        if self.faults_injected > 0.0 || self.retries > 0.0 || self.recomputes > 0.0 {
+            out.push_str(&format!(
+                "  fault plane: {} injected; {} retries; {} recomputes\n",
+                self.faults_injected, self.retries, self.recomputes
+            ));
+        }
         out
     }
 

@@ -38,6 +38,8 @@ pub struct Clock {
     pub lock_acquires: f64,
     /// Atomic-counter (`nxtval`) operations issued by this MSP.
     pub nxtval_msgs: f64,
+    /// Message resends performed by DDI recovery loops (fault plane).
+    pub retries: f64,
 }
 
 impl Clock {
@@ -115,6 +117,16 @@ impl Clock {
         self.nxtval_msgs += n as f64;
     }
 
+    /// Charge recovery wait: `ns` of simulated backoff/stall time spent
+    /// waiting to resend after `n_retries` detected delivery faults. The
+    /// wait itself is network time (the MSP sits on the interconnect);
+    /// the resent messages' wire cost arrives separately via
+    /// [`Clock::charge_net`], since CommStats already counts them.
+    pub fn charge_backoff(&mut self, ns: u64, n_retries: u64) {
+        self.t_net += ns as f64 * 1e-9;
+        self.retries += n_retries as f64;
+    }
+
     /// Merge another clock's charges into this one.
     pub fn merge(&mut self, other: &Clock) {
         self.t_dgemm += other.t_dgemm;
@@ -129,6 +141,7 @@ impl Clock {
         self.net_msgs += other.net_msgs;
         self.lock_acquires += other.lock_acquires;
         self.nxtval_msgs += other.nxtval_msgs;
+        self.retries += other.retries;
     }
 
     /// This clock's charges as tracer segments, in Table 3 row order.
@@ -157,6 +170,7 @@ impl Clock {
                     ("bytes".into(), self.net_bytes),
                     ("msgs".into(), self.net_msgs),
                     ("nxtval".into(), self.nxtval_msgs),
+                    ("retries".into(), self.retries),
                 ],
             ),
             Segment::new(

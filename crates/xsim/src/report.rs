@@ -138,6 +138,7 @@ impl RunReport {
             s.net_msgs += c.net_msgs;
             s.lock_acquires += c.lock_acquires;
             s.nxtval_msgs += c.nxtval_msgs;
+            s.retries += c.retries;
         }
         s
     }

@@ -1,0 +1,287 @@
+//! `fcix-chaos` — run the solver under seeded fault schedules and check
+//! that it heals.
+//!
+//! ```text
+//! fcix-chaos [--schedules N] [--seed S] [--nproc P] [--json out.json]
+//! ```
+//!
+//! Each schedule derives a deterministic [`FaultConfig`] from the base
+//! seed (cycling through transient comm faults, data corruption,
+//! poisoned σ tasks, rank death, and a mixed storm), runs a full
+//! small-molecule solve through `solve_resilient` with the race detector
+//! online, and checks the recovery invariants: converged, energy within
+//! 1e-9 of the fault-free reference, zero races. Exit status is nonzero
+//! if any schedule breaks one. `--json` writes a machine-readable report
+//! (one object per schedule) for CI artifacts.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fcix::check::RaceDetector;
+use fcix::core::{solve, solve_resilient, FciOptions, RecoveryOptions};
+use fcix::ddi::{Backend, CheckConfig, FaultConfig, RankDeath};
+use fcix::fault::Xorshift64;
+use fcix::ints::EriTensor;
+use fcix::linalg::Matrix;
+use fcix::scf::MoIntegrals;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-chaos [options]\n\n\
+         options:\n\
+         \x20 --schedules N   fault schedules to run (default 10)\n\
+         \x20 --seed S        base seed the schedules derive from (default 1)\n\
+         \x20 --nproc P       virtual MSPs (default 4)\n\
+         \x20 --json FILE     also write a JSON report"
+    );
+    ExitCode::from(2)
+}
+
+fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n.saturating_sub(1) {
+        h[(i, i + 1)] = -t;
+        h[(i + 1, i)] = -t;
+    }
+    let mut eri = EriTensor::zeros(n);
+    for i in 0..n {
+        eri.set(i, i, i, i, u);
+    }
+    MoIntegrals {
+        n_orb: n,
+        h,
+        eri,
+        e_core: 0.0,
+        orb_sym: vec![0; n],
+        n_irrep: 1,
+    }
+}
+
+/// The schedule categories, cycled over by index.
+const CATEGORIES: [&str; 5] = ["drops", "dups+stalls", "corrupt", "poison", "rank-death"];
+
+/// Derive schedule `i`'s fault config from the base seed.
+fn schedule(i: usize, base_seed: u64, nproc: usize) -> (String, FaultConfig) {
+    let mut rng = Xorshift64::new(base_seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9));
+    let seed = rng.next_u64();
+    let jitter = |rng: &mut Xorshift64| 0.02 + 0.08 * rng.next_f64();
+    let quiet = FaultConfig::quiet(seed);
+    let category = CATEGORIES[i % CATEGORIES.len()];
+    let cfg = match category {
+        "drops" => FaultConfig {
+            p_drop: jitter(&mut rng),
+            ..quiet
+        },
+        "dups+stalls" => FaultConfig {
+            p_duplicate: jitter(&mut rng),
+            p_stall: 0.03,
+            p_fence_delay: 0.03,
+            ..quiet
+        },
+        "corrupt" => FaultConfig {
+            p_corrupt: jitter(&mut rng),
+            ..quiet
+        },
+        "poison" => FaultConfig {
+            p_poison: 0.02 + 0.03 * rng.next_f64(),
+            ..quiet
+        },
+        _ => FaultConfig {
+            // Death in a storm: every transient class plus a killed rank.
+            p_drop: 0.03,
+            p_duplicate: 0.03,
+            p_corrupt: 0.03,
+            rank_death: Some(RankDeath {
+                rank: (rng.next_u64() as usize) % nproc,
+                after_ops: 300 + (rng.next_u64() % 900),
+            }),
+            ..quiet
+        },
+    };
+    (category.to_string(), cfg)
+}
+
+struct Row {
+    name: String,
+    seed: u64,
+    injected: u64,
+    retries: u64,
+    recomputes: u64,
+    restarts: usize,
+    err: f64,
+    races: usize,
+    ms: f64,
+    ok: bool,
+}
+
+fn run(n_schedules: usize, base_seed: u64, nproc: usize) -> Vec<Row> {
+    let mo = hubbard(4, 1.0, 2.5);
+    let opts = |p: usize| FciOptions {
+        nproc: p,
+        method: fcix::core::DiagMethod::Davidson,
+        diag: fcix::core::DiagOptions {
+            max_iter: 150,
+            model_space: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let reference = solve(&mo, 2, 2, 0, &opts(nproc));
+    assert!(reference.converged, "fault-free reference did not converge");
+    let dir = std::env::temp_dir().join(format!("fcix-chaos-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+
+    (0..n_schedules)
+        .map(|i| {
+            let (category, cfg) = schedule(i, base_seed, nproc);
+            let seed = cfg.seed;
+            let name = format!("{i:02}-{category}");
+            let detector = Arc::new(RaceDetector::new());
+            let mut o = opts(nproc);
+            o.backend = Backend::Threads;
+            o.fault = Some(cfg);
+            o.check = CheckConfig::online(detector.clone());
+            let ckp = dir.join(format!("{name}.ckp"));
+            let _ = std::fs::remove_file(&ckp);
+            // lint: allow(wallclock) — host-side harness timing, not simulated time
+            let t0 = Instant::now();
+            let result = solve_resilient(&mo, 2, 2, 0, &o, &RecoveryOptions::new(&ckp));
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            match result {
+                Ok(r) => {
+                    let err = (r.fci.energy - reference.energy).abs();
+                    let races = detector.races().len();
+                    let ok = r.fci.converged && err <= 1e-9 && races == 0;
+                    Row {
+                        name,
+                        seed,
+                        injected: r.fault_stats.injected(),
+                        retries: r.fault_stats.retries,
+                        recomputes: r.fault_stats.recomputes,
+                        restarts: r.restarts,
+                        err,
+                        races,
+                        ms,
+                        ok,
+                    }
+                }
+                Err(e) => {
+                    eprintln!("fcix-chaos: schedule {name}: {e}");
+                    Row {
+                        name,
+                        seed,
+                        injected: 0,
+                        retries: 0,
+                        recomputes: 0,
+                        restarts: 0,
+                        err: f64::INFINITY,
+                        races: 0,
+                        ms,
+                        ok: false,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "schedule          seed                 inj  retry  recomp  restart  |dE|       races  ms      verdict\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16}  {:<20} {:>4}  {:>5}  {:>6}  {:>7}  {:<9.2e}  {:>5}  {:>6.1}  {}\n",
+            r.name,
+            r.seed,
+            r.injected,
+            r.retries,
+            r.recomputes,
+            r.restarts,
+            r.err,
+            r.races,
+            r.ms,
+            if r.ok { "healed" } else { "FAILED" },
+        ));
+    }
+    out
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"schedule\":\"{}\",\"seed\":{},\"faults_injected\":{},\"retries\":{},\
+                 \"recomputes\":{},\"restarts\":{},\"energy_err\":{:e},\"races\":{},\
+                 \"ms\":{:.3},\"healed\":{}}}",
+                r.name,
+                r.seed,
+                r.injected,
+                r.retries,
+                r.recomputes,
+                r.restarts,
+                r.err,
+                r.races,
+                r.ms,
+                r.ok
+            )
+        })
+        .collect();
+    format!("[\n  {}\n]\n", items.join(",\n  "))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut n_schedules = 10usize;
+    let mut seed = 1u64;
+    let mut nproc = 4usize;
+    let mut json: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("fcix-chaos: {what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--schedules" => match val("--schedules").map(|v| v.parse()) {
+                Ok(Ok(n)) => n_schedules = n,
+                _ => return usage(),
+            },
+            "--seed" => match val("--seed").map(|v| v.parse()) {
+                Ok(Ok(s)) => seed = s,
+                _ => return usage(),
+            },
+            "--nproc" => match val("--nproc").map(|v| v.parse()) {
+                Ok(Ok(p)) if p > 0 => nproc = p,
+                _ => return usage(),
+            },
+            "--json" => match val("--json") {
+                Ok(p) => json = Some(p),
+                Err(code) => return code,
+            },
+            _ => return usage(),
+        }
+    }
+
+    let rows = run(n_schedules, seed, nproc);
+    print!("{}", render(&rows));
+    let healed = rows.iter().filter(|r| r.ok).count();
+    println!("{healed}/{} schedules healed", rows.len());
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, to_json(&rows)) {
+            eprintln!("fcix-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if healed == rows.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -7,6 +7,7 @@
 pub use fci_check as check;
 pub use fci_core as core;
 pub use fci_ddi as ddi;
+pub use fci_fault as fault;
 pub use fci_ints as ints;
 pub use fci_linalg as linalg;
 pub use fci_obs as obs;
