@@ -9,10 +9,11 @@
 //!
 //! | rule       | requirement |
 //! |------------|-------------|
-//! | `unsafe`   | every `unsafe` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above |
+//! | `unsafe`   | every `unsafe` or `get_unchecked[_mut]` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above (the covering `unsafe` block may open far from the unchecked access, so each access justifies itself) |
 //! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
 //! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
+//! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc GEMM modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`) outside tests — the σ hot path must not touch the heap after warm-up |
 //!
 //! A violation can be waived in place with a trailing comment
 //! `lint: allow(<rule>)` on the offending line or the line above — the
@@ -28,7 +29,8 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`unsafe`, `wallclock`, `unwrap`, `println`).
+    /// Rule identifier (`unsafe`, `wallclock`, `unwrap`, `println`,
+    /// `alloc`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -57,6 +59,9 @@ pub struct LintConfig {
     pub hot_paths: Vec<String>,
     /// Path fragment where wall-clock reads are allowed.
     pub clock_crate: String,
+    /// Path fragments (files or directories) where heap allocation is
+    /// forbidden outside tests — the zero-alloc GEMM hot path.
+    pub zero_alloc_paths: Vec<String>,
 }
 
 impl LintConfig {
@@ -75,6 +80,10 @@ impl LintConfig {
                 "crates/core/src/checkpoint.rs".into(),
             ],
             clock_crate: "crates/obs".into(),
+            zero_alloc_paths: vec![
+                "crates/linalg/src/gemm.rs".into(),
+                "crates/linalg/src/arena.rs".into(),
+            ],
         }
     }
 }
@@ -358,6 +367,10 @@ pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation>
         .any(|h| relpath.starts_with(h.as_str()));
     let clock_ok = relpath.starts_with(cfg.clock_crate.as_str());
     let println_ok = println_allowed(relpath);
+    let zero_alloc = cfg
+        .zero_alloc_paths
+        .iter()
+        .any(|h| relpath.starts_with(h.as_str()));
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -375,6 +388,60 @@ pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation>
                 message: "`unsafe` without a `// SAFETY:` comment on this line or the 3 above"
                     .into(),
             });
+        }
+
+        // Rule: unchecked indexing needs its own SAFETY — the covering
+        // `unsafe` block may open many lines earlier, so each access
+        // must carry (or sit under) a local justification.
+        for needle in ["get_unchecked", "get_unchecked_mut"] {
+            for _pos in token_positions(code, needle) {
+                if waived(&lines, idx, "unsafe") || safety_covered(&lines, idx) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.clone(),
+                    line: lineno,
+                    rule: "unsafe",
+                    message: format!(
+                        "`{needle}` without a `// SAFETY:` comment on this line or the 3 above"
+                    ),
+                });
+            }
+        }
+
+        // Rule: no heap allocation in the zero-alloc GEMM modules
+        // (tests exempt; the arena's pool-growth site is waived inline).
+        if zero_alloc && !line.in_test && !is_test_context(relpath) {
+            for needle in ["vec!", "Vec::new", "Vec::with_capacity", "Box::new"] {
+                for _pos in token_positions(code, needle) {
+                    if waived(&lines, idx, "alloc") {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "alloc",
+                        message: format!(
+                            "`{needle}` in a zero-alloc GEMM module — pack into \
+                             `arena::acquire` scratch instead"
+                        ),
+                    });
+                }
+            }
+            let collapsed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+            for needle in [".to_vec()", ".collect()", ".reserve("] {
+                if collapsed.contains(needle) && !waived(&lines, idx, "alloc") {
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "alloc",
+                        message: format!(
+                            "`{needle}` in a zero-alloc GEMM module — pack into \
+                             `arena::acquire` scratch instead"
+                        ),
+                    });
+                }
+            }
         }
 
         // Rule: wall-clock reads only in the obs crate.
@@ -527,6 +594,41 @@ mod tests {
         assert!(lint("crates/core/src/x.rs", src).is_empty());
         let raw = "fn f() { let s = r#\"unsafe\"#; }\n";
         assert!(lint("crates/core/src/x.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn get_unchecked_requires_local_safety_comment() {
+        // The block-level SAFETY covers the `unsafe` keyword but sits
+        // too far above the access itself.
+        let bad = "// SAFETY: block argument.\nunsafe {\n    let a = 1;\n    let b = 2;\n    \
+                   let c = 3;\n    let x = *p.get_unchecked(0);\n}\n";
+        let v = lint("crates/linalg/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe");
+        assert_eq!(v[0].line, 6);
+        let good = "// SAFETY: block argument.\nunsafe {\n    // SAFETY: idx < len by loop \
+                    bound.\n    let x = *p.get_unchecked_mut(0);\n}\n";
+        assert!(lint("crates/linalg/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn alloc_forbidden_in_gemm_modules() {
+        let src = "fn f() { let v = vec![0.0; 8]; }\n";
+        assert_eq!(lint("crates/linalg/src/gemm.rs", src).len(), 1);
+        assert_eq!(lint("crates/linalg/src/gemm.rs", src)[0].rule, "alloc");
+        assert_eq!(lint("crates/linalg/src/arena.rs", src).len(), 1);
+        // Other modules may allocate freely.
+        assert!(lint("crates/linalg/src/matrix.rs", src).is_empty());
+        let collect = "fn f() { let v: Vec<f64> = it.collect(); }\n";
+        assert_eq!(lint("crates/linalg/src/gemm.rs", collect).len(), 1);
+        let grow = "fn f() { buf.reserve(n); }\n";
+        assert_eq!(lint("crates/linalg/src/arena.rs", grow).len(), 1);
+        let waived =
+            "// One-time pool growth.\n// lint: allow(alloc)\nfn f() { buf.reserve(n); }\n";
+        assert!(lint("crates/linalg/src/arena.rs", waived).is_empty());
+        // Tests inside the module are exempt.
+        let test = "#[cfg(test)]\nmod tests {\n    fn g() { let v = vec![1]; }\n}\n";
+        assert!(lint("crates/linalg/src/gemm.rs", test).is_empty());
     }
 
     #[test]

@@ -47,6 +47,9 @@ struct WorkBufs {
     colbuf: Vec<f64>,
     cg: Vec<f64>,
     u: Vec<f64>,
+    /// Column indices of the current family (input to the aggregated
+    /// [`DistMatrix::get_cols`]); capacity reserved once, reused forever.
+    cols: Vec<usize>,
     d: Matrix,
     e_mat: Matrix,
     vk: Matrix,
@@ -59,11 +62,51 @@ impl WorkBufs {
             colbuf: vec![0.0; nbstr],
             cg: vec![0.0; nbstr * nq],
             u: vec![0.0; nbstr * nq],
+            cols: Vec::with_capacity(nq),
             d: Matrix::zeros(nd, nkb),
             e_mat: Matrix::zeros(nd, nkb),
             vk: Matrix::zeros(nd, nd),
         }
     }
+}
+
+/// Cache key for [`SERIAL_BUFS`]: `(nbstr, nq, n, nkb)`.
+type BufKey = (usize, usize, usize, usize);
+
+thread_local! {
+    /// Cached serial-backend working area, keyed by its dimensions.
+    ///
+    /// `mixed_spin_dgemm` runs once per σ application; hoisting the
+    /// buffers across calls means steady-state Davidson iterations
+    /// allocate nothing in the mixed-spin hot path (asserted by the
+    /// counting-allocator test in `tests/alloc_hotpath.rs`). Thread
+    /// workers under the threads backend keep per-thread buffers for the
+    /// lifetime of their phase instead (one allocation per phase, not
+    /// per task).
+    static SERIAL_BUFS: std::cell::RefCell<Option<(BufKey, WorkBufs)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the cached serial working area for the given dimensions,
+/// (re)allocating only when the dimensions change.
+fn with_serial_bufs<R>(
+    nbstr: usize,
+    nq: usize,
+    n: usize,
+    nkb: usize,
+    f: impl FnOnce(&mut WorkBufs) -> R,
+) -> R {
+    SERIAL_BUFS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let key = (nbstr, nq, n, nkb);
+        match slot.as_mut() {
+            Some((k, bufs)) if *k == key => f(bufs),
+            _ => {
+                let (_, bufs) = slot.insert((key, WorkBufs::new(nbstr, nq, n, nkb)));
+                f(bufs)
+            }
+        }
+    })
 }
 
 /// Execute the work of one Kα family on `rank`, handing each α-column
@@ -89,12 +132,19 @@ fn process_task_into(
     let nq = fam.len();
     let nd = nq * n;
 
-    // (1) gather C columns of the family.
+    // (1) gather the C columns of the family in ONE aggregated DDI op —
+    // one latency charge (and one trace event) per remote owner-run
+    // instead of one per column, the paper's size-ordered aggregated
+    // gather — then fold the excitation signs in place. An in-place
+    // `*v *= -1` produces the same bits as the old `sgn * v` store.
+    bufs.cols.clear();
+    bufs.cols.extend(fam.iter().map(|e| e.to as usize));
+    c.get_cols(rank, &bufs.cols, &mut bufs.cg[..nq * nbstr], stats);
     for (slot, e) in fam.iter().enumerate() {
-        c.get_col(rank, e.to as usize, &mut bufs.colbuf, stats);
-        let sgn = e.sign as f64;
-        for (i, &v) in bufs.colbuf.iter().enumerate() {
-            bufs.cg[i + slot * nbstr] = sgn * v;
+        if e.sign < 0 {
+            for v in &mut bufs.cg[slot * nbstr..(slot + 1) * nbstr] {
+                *v = -*v;
+            }
         }
     }
     clock.charge_gather(model, (nq * nbstr) as f64);
@@ -350,12 +400,11 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
     }
 
     let report = match ctx.ddi.backend() {
-        Backend::Serial => {
+        Backend::Serial => with_serial_bufs(nbstr, nq, n, nkb, |bufs| {
             // Deterministic simulation of self-scheduling: the rank whose
             // clock is lowest claims the next task (greedy list schedule).
             let mut clocks = vec![Clock::default(); nproc];
             let mut stats = vec![CommStats::default(); nproc];
-            let mut bufs = WorkBufs::new(nbstr, nq, n, nkb);
             for t in 0..pool.len() {
                 let rank = argmin_clock(&clocks, model, &stats);
                 // Claim through the real counter so traces and protocol
@@ -377,7 +426,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                         sigma,
                         ka,
                         rank,
-                        &mut bufs,
+                        bufs,
                         &mut stats[rank],
                         &mut clocks[rank],
                         plan.as_deref(),
@@ -393,7 +442,7 @@ pub fn mixed_spin_dgemm(ctx: &SigmaCtx, c: &DistMatrix, sigma: &DistMatrix) -> R
                 charge_comm(ck, st, model);
             }
             RunReport::new(clocks)
-        }
+        }),
         Backend::Threads => {
             let clocks = Mutex::new(vec![Clock::default(); nproc]);
             let stats_out = ctx.ddi.run(|rank, stats| {

@@ -273,6 +273,87 @@ impl DistMatrix {
         }
     }
 
+    /// Aggregated one-sided gather of a set of columns into a
+    /// column-major buffer: `out[i + slot·nrows]` receives element `i`
+    /// of column `cols[slot]`.
+    ///
+    /// Columns in one maximal run of `cols` sharing an owner are copied
+    /// under a **single** lock acquisition and — when the owner is
+    /// remote — charged as **one** strided `SHMEM_GET` message carrying
+    /// the run's total bytes, with one trace event for the whole run.
+    /// This mirrors the "one strided get per remote source rank" model
+    /// of [`DistMatrix::transpose`] (the X1's vector gather hardware
+    /// turns a strided remote read into a single operation) and is what
+    /// lets the σ driver pay one latency charge per aggregated family
+    /// instead of one per column. Bytes moved are identical to the
+    /// equivalent sequence of [`DistMatrix::get_col`] calls; only the
+    /// message count (and hence the latency charge) drops.
+    ///
+    /// Each column is still recorded individually with the protocol
+    /// recorder, so `fci-check` sees the same read set either way. With
+    /// a fault plan attached, the gather degrades to per-column checked
+    /// deliveries (each transfer's faults inject and recover
+    /// independently).
+    pub fn get_cols(&self, rank: usize, cols: &[usize], out: &mut [f64], stats: &mut CommStats) {
+        assert_eq!(out.len(), self.nrows * cols.len());
+        if cols.is_empty() {
+            return;
+        }
+        if self.faults.get().is_some() {
+            // Checked delivery is inherently per-message; keep the
+            // aggregated op semantically identical by falling back.
+            for (slot, &col) in cols.iter().enumerate() {
+                let buf = &mut out[slot * self.nrows..(slot + 1) * self.nrows];
+                self.get_col(rank, col, buf, stats);
+            }
+            return;
+        }
+        let mut s = 0;
+        while s < cols.len() {
+            let owner = self.owner(cols[s]);
+            let mut e = s + 1;
+            while e < cols.len() && self.owner(cols[e]) == owner {
+                e += 1;
+            }
+            {
+                let seg = self.segments[owner].lock().unwrap();
+                for slot in s..e {
+                    let col = cols[slot];
+                    let local0 = col - self.col_offsets[owner];
+                    self.rec(DdiAccess::Access {
+                        rank,
+                        mat: self.mat_id,
+                        kind: AccessKind::Read,
+                        cols: col..col + 1,
+                        owner,
+                        site: DdiSite::Get,
+                    });
+                    out[slot * self.nrows..(slot + 1) * self.nrows]
+                        .copy_from_slice(&seg[local0 * self.nrows..(local0 + 1) * self.nrows]);
+                }
+            }
+            if owner != rank {
+                let bytes = ((e - s) * self.nrows * 8) as u64;
+                stats.get_msgs += 1;
+                stats.get_bytes += bytes;
+                if let Some(t) = self.tracer.get() {
+                    t.instant(
+                        Some(rank),
+                        "ddi_get_cols",
+                        Category::Net,
+                        &[
+                            ("bytes", bytes as f64),
+                            ("ncols", (e - s) as f64),
+                            ("col0", cols[s] as f64),
+                            ("owner", owner as f64),
+                        ],
+                    );
+                }
+            }
+            s = e;
+        }
+    }
+
     /// The unperturbed get protocol: copy the column out under the
     /// owner's lock, recording the read.
     fn get_protocol(&self, rank: usize, col: usize, owner: usize, local0: usize, buf: &mut [f64]) {
@@ -1197,6 +1278,49 @@ mod tests {
         assert_eq!(st.retries, cap);
         assert_eq!(plan.stats().retries, cap);
         assert_eq!(plan.stats().drops, cap);
+    }
+
+    #[test]
+    fn get_cols_matches_per_column_gets_with_fewer_messages() {
+        let data: Vec<f64> = (0..40).map(|x| (x as f64).cos()).collect();
+        let m = DistMatrix::from_dense(4, 10, 3, &data); // ranks own 4,3,3 cols
+                                                         // Mixed-owner, non-contiguous column set as a σ family would use.
+        let cols = [1usize, 2, 5, 6, 7, 9];
+        let mut agg = vec![0.0; 4 * cols.len()];
+        let mut st_agg = CommStats::default();
+        m.get_cols(0, &cols, &mut agg, &mut st_agg);
+        let mut per = vec![0.0; 4 * cols.len()];
+        let mut st_per = CommStats::default();
+        for (slot, &c) in cols.iter().enumerate() {
+            m.get_col(0, c, &mut per[slot * 4..(slot + 1) * 4], &mut st_per);
+        }
+        assert_eq!(agg, per, "aggregated gather altered the data");
+        assert_eq!(st_agg.get_bytes, st_per.get_bytes, "bytes must match");
+        // cols 1,2 are local to rank 0 (free); 5 (rank 1 run), 6,7
+        // (wait: owner layout 0..4 | 4..7 | 7..10) → runs: [1,2]@0,
+        // [5,6]@1, [7,9]@2 → 2 remote messages vs 4 per-column.
+        assert_eq!(st_per.get_msgs, 4);
+        assert_eq!(st_agg.get_msgs, 2, "one message per remote owner-run");
+    }
+
+    #[test]
+    fn get_cols_checked_fallback_recovers_exact_values() {
+        let cfg = fci_fault::FaultConfig {
+            seed: 11,
+            p_drop: 0.4,
+            p_corrupt: 0.2,
+            ..fci_fault::FaultConfig::default()
+        };
+        let data: Vec<f64> = (0..24).map(|x| x as f64).collect();
+        let m = DistMatrix::from_dense(4, 6, 3, &data);
+        m.attach_faults(Arc::new(FaultPlan::new(cfg)));
+        let cols = [0usize, 3, 5];
+        let mut out = vec![0.0; 12];
+        let mut st = CommStats::default();
+        m.get_cols(0, &cols, &mut out, &mut st);
+        for (slot, &c) in cols.iter().enumerate() {
+            assert_eq!(&out[slot * 4..(slot + 1) * 4], &data[c * 4..(c + 1) * 4]);
+        }
     }
 
     #[test]

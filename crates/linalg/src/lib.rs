@@ -25,6 +25,7 @@
 //! inner loops, which are encapsulated and exercised by property tests
 //! against the naive reference.
 
+pub mod arena;
 pub mod blas1;
 pub mod eigen;
 pub mod gemm;
@@ -34,7 +35,7 @@ pub mod tridiag;
 
 pub use blas1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, idamax};
 pub use eigen::{eigh, eigh_2x2, eigh_jacobi, Eigh};
-pub use gemm::{dgemm, dgemm_naive, Trans};
+pub use gemm::{dgemm, dgemm_naive, dgemm_path, dgemm_with_threads, gemm_threads, GemmPath, Trans};
 pub use matrix::Matrix;
 pub use solve::{lu_factor, lu_solve, LuError};
 pub use tridiag::eigh_tridiag;

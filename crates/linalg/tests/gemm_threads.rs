@@ -1,0 +1,96 @@
+//! Property tests for the blocked GEMM engine (PR 4 satellite):
+//!
+//! * `dgemm` is **bitwise identical** across thread counts {1, 2, 4, 8},
+//! * and agrees with `dgemm_naive` within `1e-12·k`,
+//!
+//! on 200 random shapes including edge tiles (m, n not multiples of the
+//! microkernel MR/NR) and all four transpose combinations.
+
+use fci_linalg::{dgemm_naive, dgemm_with_threads, Matrix, Trans};
+
+/// Deterministic splitmix64 — no external RNG crates in the workspace.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn dim(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+fn rand_mat(rng: &mut Rng, nr: usize, nc: usize) -> Matrix {
+    Matrix::from_fn(nr, nc, |_, _| rng.uniform())
+}
+
+#[test]
+fn bitwise_identical_across_thread_counts_and_close_to_naive() {
+    let mut rng = Rng(0x5eed_cafe);
+    let transes = [Trans::No, Trans::Yes];
+    for case in 0..200 {
+        // Mix of tiny (small-path), mid, and block-boundary-crossing
+        // shapes; bias toward sizes that leave MR/NR edge tiles.
+        let (m, n, k) = match case % 4 {
+            0 => (rng.dim(1, 24), rng.dim(1, 24), rng.dim(0, 24)),
+            1 => (rng.dim(25, 90), rng.dim(25, 90), rng.dim(1, 90)),
+            2 => (rng.dim(120, 170), rng.dim(1, 40), rng.dim(200, 300)),
+            _ => (
+                8 * rng.dim(1, 16) + rng.dim(1, 7),
+                4 * rng.dim(1, 12) + rng.dim(1, 3),
+                rng.dim(1, 128),
+            ),
+        };
+        let ta = transes[(case / 4) % 2];
+        let tb = transes[(case / 8) % 2];
+        let alpha = [1.0, -0.5, 2.25][case % 3];
+        let beta = [0.0, 1.0, -1.5][(case / 3) % 3];
+
+        let a = match ta {
+            Trans::No => rand_mat(&mut rng, m, k),
+            Trans::Yes => rand_mat(&mut rng, k, m),
+        };
+        let b = match tb {
+            Trans::No => rand_mat(&mut rng, k, n),
+            Trans::Yes => rand_mat(&mut rng, n, k),
+        };
+        let c0 = rand_mat(&mut rng, m, n);
+
+        let mut c1 = c0.clone();
+        dgemm_with_threads(1, ta, tb, alpha, &a, &b, beta, &mut c1);
+
+        for threads in [2usize, 4, 8] {
+            let mut ct = c0.clone();
+            dgemm_with_threads(threads, ta, tb, alpha, &a, &b, beta, &mut ct);
+            let same = c1
+                .as_slice()
+                .iter()
+                .zip(ct.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                same,
+                "case {case}: T={threads} differs bitwise from T=1 \
+                 (m={m} n={n} k={k} {ta:?} {tb:?} alpha={alpha} beta={beta})"
+            );
+        }
+
+        let mut c_ref = c0.clone();
+        dgemm_naive(ta, tb, alpha, &a, &b, beta, &mut c_ref);
+        let diff = c1.max_abs_diff(&c_ref);
+        let tol = 1e-12 * (k.max(1) as f64);
+        assert!(
+            diff <= tol,
+            "case {case}: |fast - naive| = {diff} > {tol} \
+             (m={m} n={n} k={k} {ta:?} {tb:?} alpha={alpha} beta={beta})"
+        );
+    }
+}

@@ -35,6 +35,11 @@ pub struct RunSummary {
     pub t_io: f64,
     /// Wall-clock seconds (busy time of the slowest MSP).
     pub elapsed: f64,
+    /// **Host** wall-clock seconds the traced spans actually took (first
+    /// span start to last span end on the host clock). Zero when the
+    /// trace carries no host timestamps. Sits next to `elapsed` so real
+    /// and modeled throughput diverge visibly when a kernel regresses.
+    pub host_elapsed: f64,
     /// Mean busy seconds per MSP.
     pub mean_busy: f64,
     /// DGEMM flops (aggregate).
@@ -112,6 +117,19 @@ impl RunSummary {
         }
     }
 
+    /// Sustained GFlop/s over the **host** wall-clock (aggregate flops /
+    /// real seconds this process spent in the traced spans). The
+    /// simulated [`RunSummary::gflops_per_msp`] answers "how fast would
+    /// the X1 run this"; this answers "how fast did the host actually
+    /// run it" — the number the GEMM-engine benches track.
+    pub fn host_gflops(&self) -> f64 {
+        if self.host_elapsed == 0.0 {
+            0.0
+        } else {
+            self.flops() / self.host_elapsed / 1e9
+        }
+    }
+
     /// Build a summary from a trace.
     ///
     /// Span durations accumulate into the category rows; the standard
@@ -121,6 +139,8 @@ impl RunSummary {
     pub fn from_events(events: &[Event]) -> RunSummary {
         let mut s = RunSummary::default();
         let mut busy: Vec<f64> = Vec::new();
+        let mut host_first = f64::INFINITY;
+        let mut host_last = f64::NEG_INFINITY;
         for e in events {
             if e.kind != EventKind::Span {
                 // Fault-plane instants carry the injection/recovery tally.
@@ -134,6 +154,10 @@ impl RunSummary {
                 continue;
             }
             *s.time_mut(e.cat) += e.sim_dur_s;
+            if e.host_us != 0.0 || e.host_dur_us != 0.0 {
+                host_first = host_first.min(e.host_us);
+                host_last = host_last.max(e.host_us + e.host_dur_us);
+            }
             if let Some(r) = e.rank {
                 if busy.len() <= r {
                     busy.resize(r + 1, 0.0);
@@ -160,6 +184,9 @@ impl RunSummary {
         } else {
             busy.iter().sum::<f64>() / busy.len() as f64
         };
+        if host_last > host_first {
+            s.host_elapsed = (host_last - host_first) / 1e6;
+        }
         s
     }
 
@@ -174,6 +201,7 @@ impl RunSummary {
             ("t_lock", JsonValue::Num(self.t_lock)),
             ("t_io", JsonValue::Num(self.t_io)),
             ("elapsed", JsonValue::Num(self.elapsed)),
+            ("host_elapsed", JsonValue::Num(self.host_elapsed)),
             ("mean_busy", JsonValue::Num(self.mean_busy)),
             ("load_imbalance", JsonValue::Num(self.load_imbalance())),
             ("flops_dgemm", JsonValue::Num(self.flops_dgemm)),
@@ -187,6 +215,7 @@ impl RunSummary {
             ("recomputes", JsonValue::Num(self.recomputes)),
             ("gflops_per_msp", JsonValue::Num(self.gflops_per_msp())),
             ("tflops", JsonValue::Num(self.tflops())),
+            ("host_gflops", JsonValue::Num(self.host_gflops())),
         ])
     }
 
@@ -203,6 +232,8 @@ impl RunSummary {
             t_lock: f("t_lock")?,
             t_io: f("t_io")?,
             elapsed: f("elapsed")?,
+            // Absent in summaries written before the host-time rollup.
+            host_elapsed: v.get_f64("host_elapsed").unwrap_or(0.0),
             mean_busy: f("mean_busy")?,
             flops_dgemm: f("flops_dgemm")?,
             flops_daxpy: f("flops_daxpy")?,
@@ -259,6 +290,13 @@ impl RunSummary {
             self.gflops_per_msp(),
             self.tflops()
         ));
+        if self.host_elapsed > 0.0 {
+            out.push_str(&format!(
+                "  host: {:.4} s wall, {:.2} GF/s actual\n",
+                self.host_elapsed,
+                self.host_gflops()
+            ));
+        }
         out.push_str(&format!(
             "  traffic: {:.3e} bytes in {} msgs; nxtval {}; lock acquires {}\n",
             self.net_bytes, self.net_msgs, self.nxtval_msgs, self.lock_acquires
@@ -320,6 +358,13 @@ impl RunSummary {
             other.gflops_per_msp(),
             rel(self.gflops_per_msp(), other.gflops_per_msp())
         ));
+        out.push_str(&format!(
+            "  {:<16} {:>14.3} {:>14.3} {:>+8.2}%\n",
+            "host GF/s",
+            self.host_gflops(),
+            other.host_gflops(),
+            rel(self.host_gflops(), other.host_gflops())
+        ));
         out
     }
 }
@@ -375,6 +420,39 @@ mod tests {
         assert_eq!(s.lock_acquires, 3.0);
         // 3e9 flops / 1.25 s / 2 MSPs = 1.2 GF/s per MSP.
         assert!((s.gflops_per_msp() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_time_rollup_and_rate() {
+        let t = Tracer::in_memory();
+        // 2e9 flops over 0.5 host seconds → 4 GF/s actual.
+        t.record_phase(
+            0,
+            "sigma",
+            &[Segment::new(
+                Category::Dgemm,
+                1.0,
+                vec![("flops".into(), 2.0e9)],
+            )],
+            1_000_000.0,
+            500_000.0,
+        );
+        let s = RunSummary::from_events(&t.events().unwrap());
+        assert!((s.host_elapsed - 0.5).abs() < 1e-12);
+        assert!((s.host_gflops() - 4.0).abs() < 1e-9);
+        let text = s.render("t");
+        assert!(text.contains("GF/s actual"), "missing host line:\n{text}");
+        // Round-trips, including through JSON lacking the new key.
+        let back = RunSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        let mut legacy = s.clone();
+        legacy.host_elapsed = 0.0;
+        let lv = legacy.to_json();
+        // Simulate a pre-host-rollup artifact by rebuilding from it.
+        let parsed = RunSummary::from_json(&lv).unwrap();
+        assert_eq!(parsed.host_elapsed, 0.0);
+        assert_eq!(parsed.host_gflops(), 0.0);
+        assert!(!parsed.render("t").contains("GF/s actual"));
     }
 
     #[test]
