@@ -1,0 +1,179 @@
+//! Serving-layer throughput: cold vs cache-warm vs batched execution of
+//! a same-space workload, emitting `results/BENCH_serve_throughput.json`.
+//!
+//! Three arms run the same job set through `fci-serve`:
+//!
+//! * **cold** — artifact cache disabled, batching off: every job pays
+//!   the integral build, the G/V assembly, and the string-table
+//!   generation from scratch (the one-job-per-process baseline);
+//! * **warm** — cache on, batching off: the first job builds, the rest
+//!   reuse the shared `Arc`s and pay only the solve;
+//! * **batched** — cache on, batching on: same-space jobs coalesce into
+//!   block solves on top of the warm cache.
+//!
+//! All arms use one worker so the comparison isolates shared-state reuse
+//! from thread-level parallelism. Host times come from the server's
+//! tracer clock (`ServeSummary`), not from wall-clock reads here.
+//!
+//! `--quick` shrinks the workload for CI and exits 1 if the warm arm is
+//! not at least 2× the cold arm — the serving layer's reason to exist.
+
+use fci_obs::JsonValue;
+use fci_serve::{serve, JobSpec, ProblemSpec, ServeConfig, ServeSummary};
+
+/// `n_jobs` ground-state jobs over one shared determinant space. The
+/// sector is spin-polarized (`n_elec` alpha, 0 beta): the string-table
+/// count then equals the sector dimension, so the space build — the
+/// shared artifact the cache amortizes — dominates each short solve.
+fn workload(
+    n_jobs: usize,
+    n_orb: usize,
+    n_elec: usize,
+    max_iter: usize,
+    batchable: bool,
+) -> Vec<JobSpec> {
+    (0..n_jobs)
+        .map(|i| {
+            let mut j = JobSpec::new(
+                format!("job-{i}"),
+                ProblemSpec::Hubbard {
+                    sites: n_orb,
+                    t: 1.0,
+                    u: 4.0,
+                    periodic: false,
+                },
+                n_elec,
+                0,
+            );
+            j.tenant = format!("tenant-{}", i % 4);
+            j.max_iter = max_iter;
+            j.tol = 1e-6;
+            j.batchable = batchable;
+            j
+        })
+        .collect()
+}
+
+fn run_arm(jobs: Vec<JobSpec>, cache_budget: usize, batching: bool) -> ServeSummary {
+    let cfg = ServeConfig {
+        workers: 1,
+        cache_budget,
+        batching,
+        ..ServeConfig::default()
+    };
+    let report = serve(cfg, jobs);
+    assert_eq!(
+        report.summary.jobs_done,
+        report.results.len(),
+        "bench workload must complete"
+    );
+    report.summary
+}
+
+/// Best throughput over `reps` repetitions (first rep warms the page
+/// cache and code paths; jitter on shared runners only ever slows runs).
+fn best_of(reps: usize, mut arm: impl FnMut() -> ServeSummary) -> ServeSummary {
+    let mut best: Option<ServeSummary> = None;
+    for _ in 0..reps {
+        let s = arm();
+        if best
+            .as_ref()
+            .map(|b| s.jobs_per_sec > b.jobs_per_sec)
+            .unwrap_or(true)
+        {
+            best = Some(s);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+fn summary_json(s: &ServeSummary) -> JsonValue {
+    s.to_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut params = if quick {
+        [8, 14, 5, 2, 2]
+    } else {
+        [16, 16, 6, 2, 3]
+    };
+    for (slot, v) in args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .zip(&mut params)
+    {
+        *v = slot.parse().unwrap_or(*v);
+    }
+    let [n_jobs, n_orb, n_elec, max_iter, reps] = params;
+
+    println!(
+        "serve_throughput: {n_jobs} jobs, {n_orb} orbitals ({n_elec}a0b), \
+         max_iter {max_iter}"
+    );
+    let cold = best_of(reps, || {
+        run_arm(workload(n_jobs, n_orb, n_elec, max_iter, false), 0, false)
+    });
+    println!("  cold    : {:7.2} jobs/s", cold.jobs_per_sec);
+    let warm = best_of(reps, || {
+        run_arm(
+            workload(n_jobs, n_orb, n_elec, max_iter, false),
+            256 << 20,
+            false,
+        )
+    });
+    println!(
+        "  warm    : {:7.2} jobs/s  (cache hit rate {:.0}%)",
+        warm.jobs_per_sec,
+        100.0 * warm.cache.hit_rate()
+    );
+    let batched = best_of(reps, || {
+        run_arm(
+            workload(n_jobs, n_orb, n_elec, max_iter, true),
+            256 << 20,
+            true,
+        )
+    });
+    println!(
+        "  batched : {:7.2} jobs/s  ({} block solves)",
+        batched.jobs_per_sec, batched.batches
+    );
+
+    let speedup_warm = warm.jobs_per_sec / cold.jobs_per_sec;
+    let speedup_batched = batched.jobs_per_sec / cold.jobs_per_sec;
+    println!("  warm/cold    = {speedup_warm:.2}x");
+    println!("  batched/cold = {speedup_batched:.2}x");
+
+    let doc = JsonValue::obj(vec![
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("n_jobs", JsonValue::Num(n_jobs as f64)),
+                ("n_orb", JsonValue::Num(n_orb as f64)),
+                ("n_alpha", JsonValue::Num(n_elec as f64)),
+                ("n_beta", JsonValue::Num(0.0)),
+                ("max_iter", JsonValue::Num(max_iter as f64)),
+                ("workers", JsonValue::Num(1.0)),
+                ("reps", JsonValue::Num(reps as f64)),
+            ]),
+        ),
+        ("cold", summary_json(&cold)),
+        ("warm", summary_json(&warm)),
+        ("batched", summary_json(&batched)),
+        ("speedup_warm_vs_cold", JsonValue::Num(speedup_warm)),
+        ("speedup_batched_vs_cold", JsonValue::Num(speedup_batched)),
+    ]);
+    if quick {
+        if speedup_warm < 2.0 {
+            println!("FAIL: cache-warm throughput {speedup_warm:.2}x cold, need >= 2x");
+            std::process::exit(1);
+        }
+        println!("OK: cache-warm >= 2x cold");
+        return;
+    }
+    match fci_bench::write_bench_json("serve_throughput", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("WARNING: could not write artifact: {e}"),
+    }
+}

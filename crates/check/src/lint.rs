@@ -11,7 +11,7 @@
 //! |------------|-------------|
 //! | `unsafe`   | every `unsafe` or `get_unchecked[_mut]` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above (the covering `unsafe` block may open far from the unchecked access, so each access justifies itself) |
 //! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
-//! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`); the mutex idiom `.lock().unwrap()` is allowed |
+//! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`, `crates/serve/src` — a scheduler that panics takes every queued tenant down with it); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
 //! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc GEMM modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`) outside tests — the σ hot path must not touch the heap after warm-up |
 //!
@@ -78,6 +78,10 @@ impl LintConfig {
                 "crates/fault/src".into(),
                 "crates/core/src/recovery.rs".into(),
                 "crates/core/src/checkpoint.rs".into(),
+                // The serving layer runs many tenants' jobs in one
+                // process; a panic in the scheduler or cache is a
+                // multi-tenant outage, not a single failed solve.
+                "crates/serve/src".into(),
             ],
             clock_crate: "crates/obs".into(),
             zero_alloc_paths: vec![
@@ -649,6 +653,8 @@ mod tests {
         assert_eq!(lint("crates/fault/src/plan.rs", src).len(), 1);
         assert_eq!(lint("crates/core/src/recovery.rs", src).len(), 1);
         assert_eq!(lint("crates/core/src/checkpoint.rs", src).len(), 1);
+        // The multi-tenant serving layer must not panic either.
+        assert_eq!(lint("crates/serve/src/server.rs", src).len(), 1);
         // Cold paths are free to unwrap.
         assert!(lint("crates/core/src/solver.rs", src).is_empty());
         // The mutex idiom is allowed, including rustfmt's line split.

@@ -73,7 +73,10 @@ pub use multiroot::{diagonalize_roots, MultiRootResult};
 pub use perf_model::PerfModel;
 pub use phase::run_phase;
 pub use properties::{natural_occupations, one_rdm, s_squared};
-pub use recovery::{solve_resilient, RecoveryOptions, ResilientResult};
+pub use recovery::{solve_resilient, solve_resilient_prepared, RecoveryOptions, ResilientResult};
 pub use sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
-pub use solver::{solve, FciOptions, FciResult};
+pub use solver::{
+    build_space, solve, solve_prepared, solve_roots, solve_roots_prepared, FciOptions, FciResult,
+    FciRootsResult,
+};
 pub use taskpool::{PoolParams, TaskPool};

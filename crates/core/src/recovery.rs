@@ -20,6 +20,7 @@
 //!   after a kill).
 
 use crate::checkpoint::{load_ci, save_ci};
+use crate::detspace::DetSpace;
 use crate::diag::{diagonalize_from, DiagOptions, Preconditioner};
 use crate::hamiltonian::Hamiltonian;
 use crate::sigma::{SigmaBreakdown, SigmaCtx};
@@ -51,6 +52,27 @@ impl RecoveryOptions {
             save_every: 4,
             max_restarts: 3,
         }
+    }
+
+    /// Defaults with a checkpoint path namespaced per job: `dir/ckp-<job
+    /// id>-<space hash>.ckp`, with the job id sanitized to filename-safe
+    /// characters. Two concurrent resilient solves in one process must
+    /// never share a checkpoint file — a shared path would interleave
+    /// their `save_ci` renames and resume one job from the other's
+    /// vector — so anything driving more than one solve (the `fci-serve`
+    /// worker pool) derives paths through this constructor.
+    pub fn for_job(dir: impl Into<PathBuf>, job_id: &str, space_hash: u64) -> Self {
+        let safe: String = job_id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        Self::new(dir.into().join(format!("ckp-{safe}-{space_hash:016x}.ckp")))
     }
 }
 
@@ -84,9 +106,21 @@ pub fn solve_resilient(
     opts: &FciOptions,
     rec: &RecoveryOptions,
 ) -> io::Result<ResilientResult> {
-    assert!(rec.save_every >= 1, "save_every must be at least 1");
     let ham = Hamiltonian::new(mo);
     let space = build_space(&ham, n_alpha, n_beta, target_irrep, opts.excitation_level);
+    solve_resilient_prepared(&space, &ham, opts, rec)
+}
+
+/// Like [`solve_resilient`], but over a prebuilt determinant space and
+/// Hamiltonian (the `fci-serve` cache reuse hook; see
+/// [`crate::solver::solve_prepared`]).
+pub fn solve_resilient_prepared(
+    space: &DetSpace,
+    ham: &Hamiltonian,
+    opts: &FciOptions,
+    rec: &RecoveryOptions,
+) -> io::Result<ResilientResult> {
+    assert!(rec.save_every >= 1, "save_every must be at least 1");
     // One plan for the whole run: the op counter, rng stream, and death
     // latch persist across world rebuilds.
     let plan = Arc::new(FaultPlan::new(
@@ -114,8 +148,8 @@ pub fn solve_resilient(
         }
         ddi.attach_faults(plan.clone());
         let ctx = SigmaCtx {
-            space: &space,
-            ham: &ham,
+            space,
+            ham,
             ddi: &ddi,
             model: &opts.machine,
             pool: opts.pool,
@@ -227,6 +261,7 @@ mod tests {
     use fci_ddi::RankDeath;
     use fci_ints::EriTensor;
     use fci_linalg::Matrix;
+    use std::path::Path;
 
     fn hubbard(n: usize, t: f64, u: f64) -> MoIntegrals {
         let mut h = Matrix::zeros(n, n);
@@ -351,6 +386,60 @@ mod tests {
             resumed.fci.iterations,
             scratch.fci.iterations
         );
+    }
+
+    #[test]
+    fn namespaced_checkpoint_paths_cannot_collide() {
+        let a = RecoveryOptions::for_job("/tmp/d", "job-1", 0xdead);
+        let b = RecoveryOptions::for_job("/tmp/d", "job-2", 0xdead);
+        let c = RecoveryOptions::for_job("/tmp/d", "job-1", 0xbeef);
+        assert_ne!(a.checkpoint, b.checkpoint);
+        assert_ne!(a.checkpoint, c.checkpoint);
+        // Hostile ids sanitize instead of escaping the directory.
+        let evil = RecoveryOptions::for_job("/tmp/d", "../../etc/passwd", 1);
+        let name = evil.checkpoint.file_name().unwrap().to_string_lossy();
+        assert!(!name.contains('/'));
+        assert_eq!(evil.checkpoint.parent().unwrap(), Path::new("/tmp/d"));
+    }
+
+    #[test]
+    fn interleaved_resilient_solves_do_not_clobber_checkpoints() {
+        // Two concurrent resilient solves of *different* problems in one
+        // process, each checkpointing every iteration. With per-job
+        // namespaced paths neither can resume from (or rename over) the
+        // other's vector; both must converge to their own references.
+        let dir = std::env::temp_dir().join(format!("fcix-interleave-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mo_a = hubbard(4, 1.0, 2.5);
+        let mo_b = hubbard(4, 1.0, 6.0);
+        let ref_a = solve(&mo_a, 2, 2, 0, &base_opts(2));
+        let ref_b = solve(&mo_b, 2, 1, 0, &base_opts(2));
+        let mk_rec = |job: &str, hash: u64| RecoveryOptions {
+            save_every: 2, // short chunks: maximal checkpoint interleaving
+            ..RecoveryOptions::for_job(&dir, job, hash)
+        };
+        let rec_a = mk_rec("tenant-a/job", 0x11);
+        let rec_b = mk_rec("tenant-b/job", 0x22);
+        assert_ne!(rec_a.checkpoint, rec_b.checkpoint);
+        let (ra, rb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| solve_resilient(&mo_a, 2, 2, 0, &base_opts(2), &rec_a).unwrap());
+            let hb = s.spawn(|| solve_resilient(&mo_b, 2, 1, 0, &base_opts(2), &rec_b).unwrap());
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(ra.fci.converged && rb.fci.converged);
+        assert!(
+            (ra.fci.energy - ref_a.energy).abs() < 1e-9,
+            "job A clobbered: {} vs {}",
+            ra.fci.energy,
+            ref_a.energy
+        );
+        assert!(
+            (rb.fci.energy - ref_b.energy).abs() < 1e-9,
+            "job B clobbered: {} vs {}",
+            rb.fci.energy,
+            ref_b.energy
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -92,8 +92,10 @@ pub struct FciResult {
 }
 
 /// Build the determinant space of a run, honoring the configured CI
-/// truncation (shared by [`solve`] and `recovery::solve_resilient`).
-pub(crate) fn build_space(
+/// truncation (shared by [`solve`], `recovery::solve_resilient`, and the
+/// `fci-serve` artifact cache, which builds spaces once and hands the
+/// same `Arc` to every job that shares the key).
+pub fn build_space(
     ham: &Hamiltonian,
     n_alpha: usize,
     n_beta: usize,
@@ -130,6 +132,17 @@ pub fn solve(
 ) -> FciResult {
     let ham = Hamiltonian::new(mo);
     let space = build_space(&ham, n_alpha, n_beta, target_irrep, opts.excitation_level);
+    solve_prepared(&space, &ham, opts)
+}
+
+/// Like [`solve`], but over a prebuilt determinant space and Hamiltonian.
+///
+/// This is the reuse hook for callers that amortize the expensive shared
+/// state across runs (the `fci-serve` artifact cache hands out `Arc`'d
+/// spaces and Hamiltonians): identical `(space, ham, opts)` inputs give
+/// bitwise-identical results whether the artifacts were freshly built or
+/// cache hits, because the solve reads them immutably.
+pub fn solve_prepared(space: &DetSpace, ham: &Hamiltonian, opts: &FciOptions) -> FciResult {
     let ddi = Ddi::new(opts.nproc, opts.backend);
     if let Some(cfg) = &opts.fault {
         ddi.attach_faults(Arc::new(FaultPlan::new(cfg.clone())));
@@ -153,8 +166,8 @@ pub fn solve(
         ],
     );
     let ctx = SigmaCtx {
-        space: &space,
-        ham: &ham,
+        space,
+        ham,
         ddi: &ddi,
         model: &opts.machine,
         pool: opts.pool,
@@ -187,6 +200,98 @@ pub fn solve(
             s
         },
         diag: d,
+    }
+}
+
+/// Result of a multi-state FCI run ([`solve_roots`]).
+#[derive(Debug)]
+pub struct FciRootsResult {
+    /// Total energies (electronic + core), ascending by root.
+    pub energies: Vec<f64>,
+    /// Electronic parts only.
+    pub e_elec: Vec<f64>,
+    /// Core constant.
+    pub e_core: f64,
+    /// σ evaluations used in total.
+    pub iterations: usize,
+    /// Per-root convergence flags.
+    pub converged: Vec<bool>,
+    /// Full product dimension of the stored CI matrix.
+    pub dim: usize,
+    /// Determinants in the symmetry sector.
+    pub sector_dim: usize,
+    /// Accumulated simulated σ cost.
+    pub sigma_cost: SigmaBreakdown,
+}
+
+/// Solve for the `nroots` lowest FCI states of the sector in one block
+/// Davidson run (see [`crate::multiroot`]). The `opts.method` field is
+/// ignored — the block method is always the subspace one; callers that
+/// need a single-vector scheme should use [`solve`] per state.
+pub fn solve_roots(
+    mo: &MoIntegrals,
+    n_alpha: usize,
+    n_beta: usize,
+    target_irrep: u8,
+    opts: &FciOptions,
+    nroots: usize,
+) -> FciRootsResult {
+    let ham = Hamiltonian::new(mo);
+    let space = build_space(&ham, n_alpha, n_beta, target_irrep, opts.excitation_level);
+    solve_roots_prepared(&space, &ham, opts, nroots)
+}
+
+/// Like [`solve_roots`], but over a prebuilt space and Hamiltonian — the
+/// batching hook `fci-serve` uses to coalesce jobs that share a
+/// determinant space into one multi-state solve.
+pub fn solve_roots_prepared(
+    space: &DetSpace,
+    ham: &Hamiltonian,
+    opts: &FciOptions,
+    nroots: usize,
+) -> FciRootsResult {
+    let ddi = Ddi::new(opts.nproc, opts.backend);
+    if let Some(cfg) = &opts.fault {
+        ddi.attach_faults(Arc::new(FaultPlan::new(cfg.clone())));
+    }
+    let tracer = opts.obs.tracer().unwrap_or_else(|e| {
+        eprintln!("warning: could not open trace output: {e}; tracing disabled");
+        fci_obs::Tracer::disabled()
+    });
+    ddi.attach_tracer(tracer.clone());
+    if let Some(rec) = &opts.check.recorder {
+        ddi.attach_recorder(rec.clone());
+    }
+    tracer.instant(
+        None,
+        "solve_roots_begin",
+        fci_obs::Category::Other,
+        &[("nproc", opts.nproc as f64), ("nroots", nroots as f64)],
+    );
+    let ctx = SigmaCtx {
+        space,
+        ham,
+        ddi: &ddi,
+        model: &opts.machine,
+        pool: opts.pool,
+    };
+    let m = crate::multiroot::diagonalize_roots(&ctx, opts.sigma, &opts.diag, nroots);
+    tracer.instant(
+        None,
+        "solve_roots_end",
+        fci_obs::Category::Other,
+        &[("iterations", m.iterations as f64)],
+    );
+    tracer.flush();
+    FciRootsResult {
+        energies: m.energies.iter().map(|e| e + ham.e_core).collect(),
+        e_elec: m.energies,
+        e_core: ham.e_core,
+        iterations: m.iterations,
+        converged: m.converged,
+        dim: space.dim(),
+        sector_dim: space.sector_dim(),
+        sigma_cost: m.sigma_cost,
     }
 }
 
@@ -295,6 +400,55 @@ mod tests {
         let b = solve(&mo, 2, 1, 0, &opts(6));
         assert!(a.converged && b.converged);
         assert!((a.energy - b.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_solve_is_bitwise_identical_to_plain() {
+        // The serve-layer cache depends on this: handing a prebuilt
+        // (space, ham) to the solver must change nothing, bit for bit.
+        let mo = hubbard(4, 1.0, 2.5);
+        let opts = FciOptions {
+            method: DiagMethod::Davidson,
+            diag: DiagOptions {
+                max_iter: 120,
+                model_space: 24,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plain = solve(&mo, 2, 2, 0, &opts);
+        let ham = Hamiltonian::new(&mo);
+        let space = build_space(&ham, 2, 2, 0, opts.excitation_level);
+        let prep = solve_prepared(&space, &ham, &opts);
+        assert_eq!(plain.energy.to_bits(), prep.energy.to_bits());
+        assert_eq!(plain.iterations, prep.iterations);
+    }
+
+    #[test]
+    fn solve_roots_ground_state_matches_single_root() {
+        let mo = hubbard(4, 1.0, 2.5);
+        let opts = FciOptions {
+            method: DiagMethod::Davidson,
+            diag: DiagOptions {
+                max_iter: 120,
+                model_space: 24,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let single = solve(&mo, 2, 1, 0, &opts);
+        let multi = solve_roots(&mo, 2, 1, 0, &opts, 3);
+        assert!(multi.converged.iter().all(|&b| b), "{:?}", multi.converged);
+        assert!((multi.energies[0] - single.energy).abs() < 1e-8);
+        assert!(multi.energies[0] <= multi.energies[1]);
+        assert!(multi.energies[1] <= multi.energies[2]);
+        // Prepared variant is bitwise identical.
+        let ham = Hamiltonian::new(&mo);
+        let space = build_space(&ham, 2, 1, 0, None);
+        let prep = solve_roots_prepared(&space, &ham, &opts, 3);
+        for (a, b) in multi.energies.iter().zip(&prep.energies) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -61,6 +61,24 @@ pub struct RunSummary {
     /// σ tasks recomputed after failing a column guard
     /// (`task_recompute` instants).
     pub recomputes: f64,
+    /// Serving layer: jobs completed (`job_done` instants).
+    pub jobs_done: f64,
+    /// Serving layer: jobs failed (`job_failed` instants).
+    pub jobs_failed: f64,
+    /// Serving layer: batched multi-state solves (`batch_solve` instants).
+    pub serve_batches: f64,
+    /// Shared-artifact cache hits (`cache_hit` instants).
+    pub cache_hits: f64,
+    /// Shared-artifact cache misses (`cache_miss` instants).
+    pub cache_misses: f64,
+    /// Shared-artifact cache evictions (`cache_evict` instants; each may
+    /// carry a `count` payload covering several entries).
+    pub cache_evictions: f64,
+    /// **Host** wall-clock seconds spanned by the serving layer's
+    /// instants (first `job_submit` to last `job_done`/`job_failed`).
+    /// Zero for non-server traces. Kept separate from
+    /// [`RunSummary::host_elapsed`], which is defined over spans only.
+    pub serve_elapsed: f64,
 }
 
 impl RunSummary {
@@ -117,6 +135,26 @@ impl RunSummary {
         }
     }
 
+    /// Serving-layer throughput: jobs completed per **host** second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.serve_elapsed == 0.0 {
+            0.0
+        } else {
+            self.jobs_done / self.serve_elapsed
+        }
+    }
+
+    /// Shared-artifact cache hit rate in [0, 1] (0 when the cache was
+    /// never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.cache_hits / total
+        }
+    }
+
     /// Sustained GFlop/s over the **host** wall-clock (aggregate flops /
     /// real seconds this process spent in the traced spans). The
     /// simulated [`RunSummary::gflops_per_msp`] answers "how fast would
@@ -141,14 +179,30 @@ impl RunSummary {
         let mut busy: Vec<f64> = Vec::new();
         let mut host_first = f64::INFINITY;
         let mut host_last = f64::NEG_INFINITY;
+        let mut serve_first = f64::INFINITY;
+        let mut serve_last = f64::NEG_INFINITY;
         for e in events {
             if e.kind != EventKind::Span {
-                // Fault-plane instants carry the injection/recovery tally.
+                // Fault-plane and serving-layer instants carry tallies.
                 if e.kind == EventKind::Instant {
+                    let n = e.arg("count").unwrap_or(1.0);
                     match e.name.as_str() {
                         "fault_injected" => s.faults_injected += 1.0,
                         "task_recompute" => s.recomputes += 1.0,
+                        "job_done" => s.jobs_done += n,
+                        "job_failed" => s.jobs_failed += n,
+                        "batch_solve" => s.serve_batches += n,
+                        "cache_hit" => s.cache_hits += n,
+                        "cache_miss" => s.cache_misses += n,
+                        "cache_evict" => s.cache_evictions += n,
                         _ => {}
+                    }
+                    if matches!(
+                        e.name.as_str(),
+                        "job_submit" | "job_start" | "job_done" | "job_failed"
+                    ) {
+                        serve_first = serve_first.min(e.host_us);
+                        serve_last = serve_last.max(e.host_us);
                     }
                 }
                 continue;
@@ -187,6 +241,9 @@ impl RunSummary {
         if host_last > host_first {
             s.host_elapsed = (host_last - host_first) / 1e6;
         }
+        if serve_last > serve_first {
+            s.serve_elapsed = (serve_last - serve_first) / 1e6;
+        }
         s
     }
 
@@ -213,6 +270,15 @@ impl RunSummary {
             ("faults_injected", JsonValue::Num(self.faults_injected)),
             ("retries", JsonValue::Num(self.retries)),
             ("recomputes", JsonValue::Num(self.recomputes)),
+            ("jobs_done", JsonValue::Num(self.jobs_done)),
+            ("jobs_failed", JsonValue::Num(self.jobs_failed)),
+            ("serve_batches", JsonValue::Num(self.serve_batches)),
+            ("cache_hits", JsonValue::Num(self.cache_hits)),
+            ("cache_misses", JsonValue::Num(self.cache_misses)),
+            ("cache_evictions", JsonValue::Num(self.cache_evictions)),
+            ("serve_elapsed", JsonValue::Num(self.serve_elapsed)),
+            ("jobs_per_sec", JsonValue::Num(self.jobs_per_sec())),
+            ("cache_hit_rate", JsonValue::Num(self.cache_hit_rate())),
             ("gflops_per_msp", JsonValue::Num(self.gflops_per_msp())),
             ("tflops", JsonValue::Num(self.tflops())),
             ("host_gflops", JsonValue::Num(self.host_gflops())),
@@ -244,6 +310,14 @@ impl RunSummary {
             faults_injected: v.get_f64("faults_injected").unwrap_or(0.0),
             retries: v.get_f64("retries").unwrap_or(0.0),
             recomputes: v.get_f64("recomputes").unwrap_or(0.0),
+            // Absent in summaries written before the serving layer.
+            jobs_done: v.get_f64("jobs_done").unwrap_or(0.0),
+            jobs_failed: v.get_f64("jobs_failed").unwrap_or(0.0),
+            serve_batches: v.get_f64("serve_batches").unwrap_or(0.0),
+            cache_hits: v.get_f64("cache_hits").unwrap_or(0.0),
+            cache_misses: v.get_f64("cache_misses").unwrap_or(0.0),
+            cache_evictions: v.get_f64("cache_evictions").unwrap_or(0.0),
+            serve_elapsed: v.get_f64("serve_elapsed").unwrap_or(0.0),
         })
     }
 
@@ -305,6 +379,24 @@ impl RunSummary {
             out.push_str(&format!(
                 "  fault plane: {} injected; {} retries; {} recomputes\n",
                 self.faults_injected, self.retries, self.recomputes
+            ));
+        }
+        if self.jobs_done > 0.0 || self.jobs_failed > 0.0 {
+            out.push_str(&format!(
+                "  serve: {} jobs done, {} failed, {} batched solves; {:.2} jobs/s (host)\n",
+                self.jobs_done,
+                self.jobs_failed,
+                self.serve_batches,
+                self.jobs_per_sec()
+            ));
+        }
+        if self.cache_hits > 0.0 || self.cache_misses > 0.0 {
+            out.push_str(&format!(
+                "  artifact cache: {} hits / {} misses ({:.1}% hit rate), {} evictions\n",
+                self.cache_hits,
+                self.cache_misses,
+                100.0 * self.cache_hit_rate(),
+                self.cache_evictions
             ));
         }
         out
@@ -453,6 +545,48 @@ mod tests {
         assert_eq!(parsed.host_elapsed, 0.0);
         assert_eq!(parsed.host_gflops(), 0.0);
         assert!(!parsed.render("t").contains("GF/s actual"));
+    }
+
+    #[test]
+    fn serve_instants_roll_up() {
+        // A server trace is instants-only: job lifecycle + cache events.
+        // The summary must count them, window the host time over the job
+        // instants, and render a serve section — without perturbing the
+        // span-based host_elapsed (zero here: no spans).
+        let t = Tracer::in_memory();
+        t.instant(None, "job_submit", Category::Other, &[]);
+        t.instant(None, "cache_miss", Category::Other, &[]);
+        t.instant(None, "cache_hit", Category::Other, &[("count", 3.0)]);
+        t.instant(None, "cache_evict", Category::Other, &[("count", 2.0)]);
+        t.instant(None, "batch_solve", Category::Other, &[("jobs", 2.0)]);
+        t.instant(None, "job_done", Category::Other, &[]);
+        t.instant(None, "job_done", Category::Other, &[]);
+        t.instant(None, "job_failed", Category::Other, &[]);
+        let mut events = t.events().unwrap();
+        // Pin host timestamps so jobs/s is deterministic: 0.5 s window.
+        let n = events.len();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.host_us = 1_000.0 + 500_000.0 * i as f64 / (n - 1) as f64;
+        }
+        let s = RunSummary::from_events(&events);
+        assert_eq!(s.jobs_done, 2.0);
+        assert_eq!(s.jobs_failed, 1.0);
+        assert_eq!(s.serve_batches, 1.0);
+        assert_eq!(s.cache_hits, 3.0);
+        assert_eq!(s.cache_misses, 1.0);
+        assert_eq!(s.cache_evictions, 2.0);
+        assert_eq!(s.host_elapsed, 0.0);
+        assert!((s.serve_elapsed - 0.5).abs() < 1e-9);
+        assert!((s.jobs_per_sec() - 4.0).abs() < 1e-9);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let text = s.render("serve");
+        assert!(text.contains("jobs/s"), "missing serve section:\n{text}");
+        assert!(text.contains("hit rate"), "missing cache line:\n{text}");
+        // Round-trips; legacy artifacts without the serve keys parse.
+        let back = RunSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        let legacy = RunSummary::from_events(&traced());
+        assert!(!legacy.render("t").contains("jobs/s"));
     }
 
     #[test]

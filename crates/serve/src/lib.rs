@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # fci-serve — a multi-tenant job server over the FCI solver
+//!
+//! The paper's manager/worker task pool (Fig. 3) load-balances *within*
+//! one solve. This crate is the level above: many FCI jobs, from many
+//! tenants, pushed through the machine as fast as shared state allows.
+//!
+//! * [`spec`] — job requests: content-addressed problem recipes, spin
+//!   sectors, solver knobs, fault plans;
+//! * [`cache`] — the shared-artifact cache (integrals, Hamiltonians,
+//!   determinant spaces) with cost-aware GreedyDual-Size eviction;
+//! * [`server`] — priority queue with per-tenant fairness, admission
+//!   control and backpressure, the batching coalescer that turns
+//!   same-space jobs into one multi-root solve, and the scoped worker
+//!   pool (deterministic at any worker count — see the module docs);
+//! * [`result`] — per-job JSONL results and the server [`ServeSummary`].
+//!
+//! ```
+//! use fci_serve::{serve, JobSpec, ProblemSpec, ServeConfig};
+//! // Two different "molecules" of the same size: integrals differ, but
+//! // the (4 orbital, 2α2β) determinant space is shared through the cache.
+//! let a = ProblemSpec::Hubbard { sites: 4, t: 1.0, u: 4.0, periodic: false };
+//! let b = ProblemSpec::Hubbard { sites: 4, t: 1.0, u: 2.0, periodic: false };
+//! let jobs = vec![JobSpec::new("a", a, 2, 2), JobSpec::new("b", b, 2, 2)];
+//! let report = serve(ServeConfig { workers: 2, ..Default::default() }, jobs);
+//! assert_eq!(report.summary.jobs_done, 2);
+//! assert!(report.summary.cache.hits >= 1); // the shared string tables
+//! ```
+
+pub mod cache;
+pub mod result;
+pub mod server;
+pub mod spec;
+
+pub use cache::{Artifact, ArtifactCache, CacheKey, CacheStats};
+pub use result::{JobResult, JobStatus, RejectReason, ServeReport, ServeSummary};
+pub use server::{estimated_bytes, serve, serve_with, ServeConfig, Server};
+pub use spec::{fnv1a, JobSpec, ProblemSpec};

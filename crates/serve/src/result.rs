@@ -1,0 +1,246 @@
+//! Per-job results and the server-level summary.
+
+use crate::cache::CacheStats;
+use fci_obs::JsonValue;
+
+/// Terminal state of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatus {
+    /// Solved (converged flag inside).
+    Done,
+    /// The solve errored (message inside).
+    Failed(String),
+    /// Cancelled while still queued.
+    Cancelled,
+    /// Still queued when the server was told to shut down.
+    Shutdown,
+}
+
+impl JobStatus {
+    fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Job id (from the spec).
+    pub id: String,
+    /// Tenant (from the spec).
+    pub tenant: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Total energy of the requested root (NaN unless `Done`).
+    pub energy: f64,
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// σ evaluations spent on this job's solve.
+    pub iterations: usize,
+    /// Determinants in the symmetry sector.
+    pub sector_dim: usize,
+    /// Jobs coalesced into the solve that answered this one (1 = solo).
+    pub batch_size: usize,
+    /// World rebuilds survived (resilient jobs; 0 otherwise).
+    pub restarts: usize,
+    /// Host µs spent queued (submit → dequeue).
+    pub queue_us: f64,
+    /// Host µs spent solving.
+    pub exec_us: f64,
+}
+
+impl JobResult {
+    /// One JSONL line.
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("id", JsonValue::Str(self.id.clone())),
+            ("tenant", JsonValue::Str(self.tenant.clone())),
+            ("status", JsonValue::Str(self.status.name().into())),
+        ];
+        if let JobStatus::Failed(msg) = &self.status {
+            pairs.push(("error", JsonValue::Str(msg.clone())));
+        }
+        if self.status == JobStatus::Done {
+            pairs.push(("energy", JsonValue::Num(self.energy)));
+            pairs.push(("converged", JsonValue::Bool(self.converged)));
+            pairs.push(("iterations", JsonValue::Num(self.iterations as f64)));
+            pairs.push(("sector_dim", JsonValue::Num(self.sector_dim as f64)));
+            pairs.push(("batch_size", JsonValue::Num(self.batch_size as f64)));
+            pairs.push(("restarts", JsonValue::Num(self.restarts as f64)));
+        }
+        pairs.push(("queue_us", JsonValue::Num(self.queue_us)));
+        pairs.push(("exec_us", JsonValue::Num(self.exec_us)));
+        JsonValue::obj(pairs)
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RejectReason {
+    /// Queue is at capacity — retry later (backpressure).
+    QueueFull {
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Estimated working set exceeds the server memory budget.
+    MemoryBudget {
+        /// Estimated bytes the job needs.
+        need: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+    /// A job with this id is already queued or running.
+    DuplicateId,
+    /// The spec failed validation (message inside).
+    Invalid(String),
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::MemoryBudget { need, budget } => write!(
+                f,
+                "estimated working set {need} B exceeds memory budget {budget} B"
+            ),
+            RejectReason::DuplicateId => write!(f, "duplicate job id"),
+            RejectReason::Invalid(msg) => write!(f, "invalid job: {msg}"),
+        }
+    }
+}
+
+/// Server-level rollup of one serve run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Jobs that finished `Done`.
+    pub jobs_done: usize,
+    /// Jobs that finished `Failed`.
+    pub jobs_failed: usize,
+    /// Jobs cancelled or shut down before running.
+    pub jobs_cancelled: usize,
+    /// Submissions rejected at admission.
+    pub jobs_rejected: usize,
+    /// Multi-root batch solves executed.
+    pub batches: usize,
+    /// Host seconds from first submit to last completion.
+    pub elapsed_s: f64,
+    /// Completed jobs per host second.
+    pub jobs_per_sec: f64,
+    /// Queue-latency percentiles over completed jobs, host µs.
+    pub queue_p50_us: f64,
+    /// 90th percentile queue latency, host µs.
+    pub queue_p90_us: f64,
+    /// Maximum queue latency, host µs.
+    pub queue_max_us: f64,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServeSummary {
+    /// JSON object for reports and bench artifacts.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("jobs_done", JsonValue::Num(self.jobs_done as f64)),
+            ("jobs_failed", JsonValue::Num(self.jobs_failed as f64)),
+            ("jobs_cancelled", JsonValue::Num(self.jobs_cancelled as f64)),
+            ("jobs_rejected", JsonValue::Num(self.jobs_rejected as f64)),
+            ("batches", JsonValue::Num(self.batches as f64)),
+            ("elapsed_s", JsonValue::Num(self.elapsed_s)),
+            ("jobs_per_sec", JsonValue::Num(self.jobs_per_sec)),
+            ("queue_p50_us", JsonValue::Num(self.queue_p50_us)),
+            ("queue_p90_us", JsonValue::Num(self.queue_p90_us)),
+            ("queue_max_us", JsonValue::Num(self.queue_max_us)),
+            ("cache_hits", JsonValue::Num(self.cache.hits as f64)),
+            ("cache_misses", JsonValue::Num(self.cache.misses as f64)),
+            (
+                "cache_evictions",
+                JsonValue::Num(self.cache.evictions as f64),
+            ),
+            ("cache_hit_rate", JsonValue::Num(self.cache.hit_rate())),
+        ])
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        format!(
+            "serve: {} done, {} failed, {} cancelled, {} rejected | \
+             {} batches | {:.3} s, {:.2} jobs/s\n\
+             queue latency µs: p50 {:.0}, p90 {:.0}, max {:.0}\n\
+             cache: {} hits, {} misses, {} evictions (hit rate {:.0}%)",
+            self.jobs_done,
+            self.jobs_failed,
+            self.jobs_cancelled,
+            self.jobs_rejected,
+            self.batches,
+            self.elapsed_s,
+            self.jobs_per_sec,
+            self.queue_p50_us,
+            self.queue_p90_us,
+            self.queue_max_us,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            100.0 * self.cache.hit_rate(),
+        )
+    }
+}
+
+/// Everything a serve run produces.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<JobResult>,
+    /// Rejected submissions: (job id, reason), in submission order.
+    pub rejected: Vec<(String, RejectReason)>,
+    /// Server-level rollup.
+    pub summary: ServeSummary,
+}
+
+impl ServeReport {
+    /// Result for a job id, if it was accepted.
+    pub fn result(&self, id: &str) -> Option<&JobResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+}
+
+/// `p`-th percentile (0–100) of `xs` by nearest-rank; 0 for empty input.
+pub fn percentile(xs: &mut [f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&mut xs, 50.0), 2.0);
+        assert_eq!(percentile(&mut xs, 90.0), 4.0);
+        assert_eq!(percentile(&mut xs, 100.0), 4.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_json_has_cache_fields() {
+        let mut s = ServeSummary::default();
+        s.cache.hits = 3;
+        s.cache.misses = 1;
+        let j = s.to_json();
+        assert_eq!(j.get_f64("cache_hits"), Some(3.0));
+        assert_eq!(j.get_f64("cache_hit_rate"), Some(0.75));
+        assert!(s.render().contains("75%"));
+    }
+}

@@ -1,0 +1,728 @@
+//! The job server: priority queue with tenant fairness, admission
+//! control, batching coalescer, and a scoped worker pool.
+//!
+//! # Determinism
+//!
+//! The same job set with the same seeds produces bitwise-identical
+//! per-job energies at any worker count. Two design rules make that
+//! hold without any cross-worker coordination:
+//!
+//! 1. **Scheduling is a pure function of queue content.** The next unit
+//!    of work is `argmin` over pending jobs of `(−priority,
+//!    tenant_credit, submit_seq)`, computed under the queue lock, and a
+//!    batch takes *every* coalescible pending job at once. For a
+//!    preloaded queue the k-th dequeue therefore always sees the same
+//!    pending set — `all − first k−1 batches` — no matter which thread
+//!    performs it or how long solves take, so the sequence of batches
+//!    (and each batch's root count) is identical at T=1 and T=16.
+//! 2. **Solves never share mutable state.** Workers read determinant
+//!    spaces and Hamiltonians through immutable `Arc`s from the
+//!    [`ArtifactCache`], and each solve runs its own virtual DDI world
+//!    and seeded fault plan, so a cache hit (or eviction) can change
+//!    wall time but never a floating-point result.
+//!
+//! Host time is read from an [`fci_obs::Tracer`] (the repo's wall-clock
+//! rule) and is reported, never consulted for scheduling.
+
+use crate::cache::{Artifact, ArtifactCache, CacheKey};
+use crate::result::{percentile, JobResult, JobStatus, RejectReason, ServeReport, ServeSummary};
+use crate::spec::JobSpec;
+use fci_core::{
+    build_space, solve_prepared, solve_resilient_prepared, solve_roots_prepared, DetSpace,
+    Hamiltonian, RecoveryOptions,
+};
+use fci_obs::{Category, ObsConfig, Tracer};
+use fci_strings::binomial;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Artifact-cache byte budget (0 disables caching).
+    pub cache_budget: usize,
+    /// Admission ceiling: jobs whose estimated working set exceeds this
+    /// are rejected at submit.
+    pub mem_budget: usize,
+    /// Queue capacity; submissions beyond it are rejected (backpressure).
+    pub queue_cap: usize,
+    /// Coalesce same-space Davidson jobs into multi-root solves.
+    pub batching: bool,
+    /// Directory for per-job resilient-solve checkpoints.
+    pub checkpoint_dir: PathBuf,
+    /// Server-level telemetry (job lifecycle + cache instants).
+    pub obs: ObsConfig,
+    /// When set, each job's solve writes its own trace file here
+    /// (`job-<id>.trace.jsonl`).
+    pub job_trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            cache_budget: 256 << 20,
+            mem_budget: 1 << 30,
+            queue_cap: 1024,
+            batching: true,
+            checkpoint_dir: std::env::temp_dir(),
+            obs: ObsConfig::off(),
+            job_trace_dir: None,
+        }
+    }
+}
+
+struct Queued {
+    spec: JobSpec,
+    seq: u64,
+    /// Host µs at submit (reporting only — never drives scheduling).
+    submit_us: f64,
+    /// Slot in the results vector (submission order).
+    out: usize,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<Queued>,
+    running: usize,
+    /// No further submissions; workers may exit once drained.
+    closed: bool,
+    /// Abandon queued work (in-flight solves still complete).
+    shutdown: bool,
+    /// Jobs dispatched per tenant — the fairness currency.
+    tenant_credit: HashMap<String, u64>,
+    ids: HashSet<String>,
+    next_seq: u64,
+    batches: usize,
+}
+
+/// A running job server. Construct with [`Server::new`], feed it with
+/// [`Server::submit`], drain it with [`serve`] / [`serve_with`].
+pub struct Server {
+    cfg: ServeConfig,
+    cache: ArtifactCache,
+    /// Event stream (may be disabled).
+    trace: Tracer,
+    /// Host-time source; always enabled, events discarded.
+    clock: Tracer,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    results: Mutex<Vec<Option<JobResult>>>,
+    rejected: Mutex<Vec<(String, RejectReason)>>,
+}
+
+impl Server {
+    /// A server with an empty queue.
+    pub fn new(cfg: ServeConfig) -> Server {
+        let trace = cfg.obs.tracer().unwrap_or_else(|e| {
+            eprintln!("warning: could not open serve trace output: {e}; tracing disabled");
+            Tracer::disabled()
+        });
+        if let Err(e) = std::fs::create_dir_all(&cfg.checkpoint_dir) {
+            // Resilient jobs will surface the error per job.
+            eprintln!(
+                "warning: could not create checkpoint dir {}: {e}",
+                cfg.checkpoint_dir.display()
+            );
+        }
+        Server {
+            cache: ArtifactCache::new(cfg.cache_budget),
+            trace,
+            clock: Tracer::in_memory(),
+            cfg,
+            state: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            rejected: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The artifact cache (stats inspection).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Server trace events so far (in-memory tracing only).
+    pub fn events(&self) -> Option<Vec<fci_obs::Event>> {
+        self.trace.events()
+    }
+
+    /// Submit a job. `Err` is the backpressure path: the reason is also
+    /// recorded in the final report.
+    pub fn submit(&self, spec: JobSpec) -> Result<(), RejectReason> {
+        if let Err(why) = self.admit(&spec) {
+            self.rejected
+                .lock()
+                .unwrap()
+                .push((spec.id.clone(), why.clone()));
+            self.trace
+                .instant(None, "job_rejected", Category::Other, &[("count", 1.0)]);
+            return Err(why);
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.shutdown {
+            let why = RejectReason::Invalid("server is shutting down".into());
+            drop(st);
+            self.rejected
+                .lock()
+                .unwrap()
+                .push((spec.id.clone(), why.clone()));
+            return Err(why);
+        }
+        if st.ids.contains(&spec.id) {
+            drop(st);
+            self.rejected
+                .lock()
+                .unwrap()
+                .push((spec.id.clone(), RejectReason::DuplicateId));
+            return Err(RejectReason::DuplicateId);
+        }
+        if st.pending.len() >= self.cfg.queue_cap {
+            let why = RejectReason::QueueFull {
+                capacity: self.cfg.queue_cap,
+            };
+            drop(st);
+            self.rejected
+                .lock()
+                .unwrap()
+                .push((spec.id.clone(), why.clone()));
+            return Err(why);
+        }
+        st.ids.insert(spec.id.clone());
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let out = {
+            let mut res = self.results.lock().unwrap();
+            res.push(None);
+            res.len() - 1
+        };
+        self.trace
+            .instant(None, "job_submit", Category::Other, &[("seq", seq as f64)]);
+        st.pending.push(Queued {
+            submit_us: self.clock.now_us(),
+            spec,
+            seq,
+            out,
+        });
+        drop(st);
+        self.work.notify_all();
+        Ok(())
+    }
+
+    /// Cancel a queued job. Returns `false` if it already started (or
+    /// was never accepted) — running solves are not interrupted.
+    pub fn cancel(&self, id: &str) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let Some(pos) = st.pending.iter().position(|q| q.spec.id == id) else {
+            return false;
+        };
+        let q = st.pending.remove(pos);
+        drop(st);
+        self.finish(
+            &q,
+            JobResult {
+                id: q.spec.id.clone(),
+                tenant: q.spec.tenant.clone(),
+                status: JobStatus::Cancelled,
+                energy: f64::NAN,
+                converged: false,
+                iterations: 0,
+                sector_dim: 0,
+                batch_size: 0,
+                restarts: 0,
+                queue_us: self.clock.now_us() - q.submit_us,
+                exec_us: 0.0,
+            },
+        );
+        true
+    }
+
+    /// No further submissions; workers exit once the queue drains.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.work.notify_all();
+    }
+
+    /// Graceful shutdown: queued jobs are abandoned (reported as
+    /// `Shutdown`); in-flight solves run to completion.
+    pub fn shutdown(&self) {
+        let abandoned = {
+            let mut st = self.state.lock().unwrap();
+            st.shutdown = true;
+            st.closed = true;
+            std::mem::take(&mut st.pending)
+        };
+        for q in &abandoned {
+            self.finish(
+                q,
+                JobResult {
+                    id: q.spec.id.clone(),
+                    tenant: q.spec.tenant.clone(),
+                    status: JobStatus::Shutdown,
+                    energy: f64::NAN,
+                    converged: false,
+                    iterations: 0,
+                    sector_dim: 0,
+                    batch_size: 0,
+                    restarts: 0,
+                    queue_us: self.clock.now_us() - q.submit_us,
+                    exec_us: 0.0,
+                },
+            );
+        }
+        self.work.notify_all();
+    }
+
+    /// Admission control: validate the spec and check its estimated
+    /// working set against the memory budget.
+    fn admit(&self, spec: &JobSpec) -> Result<(), RejectReason> {
+        let n = spec.problem.n_orb();
+        if n == 0 || n > 64 {
+            return Err(RejectReason::Invalid(format!("{n} orbitals unsupported")));
+        }
+        if spec.n_alpha > n || spec.n_beta > n {
+            return Err(RejectReason::Invalid(format!(
+                "{}α/{}β electrons in {n} orbitals",
+                spec.n_alpha, spec.n_beta
+            )));
+        }
+        if spec.root > 0 && !spec.may_batch() {
+            return Err(RejectReason::Invalid(
+                "excited-state jobs must be batchable Davidson".into(),
+            ));
+        }
+        let need = estimated_bytes(spec);
+        if need > self.cfg.mem_budget {
+            return Err(RejectReason::MemoryBudget {
+                need,
+                budget: self.cfg.mem_budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// One worker: dequeue batches until the queue is closed and dry.
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if !st.pending.is_empty() {
+                        break self.take_batch(&mut st);
+                    }
+                    if st.closed && st.running == 0 {
+                        return;
+                    }
+                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            self.execute(batch);
+            self.state.lock().unwrap().running -= 1;
+            self.work.notify_all();
+        }
+    }
+
+    /// Pick the next unit of work (queue lock held). See the module docs
+    /// for why this is deterministic at any worker count.
+    fn take_batch(&self, st: &mut QueueState) -> Vec<Queued> {
+        let pick = st
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| {
+                (
+                    -q.spec.priority,
+                    st.tenant_credit.get(&q.spec.tenant).copied().unwrap_or(0),
+                    q.seq,
+                )
+            })
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| unreachable!());
+        let mut batch = vec![st.pending.remove(pick)];
+        if self.cfg.batching && batch[0].spec.may_batch() {
+            let key = batch[0].spec.batch_hash();
+            let mut i = 0;
+            while i < st.pending.len() {
+                if st.pending[i].spec.may_batch() && st.pending[i].spec.batch_hash() == key {
+                    batch.push(st.pending.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for q in &batch {
+            *st.tenant_credit.entry(q.spec.tenant.clone()).or_insert(0) += 1;
+        }
+        if batch.len() > 1 {
+            st.batches += 1;
+        }
+        st.running += 1;
+        batch
+    }
+
+    /// Run one batch (no locks held).
+    fn execute(&self, batch: Vec<Queued>) {
+        let start_us = self.clock.now_us();
+        for q in &batch {
+            self.trace
+                .instant(None, "job_start", Category::Other, &[("seq", q.seq as f64)]);
+        }
+        let spec0 = &batch[0].spec;
+        let (space, ham) = self.artifacts(spec0);
+        let sector_dim = space.sector_dim();
+        if batch.len() > 1 {
+            self.trace.instant(
+                None,
+                "batch_solve",
+                Category::Other,
+                &[("jobs", batch.len() as f64)],
+            );
+            self.execute_multiroot(&batch, &space, &ham, sector_dim, start_us);
+        } else {
+            self.execute_single(&batch[0], &space, &ham, sector_dim, start_us);
+        }
+    }
+
+    /// Resolve the space and Hamiltonian through the artifact cache,
+    /// emitting hit/miss instants.
+    fn artifacts(&self, spec: &JobSpec) -> (Arc<DetSpace>, Arc<Hamiltonian>) {
+        let phash = spec.problem.content_hash();
+        let (ints_art, ints_hit) = self.cache.get_or_build(CacheKey::Ints(phash), || {
+            Artifact::Ints(Arc::new(spec.problem.build()))
+        });
+        self.note_cache(ints_hit);
+        let Artifact::Ints(ints) = ints_art else {
+            unreachable!()
+        };
+        let (ham_art, ham_hit) = self.cache.get_or_build(CacheKey::Ham(phash), || {
+            Artifact::Ham(Arc::new(Hamiltonian::new(&ints)))
+        });
+        self.note_cache(ham_hit);
+        let Artifact::Ham(ham) = ham_art else {
+            unreachable!()
+        };
+        let (space_art, space_hit) =
+            self.cache
+                .get_or_build(CacheKey::Space(spec.space_hash()), || {
+                    Artifact::Space(Arc::new(build_space(
+                        &ham,
+                        spec.n_alpha,
+                        spec.n_beta,
+                        spec.target_irrep,
+                        spec.excitation_level,
+                    )))
+                });
+        self.note_cache(space_hit);
+        let Artifact::Space(space) = space_art else {
+            unreachable!()
+        };
+        (space, ham)
+    }
+
+    fn note_cache(&self, hit: bool) {
+        let name = if hit { "cache_hit" } else { "cache_miss" };
+        self.trace
+            .instant(None, name, Category::Other, &[("count", 1.0)]);
+    }
+
+    /// Per-job solver options, including the per-job trace file.
+    fn job_options(&self, spec: &JobSpec) -> fci_core::FciOptions {
+        let mut opts = spec.fci_options();
+        if let Some(dir) = &self.cfg.job_trace_dir {
+            let safe: String = spec
+                .id
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            opts.obs = ObsConfig::to_file(dir.join(format!("job-{safe}.trace.jsonl")));
+        }
+        opts
+    }
+
+    fn execute_single(
+        &self,
+        q: &Queued,
+        space: &DetSpace,
+        ham: &Hamiltonian,
+        sector_dim: usize,
+        start_us: f64,
+    ) {
+        let spec = &q.spec;
+        let opts = self.job_options(spec);
+        let (status, energy, converged, iterations, restarts) = if spec.root > 0 {
+            // An excited-state job that didn't coalesce still needs the
+            // block solver — single-vector schemes only reach root 0.
+            if spec.root >= sector_dim {
+                (
+                    JobStatus::Failed(format!(
+                        "root {} outside sector of {sector_dim} determinants",
+                        spec.root
+                    )),
+                    f64::NAN,
+                    false,
+                    0,
+                    0,
+                )
+            } else {
+                let r = solve_roots_prepared(space, ham, &opts, spec.root + 1);
+                (
+                    JobStatus::Done,
+                    r.energies[spec.root],
+                    r.converged[spec.root],
+                    r.iterations,
+                    0,
+                )
+            }
+        } else if spec.resilient {
+            let rec =
+                RecoveryOptions::for_job(&self.cfg.checkpoint_dir, &spec.id, spec.space_hash());
+            match solve_resilient_prepared(space, ham, &opts, &rec) {
+                Ok(r) => (
+                    JobStatus::Done,
+                    r.fci.energy,
+                    r.fci.converged,
+                    r.fci.iterations,
+                    r.restarts,
+                ),
+                Err(e) => (JobStatus::Failed(e.to_string()), f64::NAN, false, 0, 0),
+            }
+        } else {
+            let r = solve_prepared(space, ham, &opts);
+            (JobStatus::Done, r.energy, r.converged, r.iterations, 0)
+        };
+        let done_us = self.clock.now_us();
+        self.trace.instant(
+            None,
+            if status == JobStatus::Done {
+                "job_done"
+            } else {
+                "job_failed"
+            },
+            Category::Other,
+            &[("seq", q.seq as f64)],
+        );
+        self.finish(
+            q,
+            JobResult {
+                id: spec.id.clone(),
+                tenant: spec.tenant.clone(),
+                status,
+                energy,
+                converged,
+                iterations,
+                sector_dim,
+                batch_size: 1,
+                restarts,
+                queue_us: start_us - q.submit_us,
+                exec_us: done_us - start_us,
+            },
+        );
+    }
+
+    fn execute_multiroot(
+        &self,
+        batch: &[Queued],
+        space: &DetSpace,
+        ham: &Hamiltonian,
+        sector_dim: usize,
+        start_us: f64,
+    ) {
+        // Jobs asking for roots beyond the sector fail; the rest share
+        // one block solve sized by the highest surviving root.
+        let solvable: Vec<&Queued> = batch.iter().filter(|q| q.spec.root < sector_dim).collect();
+        let nroots = solvable.iter().map(|q| q.spec.root + 1).max().unwrap_or(0);
+        let roots = if nroots > 0 {
+            // Batch members share solver knobs by construction (they
+            // agree on `batch_hash`), so the first job's options stand
+            // for the whole batch.
+            let opts = self.job_options(&solvable[0].spec);
+            Some(solve_roots_prepared(space, ham, &opts, nroots))
+        } else {
+            None
+        };
+        let done_us = self.clock.now_us();
+        for q in batch {
+            let spec = &q.spec;
+            let (status, energy, converged) = match &roots {
+                Some(r) if spec.root < sector_dim => (
+                    JobStatus::Done,
+                    r.energies[spec.root],
+                    r.converged[spec.root],
+                ),
+                _ => (
+                    JobStatus::Failed(format!(
+                        "root {} outside sector of {} determinants",
+                        spec.root, sector_dim
+                    )),
+                    f64::NAN,
+                    false,
+                ),
+            };
+            self.trace.instant(
+                None,
+                if status == JobStatus::Done {
+                    "job_done"
+                } else {
+                    "job_failed"
+                },
+                Category::Other,
+                &[("seq", q.seq as f64)],
+            );
+            self.finish(
+                q,
+                JobResult {
+                    id: spec.id.clone(),
+                    tenant: spec.tenant.clone(),
+                    status,
+                    energy,
+                    converged,
+                    iterations: roots.as_ref().map_or(0, |r| r.iterations),
+                    sector_dim,
+                    batch_size: batch.len(),
+                    restarts: 0,
+                    queue_us: start_us - q.submit_us,
+                    exec_us: done_us - start_us,
+                },
+            );
+        }
+    }
+
+    fn finish(&self, q: &Queued, result: JobResult) {
+        self.results.lock().unwrap()[q.out] = Some(result);
+    }
+
+    /// Drain the queue with `workers` scoped threads. Blocks until the
+    /// queue is closed (or shut down) *and* dry — call [`Server::close`]
+    /// first, or from another thread, or this never returns.
+    pub fn run(&self, workers: usize) {
+        std::thread::scope(|s| {
+            for _ in 0..workers.max(1) {
+                s.spawn(|| self.worker_loop());
+            }
+        });
+    }
+
+    /// Consume the server and roll up the report.
+    pub fn into_report(self) -> ServeReport {
+        let cache = self.cache.stats();
+        self.trace.instant(
+            None,
+            "cache_evict",
+            Category::Other,
+            &[("count", cache.evictions as f64)],
+        );
+        self.trace.flush();
+        let results: Vec<JobResult> = self
+            .results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .flatten()
+            .collect();
+        let rejected = self
+            .rejected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let batches = self
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .batches;
+        let jobs_done = results
+            .iter()
+            .filter(|r| r.status == JobStatus::Done)
+            .count();
+        let jobs_failed = results
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Failed(_)))
+            .count();
+        let jobs_cancelled = results.len() - jobs_done - jobs_failed;
+        let mut queue_lat: Vec<f64> = results
+            .iter()
+            .filter(|r| r.status == JobStatus::Done)
+            .map(|r| r.queue_us)
+            .collect();
+        // Elapsed: submit of the earliest job to completion of the last.
+        let elapsed_s = results
+            .iter()
+            .filter(|r| r.status == JobStatus::Done)
+            .map(|r| r.queue_us + r.exec_us)
+            .fold(0.0_f64, f64::max)
+            / 1e6;
+        let summary = ServeSummary {
+            jobs_done,
+            jobs_failed,
+            jobs_cancelled,
+            jobs_rejected: rejected.len(),
+            batches,
+            elapsed_s,
+            jobs_per_sec: if elapsed_s > 0.0 {
+                jobs_done as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            queue_p50_us: percentile(&mut queue_lat, 50.0),
+            queue_p90_us: percentile(&mut queue_lat, 90.0),
+            queue_max_us: queue_lat.iter().fold(0.0_f64, |a, &b| a.max(b)),
+            cache,
+        };
+        ServeReport {
+            results,
+            rejected,
+            summary,
+        }
+    }
+}
+
+/// Estimated working set of one job in bytes: integrals + coupling
+/// matrices + string tables + the diagonalizer's CI matrices.
+pub fn estimated_bytes(spec: &JobSpec) -> usize {
+    let n = spec.problem.n_orb();
+    let nsa = binomial(n, spec.n_alpha);
+    let nsb = binomial(n, spec.n_beta);
+    let dim = nsa.saturating_mul(nsb);
+    let ham = 8 * (2 * n * n * n * n + n * n);
+    let tables = 8 * (nsa + nsb).saturating_mul(1 + n * n);
+    // Davidson keeps a bounded subspace of CI/σ vectors; single-vector
+    // schemes keep ~4. Use the worst case the spec allows.
+    let vectors = dim.saturating_mul(8 * 16);
+    ham + tables + vectors
+}
+
+/// Submit every job, drain the queue with `cfg.workers` scoped threads,
+/// and report. Rejected submissions show up in `report.rejected`.
+pub fn serve(cfg: ServeConfig, jobs: Vec<JobSpec>) -> ServeReport {
+    serve_with(cfg, jobs, |_| {})
+}
+
+/// Like [`serve`], but runs `ctl` on the caller thread while workers
+/// drain — the hook for cancellation, late submission, and shutdown
+/// tests. The queue closes when `ctl` returns.
+pub fn serve_with(cfg: ServeConfig, jobs: Vec<JobSpec>, ctl: impl FnOnce(&Server)) -> ServeReport {
+    let workers = cfg.workers.max(1);
+    let server = Server::new(cfg);
+    for job in jobs {
+        // Rejections are recorded in the report; nothing to do here.
+        let _ = server.submit(job);
+    }
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| server.worker_loop());
+        }
+        ctl(&server);
+        server.close();
+    });
+    server.into_report()
+}

@@ -1,0 +1,215 @@
+//! `fcix-serve` — run a batch of FCI jobs through the `fci-serve`
+//! multi-tenant scheduler.
+//!
+//! ```text
+//! fcix-serve [options] <jobs.jsonl | ->
+//!
+//!   -w, --workers N          worker threads (default 2)
+//!   -o, --out FILE           per-job JSONL results (default stdout)
+//!       --no-batching        disable same-space multi-root coalescing
+//!       --cache-bytes N      artifact-cache budget (default 256 MiB; 0 = off)
+//!       --mem-bytes N        admission memory budget (default 1 GiB)
+//!       --queue-cap N        queue capacity (default 1024)
+//!       --ckpt-dir DIR       resilient-solve checkpoint directory
+//!       --trace FILE         server lifecycle trace (JSONL, fcix-trace readable)
+//!       --job-trace-dir DIR  one solver trace file per job
+//!       --verify FILE        JSONL of {"id","energy"} refs; fail if any
+//!                            completed job deviates by > 1e-9
+//!       --require-cache-hits fail unless the artifact cache hit at least once
+//! ```
+//!
+//! Jobs come one JSON object per line (`-` reads stdin); see
+//! `examples/serve_jobs6.jsonl` and DESIGN.md §12 for the schema. Exit
+//! status: 0 all jobs done (and verified), 1 any failure, 2 bad usage.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fcix::obs::{JsonValue, ObsConfig};
+use fcix::serve::{serve, JobSpec, JobStatus, ServeConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-serve [options] <jobs.jsonl | ->\n\
+         see `fcix-serve --help` (or the bin docs) for options"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    cfg: ServeConfig,
+    jobs_path: String,
+    out: Option<String>,
+    verify: Option<String>,
+    require_cache_hits: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: ServeConfig::default(),
+        jobs_path: String::new(),
+        out: None,
+        verify: None,
+        require_cache_hits: false,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-w" | "--workers" => cli.cfg.workers = parse_num(&value(arg)?)?,
+            "-o" | "--out" => cli.out = Some(value(arg)?),
+            "--no-batching" => cli.cfg.batching = false,
+            "--cache-bytes" => cli.cfg.cache_budget = parse_num(&value(arg)?)?,
+            "--mem-bytes" => cli.cfg.mem_budget = parse_num(&value(arg)?)?,
+            "--queue-cap" => cli.cfg.queue_cap = parse_num(&value(arg)?)?,
+            "--ckpt-dir" => cli.cfg.checkpoint_dir = value(arg)?.into(),
+            "--trace" => cli.cfg.obs = ObsConfig::to_file(value(arg)?),
+            "--job-trace-dir" => cli.cfg.job_trace_dir = Some(value(arg)?.into()),
+            "--verify" => cli.verify = Some(value(arg)?),
+            "--require-cache-hits" => cli.require_cache_hits = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [path] => cli.jobs_path = path.clone(),
+        _ => return Err("expected exactly one jobs file (or `-`)".into()),
+    }
+    Ok(cli)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn read_jobs(path: &str) -> Result<Vec<JobSpec>, String> {
+    let text = if path == "-" {
+        std::io::read_to_string(std::io::stdin()).map_err(|e| format!("stdin: {e}"))?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        jobs.push(JobSpec::from_json(&v).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+    }
+    if jobs.is_empty() {
+        return Err(format!("{path}: no jobs"));
+    }
+    Ok(jobs)
+}
+
+fn read_refs(path: &str) -> Result<HashMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut refs = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}:{}: ref needs `id`", lineno + 1))?;
+        let energy = v
+            .get_f64("energy")
+            .ok_or_else(|| format!("{path}:{}: ref needs `energy`", lineno + 1))?;
+        refs.insert(id.to_string(), energy);
+    }
+    Ok(refs)
+}
+
+fn run(cli: Cli) -> Result<bool, String> {
+    let jobs = read_jobs(&cli.jobs_path)?;
+    let n_jobs = jobs.len();
+    let refs = match &cli.verify {
+        Some(path) => Some(read_refs(path)?),
+        None => None,
+    };
+    let report = serve(cli.cfg, jobs);
+
+    let mut lines = String::new();
+    for r in &report.results {
+        lines.push_str(&r.to_json().to_string());
+        lines.push('\n');
+    }
+    for (id, why) in &report.rejected {
+        lines.push_str(
+            &JsonValue::obj(vec![
+                ("id", JsonValue::Str(id.clone())),
+                ("status", JsonValue::Str("rejected".into())),
+                ("error", JsonValue::Str(why.to_string())),
+            ])
+            .to_string(),
+        );
+        lines.push('\n');
+    }
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{lines}"),
+    }
+    eprintln!("{}", report.summary.render());
+
+    let mut ok = report.summary.jobs_done == n_jobs;
+    if !ok {
+        eprintln!(
+            "error: {} of {n_jobs} jobs did not complete",
+            n_jobs - report.summary.jobs_done
+        );
+    }
+    if let Some(refs) = refs {
+        for (id, want) in &refs {
+            match report.result(id) {
+                Some(r) if r.status == JobStatus::Done => {
+                    let err = (r.energy - want).abs();
+                    if err > 1e-9 {
+                        eprintln!(
+                            "verify: {id}: energy {:.12} differs from reference {want:.12} \
+                             by {err:.3e}",
+                            r.energy
+                        );
+                        ok = false;
+                    }
+                }
+                _ => {
+                    eprintln!("verify: {id}: no completed result");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if cli.require_cache_hits && report.summary.cache.hits == 0 {
+        eprintln!("error: artifact cache never hit (--require-cache-hits)");
+        ok = false;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        return usage();
+    }
+    match parse_args(&args).and_then(run) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("fcix-serve: {e}");
+            usage()
+        }
+    }
+}

@@ -12,5 +12,6 @@ pub use fci_ints as ints;
 pub use fci_linalg as linalg;
 pub use fci_obs as obs;
 pub use fci_scf as scf;
+pub use fci_serve as serve;
 pub use fci_strings as strings;
 pub use fci_xsim as xsim;
