@@ -1,0 +1,128 @@
+//! `fcix-bench-diff` — CI perf-regression gate.
+//!
+//! ```text
+//! fcix-bench-diff [options]
+//!
+//!   --baselines DIR   committed baselines (default results/baselines)
+//!   --results DIR     fresh artifacts     (default results)
+//!   --update          rewrite each baseline's pinned values from the
+//!                     fresh artifacts instead of gating
+//! ```
+//!
+//! Compares every `results/baselines/*.json` against the matching fresh
+//! `results/BENCH_*.json` (see `fci_bench::regress` for the baseline
+//! schema and tolerance semantics). Exit status: 0 all metrics within
+//! tolerance, 1 any regression / missing metric / unreadable artifact,
+//! 2 bad usage. Run the `--quick` benches first so the fresh artifacts
+//! exist:
+//!
+//! ```text
+//! cargo run --release -p fci-bench --bin gemm_sweep -- --quick
+//! cargo run --release -p fci-bench --bin serve_throughput -- --quick
+//! cargo run --release -p fci-bench --bin obs_overhead -- --quick
+//! cargo run --release -p fci-bench --bin fcix-bench-diff
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fci_bench::regress::{compare_dirs, load_baseline, pretty, JsonValue};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-bench-diff [--baselines DIR] [--results DIR] [--update]\n\
+         gate fresh results/BENCH_*.json against committed baselines"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    baselines: PathBuf,
+    results: PathBuf,
+    update: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        baselines: PathBuf::from("results/baselines"),
+        results: PathBuf::from("results"),
+        update: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baselines" => cli.baselines = value(arg)?.into(),
+            "--results" => cli.results = value(arg)?.into(),
+            "--update" => cli.update = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Rewrite each baseline's pinned values from the fresh artifacts.
+fn update(cli: &Cli) -> Result<(), String> {
+    let mut files: Vec<_> = std::fs::read_dir(&cli.baselines)
+        .map_err(|e| format!("cannot read {}: {e}", cli.baselines.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    for f in files {
+        let base = load_baseline(&f)?;
+        let fresh_path = cli.results.join(&base.source);
+        let text = std::fs::read_to_string(&fresh_path)
+            .map_err(|e| format!("cannot read {}: {e}", fresh_path.display()))?;
+        let fresh =
+            JsonValue::parse(&text).map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+        let refreshed = base.refreshed(&fresh);
+        let mut doc = pretty(&refreshed.to_json());
+        doc.push('\n');
+        std::fs::write(&f, doc).map_err(|e| format!("cannot write {}: {e}", f.display()))?;
+        eprintln!("updated {}", f.display());
+    }
+    Ok(())
+}
+
+fn run(cli: &Cli) -> Result<bool, String> {
+    if cli.update {
+        update(cli)?;
+        return Ok(true);
+    }
+    let reports = compare_dirs(&cli.baselines, &cli.results)?;
+    let mut ok = true;
+    for r in &reports {
+        print!("{}", r.render());
+        ok &= r.ok();
+    }
+    let n_metrics: usize = reports.iter().map(|r| r.outcomes.len()).sum();
+    if ok {
+        println!(
+            "bench-diff: {} benches, {n_metrics} metrics, all within tolerance",
+            reports.len()
+        );
+    } else {
+        println!("bench-diff: REGRESSION detected (see above)");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        return usage();
+    }
+    match parse_args(&args).and_then(|cli| run(&cli)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("fcix-bench-diff: {e}");
+            usage()
+        }
+    }
+}

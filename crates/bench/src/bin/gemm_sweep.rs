@@ -7,10 +7,12 @@
 //!   capped at 512³), records GF/s per kernel and the 512³ speedups of
 //!   the blocked/threaded engine over the seed kernel, writes the JSON
 //!   artifact;
-//! * `--quick` — CI smoke: times blocked (1 thread) and threaded (auto)
-//!   at 512³ only and **exits 1** if the threaded kernel is more than
-//!   25 % slower than the serial blocked one (threading must never cost
-//!   throughput, even on a 1-core runner where both paths coincide);
+//! * `--quick` — CI smoke: times seed, blocked (1 thread) and threaded
+//!   (auto) at 512³ only, writes the machine-tolerant speedup ratios to
+//!   `results/BENCH_gemm_sweep_quick.json` for `fcix-bench-diff`, and
+//!   **exits 1** if the threaded kernel is more than 25 % slower than
+//!   the serial blocked one (threading must never cost throughput, even
+//!   on a 1-core runner where both paths coincide);
 //! * `--autotune` — prints the small-path/packed-path crossover table
 //!   that justifies the `SMALL_FLOPS` constant in
 //!   `crates/linalg/src/gemm.rs`.
@@ -159,6 +161,7 @@ fn quick_smoke() -> i32 {
     let b = rand_mat(n, n, 2);
     let mut c = Matrix::zeros(n, n);
     let threads = gemm_threads();
+    let t_seed = time_min(3, || seed::dgemm(&a, &b, &mut c));
     let t_blocked = time_min(3, || {
         dgemm_path(
             GemmPath::Packed,
@@ -176,10 +179,34 @@ fn quick_smoke() -> i32 {
         dgemm_with_threads(threads, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c)
     });
     println!(
-        "quick 512³: blocked(T=1) {:.2} GF/s, threaded(T={threads}) {:.2} GF/s",
+        "quick 512³: seed {:.2} GF/s, blocked(T=1) {:.2} GF/s, threaded(T={threads}) {:.2} GF/s",
+        gflops(n, t_seed),
         gflops(n, t_blocked),
         gflops(n, t_threaded)
     );
+    // Machine-tolerant ratios for the CI regression gate: both sides of
+    // each ratio come from the same host in the same run, so a slow
+    // runner cancels out and only a code regression moves them.
+    let doc = JsonValue::obj(vec![
+        ("mode", JsonValue::Str("quick".into())),
+        ("n", JsonValue::Num(n as f64)),
+        ("threads", JsonValue::Num(threads as f64)),
+        ("seed_gflops", JsonValue::Num(gflops(n, t_seed))),
+        ("blocked_gflops", JsonValue::Num(gflops(n, t_blocked))),
+        ("threaded_gflops", JsonValue::Num(gflops(n, t_threaded))),
+        ("blocked_over_seed", JsonValue::Num(t_seed / t_blocked)),
+        (
+            "threaded_over_blocked",
+            JsonValue::Num(t_blocked / t_threaded),
+        ),
+    ]);
+    match fci_bench::write_bench_json("gemm_sweep_quick", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            println!("FAIL: cannot write quick artifact: {e}");
+            return 1;
+        }
+    }
     if t_threaded > 1.25 * t_blocked {
         println!(
             "FAIL: threaded kernel slower than serial blocked \

@@ -15,8 +15,10 @@
 //! from thread-level parallelism. Host times come from the server's
 //! tracer clock (`ServeSummary`), not from wall-clock reads here.
 //!
-//! `--quick` shrinks the workload for CI and exits 1 if the warm arm is
-//! not at least 2× the cold arm — the serving layer's reason to exist.
+//! `--quick` shrinks the workload for CI, writes the same document to
+//! `results/BENCH_serve_throughput_quick.json` (consumed by
+//! `fcix-bench-diff`), and exits 1 if the warm arm is not at least 2×
+//! the cold arm — the serving layer's reason to exist.
 
 use fci_obs::JsonValue;
 use fci_serve::{serve, JobSpec, ProblemSpec, ServeConfig, ServeSummary};
@@ -165,6 +167,17 @@ fn main() {
         ("speedup_batched_vs_cold", JsonValue::Num(speedup_batched)),
     ]);
     if quick {
+        // Same doc shape as the full artifact, under a `_quick` name, so
+        // `fcix-bench-diff` can gate the cache/batching speedup ratios —
+        // both sides of each ratio come from this host, so the gate is
+        // machine-tolerant.
+        match fci_bench::write_bench_json("serve_throughput_quick", &doc) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                println!("FAIL: cannot write quick artifact: {e}");
+                std::process::exit(1);
+            }
+        }
         if speedup_warm < 2.0 {
             println!("FAIL: cache-warm throughput {speedup_warm:.2}x cold, need >= 2x");
             std::process::exit(1);

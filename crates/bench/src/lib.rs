@@ -21,6 +21,7 @@
 //! | C2 X¹Σg⁺ / cc-pVTZ(+) 65e9 dets | C2 / svp window, D2h blocked |
 
 pub mod harness;
+pub mod regress;
 
 use fci_core::{DetSpace, Hamiltonian};
 use fci_ints::{

@@ -1,0 +1,485 @@
+//! Benchmark regression gates: compare fresh `results/BENCH_*.json`
+//! artifacts against committed baselines with per-metric tolerances.
+//!
+//! A baseline is a small JSON file in `results/baselines/`:
+//!
+//! ```json
+//! {"bench": "gemm_sweep_quick",
+//!  "source": "BENCH_gemm_sweep_quick.json",
+//!  "metrics": [
+//!    {"path": "blocked_over_threaded", "value": 1.0,
+//!     "direction": "lower", "rel_tol": 0.30}
+//!  ]}
+//! ```
+//!
+//! `path` is a dotted lookup into the fresh artifact (`warm.jobs_per_sec`
+//! descends into nested objects). `direction` says which way is worse:
+//!
+//! * `higher` — the metric should stay **at least** as high; fresh below
+//!   `value·(1 − rel_tol)` is a regression (throughput, speedup ratios);
+//! * `lower` — the metric should stay **at most** as low; fresh above
+//!   `value·(1 + rel_tol)` is a regression (latency, overhead);
+//! * `near` — fresh must stay within `rel_tol` of `value` either way
+//!   (conserved quantities, energies).
+//!
+//! Baselines committed to the repo pin *machine-tolerant* metrics —
+//! ratios of two timings taken on the same host in the same run — so a
+//! slow CI runner shifts both sides and the gate still bites only on
+//! real regressions. `fcix-bench-diff` drives this module from CI.
+
+pub use fci_obs::JsonValue;
+
+use std::path::Path;
+
+/// Which direction of drift counts as a regression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better; too-low fresh values regress.
+    Higher,
+    /// Smaller is better; too-high fresh values regress.
+    Lower,
+    /// Must match within tolerance both ways.
+    Near,
+}
+
+impl Direction {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+            Direction::Near => "near",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_wire(s: &str) -> Option<Direction> {
+        match s {
+            "higher" => Some(Direction::Higher),
+            "lower" => Some(Direction::Lower),
+            "near" => Some(Direction::Near),
+            _ => None,
+        }
+    }
+}
+
+/// One gated metric of a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSpec {
+    /// Dotted path into the fresh artifact (`warm.jobs_per_sec`).
+    pub path: String,
+    /// Committed reference value.
+    pub value: f64,
+    /// Which way drift regresses.
+    pub direction: Direction,
+    /// Allowed relative drift before the gate fails.
+    pub rel_tol: f64,
+}
+
+/// A committed baseline: which artifact it gates and the metric specs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// Display name of the bench.
+    pub bench: String,
+    /// File name of the fresh artifact in the results directory.
+    pub source: String,
+    /// Gated metrics.
+    pub metrics: Vec<MetricSpec>,
+}
+
+/// Outcome of checking one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Status {
+    /// Within tolerance.
+    Pass,
+    /// Out of tolerance in the regressing direction.
+    Regressed,
+    /// The dotted path is absent from the fresh artifact.
+    Missing,
+}
+
+/// One metric's comparison result.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Dotted metric path.
+    pub path: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value, when the path resolved.
+    pub fresh: Option<f64>,
+    /// Verdict.
+    pub status: Status,
+    /// Direction the gate checks.
+    pub direction: Direction,
+    /// Tolerance used.
+    pub rel_tol: f64,
+}
+
+impl Baseline {
+    /// Parse a baseline document.
+    pub fn from_json(v: &JsonValue) -> Result<Baseline, String> {
+        let bench = v
+            .get("bench")
+            .and_then(JsonValue::as_str)
+            .ok_or("baseline needs `bench`")?
+            .to_string();
+        let source = v
+            .get("source")
+            .and_then(JsonValue::as_str)
+            .ok_or("baseline needs `source`")?
+            .to_string();
+        let Some(JsonValue::Arr(items)) = v.get("metrics") else {
+            return Err("baseline needs a `metrics` array".into());
+        };
+        let mut metrics = Vec::new();
+        for (i, m) in items.iter().enumerate() {
+            let path = m
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("metrics[{i}] needs `path`"))?
+                .to_string();
+            let value = m
+                .get_f64("value")
+                .ok_or_else(|| format!("metrics[{i}] needs `value`"))?;
+            let direction = m
+                .get("direction")
+                .and_then(JsonValue::as_str)
+                .and_then(Direction::from_wire)
+                .ok_or_else(|| format!("metrics[{i}] needs `direction` higher|lower|near"))?;
+            let rel_tol = m
+                .get_f64("rel_tol")
+                .ok_or_else(|| format!("metrics[{i}] needs `rel_tol`"))?;
+            if rel_tol.is_nan() || rel_tol < 0.0 || !value.is_finite() {
+                return Err(format!("metrics[{i}]: bad value/rel_tol"));
+            }
+            metrics.push(MetricSpec {
+                path,
+                value,
+                direction,
+                rel_tol,
+            });
+        }
+        Ok(Baseline {
+            bench,
+            source,
+            metrics,
+        })
+    }
+
+    /// Serialize back to the baseline document shape.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("bench", JsonValue::Str(self.bench.clone())),
+            ("source", JsonValue::Str(self.source.clone())),
+            (
+                "metrics",
+                JsonValue::Arr(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            JsonValue::obj(vec![
+                                ("path", JsonValue::Str(m.path.clone())),
+                                ("value", JsonValue::Num(m.value)),
+                                ("direction", JsonValue::Str(m.direction.as_str().into())),
+                                ("rel_tol", JsonValue::Num(m.rel_tol)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Check every metric against a fresh artifact.
+    pub fn compare(&self, fresh: &JsonValue) -> Vec<Outcome> {
+        self.metrics
+            .iter()
+            .map(|m| {
+                let got = lookup(fresh, &m.path);
+                let status = match got {
+                    None => Status::Missing,
+                    Some(x) => {
+                        let tol = m.rel_tol * m.value.abs();
+                        let ok = match m.direction {
+                            Direction::Higher => x >= m.value - tol,
+                            Direction::Lower => x <= m.value + tol,
+                            Direction::Near => (x - m.value).abs() <= tol,
+                        };
+                        if ok {
+                            Status::Pass
+                        } else {
+                            Status::Regressed
+                        }
+                    }
+                };
+                Outcome {
+                    path: m.path.clone(),
+                    base: m.value,
+                    fresh: got,
+                    status,
+                    direction: m.direction,
+                    rel_tol: m.rel_tol,
+                }
+            })
+            .collect()
+    }
+
+    /// A copy with every resolvable metric's `value` replaced by the
+    /// fresh artifact's current reading (`fcix-bench-diff --update`).
+    pub fn refreshed(&self, fresh: &JsonValue) -> Baseline {
+        let mut out = self.clone();
+        for m in &mut out.metrics {
+            if let Some(x) = lookup(fresh, &m.path) {
+                m.value = x;
+            }
+        }
+        out
+    }
+}
+
+/// Indented serialization for committed baseline files, so review diffs
+/// stay one-metric-per-line (the compact `Display` form is a single line).
+pub fn pretty(v: &JsonValue) -> String {
+    fn at(v: &JsonValue, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        match v {
+            JsonValue::Obj(pairs) if !pairs.is_empty() => {
+                let inner: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, x)| {
+                        format!(
+                            "{pad}  {}: {}",
+                            JsonValue::Str(k.clone()),
+                            at(x, indent + 1)
+                        )
+                    })
+                    .collect();
+                format!("{{\n{}\n{pad}}}", inner.join(",\n"))
+            }
+            JsonValue::Arr(items) if !items.is_empty() => {
+                let inner: Vec<String> = items
+                    .iter()
+                    .map(|x| format!("{pad}  {}", at(x, indent + 1)))
+                    .collect();
+                format!("[\n{}\n{pad}]", inner.join(",\n"))
+            }
+            other => other.to_string(),
+        }
+    }
+    at(v, 0)
+}
+
+/// Resolve a dotted path (`warm.jobs_per_sec`) to a number.
+pub fn lookup(v: &JsonValue, path: &str) -> Option<f64> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    cur.as_f64()
+}
+
+/// Comparison of one baseline file against its fresh artifact.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Bench display name.
+    pub bench: String,
+    /// Fresh-artifact file name.
+    pub source: String,
+    /// Per-metric outcomes; empty (with `error`) when the artifact was
+    /// unreadable.
+    pub outcomes: Vec<Outcome>,
+    /// Load/parse failure, if any.
+    pub error: Option<String>,
+}
+
+impl BenchReport {
+    /// Whether every metric passed (an unreadable artifact fails).
+    pub fn ok(&self) -> bool {
+        self.error.is_none() && self.outcomes.iter().all(|o| o.status == Status::Pass)
+    }
+
+    /// Human-readable block for the CI log.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} ({})\n", self.bench, self.source);
+        if let Some(e) = &self.error {
+            out.push_str(&format!("  ERROR: {e}\n"));
+            return out;
+        }
+        for o in &self.outcomes {
+            let fresh = o.fresh.map_or("missing".to_string(), |x| format!("{x:.6}"));
+            let verdict = match o.status {
+                Status::Pass => "ok",
+                Status::Regressed => "REGRESSED",
+                Status::Missing => "MISSING",
+            };
+            out.push_str(&format!(
+                "  {:<34} base {:>12.6}  fresh {:>12}  ({}, tol {:.0}%)  {}\n",
+                o.path,
+                o.base,
+                fresh,
+                o.direction.as_str(),
+                100.0 * o.rel_tol,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+/// Load every baseline in `baseline_dir` (files ending `.json`, sorted)
+/// and compare each against its artifact in `results_dir`.
+pub fn compare_dirs(baseline_dir: &Path, results_dir: &Path) -> Result<Vec<BenchReport>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no baselines in {}", baseline_dir.display()));
+    }
+    let mut reports = Vec::new();
+    for f in files {
+        let base = load_baseline(&f)?;
+        let fresh_path = results_dir.join(&base.source);
+        let report = match std::fs::read_to_string(&fresh_path) {
+            Ok(text) => match JsonValue::parse(&text) {
+                Ok(v) => BenchReport {
+                    bench: base.bench.clone(),
+                    source: base.source.clone(),
+                    outcomes: base.compare(&v),
+                    error: None,
+                },
+                Err(e) => BenchReport {
+                    bench: base.bench.clone(),
+                    source: base.source.clone(),
+                    outcomes: Vec::new(),
+                    error: Some(format!("{}: {e}", fresh_path.display())),
+                },
+            },
+            Err(e) => BenchReport {
+                bench: base.bench.clone(),
+                source: base.source.clone(),
+                outcomes: Vec::new(),
+                error: Some(format!("{}: {e}", fresh_path.display())),
+            },
+        };
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Read and parse one baseline file.
+pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let v = JsonValue::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Baseline::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(direction: Direction, value: f64, rel_tol: f64) -> Baseline {
+        Baseline {
+            bench: "t".into(),
+            source: "BENCH_t.json".into(),
+            metrics: vec![MetricSpec {
+                path: "a.b".into(),
+                value,
+                direction,
+                rel_tol,
+            }],
+        }
+    }
+
+    fn fresh(x: f64) -> JsonValue {
+        JsonValue::obj(vec![("a", JsonValue::obj(vec![("b", JsonValue::Num(x))]))])
+    }
+
+    #[test]
+    fn directions_gate_correctly() {
+        // higher: 10 with 10% tol → fresh 9.0 passes, 8.9 regresses.
+        let b = baseline(Direction::Higher, 10.0, 0.1);
+        assert_eq!(b.compare(&fresh(9.0))[0].status, Status::Pass);
+        assert_eq!(b.compare(&fresh(8.9))[0].status, Status::Regressed);
+        assert_eq!(b.compare(&fresh(50.0))[0].status, Status::Pass);
+        // lower: mirrored.
+        let b = baseline(Direction::Lower, 10.0, 0.1);
+        assert_eq!(b.compare(&fresh(11.0))[0].status, Status::Pass);
+        assert_eq!(b.compare(&fresh(11.1))[0].status, Status::Regressed);
+        assert_eq!(b.compare(&fresh(0.1))[0].status, Status::Pass);
+        // near: both ways.
+        let b = baseline(Direction::Near, 10.0, 0.1);
+        assert_eq!(b.compare(&fresh(10.9))[0].status, Status::Pass);
+        assert_eq!(b.compare(&fresh(11.1))[0].status, Status::Regressed);
+        assert_eq!(b.compare(&fresh(8.9))[0].status, Status::Regressed);
+    }
+
+    #[test]
+    fn missing_paths_fail() {
+        let b = baseline(Direction::Higher, 1.0, 0.1);
+        let doc = JsonValue::obj(vec![("unrelated", JsonValue::Num(1.0))]);
+        assert_eq!(b.compare(&doc)[0].status, Status::Missing);
+        let rep = BenchReport {
+            bench: "t".into(),
+            source: "s".into(),
+            outcomes: b.compare(&doc),
+            error: None,
+        };
+        assert!(!rep.ok());
+        assert!(rep.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn baseline_json_roundtrip() {
+        let b = Baseline {
+            bench: "serve".into(),
+            source: "BENCH_serve.json".into(),
+            metrics: vec![
+                MetricSpec {
+                    path: "warm.jobs_per_sec".into(),
+                    value: 25.0,
+                    direction: Direction::Higher,
+                    rel_tol: 0.4,
+                },
+                MetricSpec {
+                    path: "overhead_pct".into(),
+                    value: 2.0,
+                    direction: Direction::Lower,
+                    rel_tol: 1.5,
+                },
+            ],
+        };
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn refreshed_takes_fresh_values() {
+        let b = baseline(Direction::Higher, 10.0, 0.1);
+        let r = b.refreshed(&fresh(12.5));
+        assert_eq!(r.metrics[0].value, 12.5);
+        // Unresolvable paths keep the old pin.
+        let r = b.refreshed(&JsonValue::obj(vec![]));
+        assert_eq!(r.metrics[0].value, 10.0);
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let b = baseline(Direction::Near, 2.5, 0.05);
+        let text = pretty(&b.to_json());
+        assert!(text.lines().count() > 5, "one metric per line:\n{text}");
+        let back = Baseline::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn dotted_lookup() {
+        let doc = fresh(3.5);
+        assert_eq!(lookup(&doc, "a.b"), Some(3.5));
+        assert_eq!(lookup(&doc, "a.c"), None);
+        assert_eq!(lookup(&doc, "x"), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `fcix-bench-diff` CI gate: the committed
+//! baseline shape passes, a synthetically degraded run fails non-zero,
+//! and `--update` re-pins baselines from fresh artifacts.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("fcix-bench-diff-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("baselines")).unwrap();
+        std::fs::create_dir_all(root.join("results")).unwrap();
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        std::fs::write(self.root.join(rel), text).unwrap();
+    }
+
+    fn read(&self, rel: &str) -> String {
+        std::fs::read_to_string(self.root.join(rel)).unwrap()
+    }
+
+    fn run(&self, extra: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_fcix-bench-diff"))
+            .arg("--baselines")
+            .arg(self.root.join("baselines"))
+            .arg("--results")
+            .arg(self.root.join("results"))
+            .args(extra)
+            .output()
+            .expect("fcix-bench-diff must spawn")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const ARTIFACT: &str = r#"{"speedup": 3.0, "warm": {"jobs_per_sec": 100.0}}"#;
+
+fn baseline(speedup: f64) -> String {
+    format!(
+        r#"{{"bench": "t", "source": "BENCH_t.json", "metrics": [
+            {{"path": "speedup", "value": {speedup}, "direction": "higher", "rel_tol": 0.1}},
+            {{"path": "warm.jobs_per_sec", "value": 100.0, "direction": "higher", "rel_tol": 0.5}}
+        ]}}"#
+    )
+}
+
+#[test]
+fn healthy_run_passes() {
+    let fx = Fixture::new("pass");
+    fx.write("results/BENCH_t.json", ARTIFACT);
+    fx.write("baselines/t.json", &baseline(3.0));
+    let out = fx.run(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "expected pass:\n{stdout}");
+    assert!(stdout.contains("all within tolerance"), "{stdout}");
+}
+
+#[test]
+fn degraded_run_fails_nonzero() {
+    let fx = Fixture::new("degraded");
+    // The fresh artifact's speedup (3.0) sits far below a baseline pin
+    // of 6.0 — the shape of a real perf regression.
+    fx.write("results/BENCH_t.json", ARTIFACT);
+    fx.write("baselines/t.json", &baseline(6.0));
+    let out = fx.run(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1:\n{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("REGRESSION detected"), "{stdout}");
+}
+
+#[test]
+fn missing_metric_and_missing_artifact_fail() {
+    let fx = Fixture::new("missing");
+    fx.write(
+        "results/BENCH_t.json",
+        r#"{"renamed_key": 3.0, "warm": {"jobs_per_sec": 100.0}}"#,
+    );
+    fx.write("baselines/t.json", &baseline(3.0));
+    let out = fx.run(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MISSING"));
+
+    // Artifact file absent entirely (bench never ran): also a failure.
+    std::fs::remove_file(fx.root.join("results/BENCH_t.json")).unwrap();
+    let out = fx.run(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ERROR"));
+}
+
+#[test]
+fn update_repins_baseline_values() {
+    let fx = Fixture::new("update");
+    fx.write("results/BENCH_t.json", ARTIFACT);
+    fx.write("baselines/t.json", &baseline(6.0));
+    // Gate fails against the stale pin, --update adopts the fresh
+    // reading, and the gate passes afterwards.
+    assert_eq!(fx.run(&[]).status.code(), Some(1));
+    assert!(fx.run(&["--update"]).status.success());
+    assert!(fx.read("baselines/t.json").contains("\"value\": 3"));
+    assert!(fx.run(&[]).status.success());
+}
+
+#[test]
+fn committed_baselines_parse() {
+    // The baselines shipped in results/baselines/ must stay loadable —
+    // schema drift here would silently disable the CI gate.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines");
+    let mut n = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "json") {
+            fci_bench::regress::load_baseline(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            n += 1;
+        }
+    }
+    assert!(n >= 3, "expected >= 3 committed baselines, found {n}");
+}

@@ -14,6 +14,8 @@
 //! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`, `crates/serve/src` — a scheduler that panics takes every queued tenant down with it); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
 //! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc GEMM modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`) outside tests — the σ hot path must not touch the heap after warm-up |
+//! | `metric-name` | literal metric names passed to the metrics plane (`.observe("…")`, `.counter_add(`, `.counter_incr(`, `.gauge_set(`, `.incr(`) must match `[a-z0-9_.]+` — the text exposition mangles anything else, and two spellings of one metric split its series |
+//! | `metric-wallclock` | on simulated-path crates (`crates/ddi`, `crates/core`, `crates/fault`, `crates/xsim`), a metric-recording call must not read host time (`now_us(`, `Instant::now`, `SystemTime`) in the same expression — simulated metrics must come from the cost model, or the histogram mixes host jitter into X1 numbers |
 //!
 //! A violation can be waived in place with a trailing comment
 //! `lint: allow(<rule>)` on the offending line or the line above — the
@@ -62,6 +64,9 @@ pub struct LintConfig {
     /// Path fragments (files or directories) where heap allocation is
     /// forbidden outside tests — the zero-alloc GEMM hot path.
     pub zero_alloc_paths: Vec<String>,
+    /// Path fragments running under the simulated clock, where metric
+    /// recording must not read host time in the same expression.
+    pub sim_paths: Vec<String>,
 }
 
 impl LintConfig {
@@ -88,8 +93,52 @@ impl LintConfig {
                 "crates/linalg/src/gemm.rs".into(),
                 "crates/linalg/src/arena.rs".into(),
             ],
+            sim_paths: vec![
+                "crates/ddi/src".into(),
+                "crates/core/src".into(),
+                "crates/fault/src".into(),
+                "crates/xsim/src".into(),
+            ],
         }
     }
+}
+
+/// Call tokens that record into the metrics plane; the first argument is
+/// the metric name.
+const METRIC_CALLS: [&str; 5] = [
+    ".observe(",
+    ".counter_add(",
+    ".counter_incr(",
+    ".gauge_set(",
+    ".incr(",
+];
+
+/// Literal metric names on one raw source line (strings intact) that
+/// violate the `[a-z0-9_.]+` naming rule. Dynamic names (non-literal
+/// first argument) are skipped — the registry can't be linted statically.
+fn bad_metric_names(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for call in METRIC_CALLS {
+        let mut from = 0;
+        while let Some(p) = raw[from..].find(call) {
+            let after = from + p + call.len();
+            from = after;
+            let rest = raw[after..].trim_start();
+            let Some(lit) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = lit.find('"') else { continue };
+            let name = &lit[..end];
+            let ok = !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
+            if !ok {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
 }
 
 /// One source line, split into its code and comment parts.
@@ -375,6 +424,13 @@ pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation>
         .zero_alloc_paths
         .iter()
         .any(|h| relpath.starts_with(h.as_str()));
+    let sim = cfg
+        .sim_paths
+        .iter()
+        .any(|h| relpath.starts_with(h.as_str()));
+    // Raw lines (strings intact) for the metric-name rule: the scanner
+    // blanks string literals, but metric names *are* string literals.
+    let raw_lines: Vec<&str> = src.lines().collect();
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -505,6 +561,49 @@ pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation>
                     rule: "unwrap",
                     message: "`.expect(…)` in hot-path code — propagate or handle the error".into(),
                 });
+            }
+        }
+
+        // Rules on metric-recording calls. The call token is looked up in
+        // the blanked code text (so a token inside a doc string does not
+        // count), the name itself in the raw line.
+        let records_metric = METRIC_CALLS.iter().any(|c| code.contains(c));
+        if records_metric && !line.in_test && !is_test_context(relpath) {
+            // Rule: literal metric names match [a-z0-9_.]+.
+            if !waived(&lines, idx, "metric-name") {
+                for name in raw_lines
+                    .get(idx)
+                    .map_or(Vec::new(), |r| bad_metric_names(r))
+                {
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "metric-name",
+                        message: format!(
+                            "metric name `{name}` — names must match [a-z0-9_.]+ so the \
+                             text exposition and series labels stay stable"
+                        ),
+                    });
+                }
+            }
+            // Rule: simulated-path metrics must not read host time in the
+            // recording expression.
+            if sim && !waived(&lines, idx, "metric-wallclock") {
+                let clocky = ["now_us(", "Instant::now", "SystemTime"]
+                    .iter()
+                    .find(|n| code.contains(*n));
+                if let Some(n) = clocky {
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: lineno,
+                        rule: "metric-wallclock",
+                        message: format!(
+                            "`{n}` inside a metric-recording expression on a simulated \
+                             path — record cost-model time, or split the host read onto \
+                             its own audited line"
+                        ),
+                    });
+                }
             }
         }
 
@@ -679,6 +778,61 @@ mod tests {
         // eprintln is fine anywhere.
         let e = "fn f() { eprintln!(\"x\"); }\n";
         assert!(lint("crates/core/src/x.rs", e).is_empty());
+    }
+
+    #[test]
+    fn metric_names_must_be_lowercase_dotted() {
+        let bad = "fn f() { m.observe(\"Sigma Phase-S\", &[], x); }\n";
+        let v = lint("crates/core/src/phase.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "metric-name");
+        assert!(v[0].message.contains("Sigma Phase-S"));
+        let good = "fn f() { m.observe(\"sigma.phase_s\", &[], x); }\n";
+        assert!(lint("crates/core/src/phase.rs", good).is_empty());
+        // All recording entry points are covered.
+        for call in ["counter_add", "counter_incr", "gauge_set", "incr"] {
+            let src = format!("fn f() {{ m.{call}(\"BAD!\", &[]); }}\n");
+            assert_eq!(lint("crates/serve/src/server.rs", &src).len(), 1, "{call}");
+        }
+        // Dynamic names and non-metric calls are skipped.
+        let dynamic = "fn f() { m.observe(name, &[], x); }\n";
+        assert!(lint("crates/core/src/phase.rs", dynamic).is_empty());
+        // A doc-comment mention is not a recording call.
+        let doc = "/// e.g. `.observe(\"NOT A NAME\")` would be wrong\nfn f() {}\n";
+        assert!(lint("crates/core/src/phase.rs", doc).is_empty());
+        // Waivers work; tests are exempt.
+        let waived = "fn f() { m.incr(\"WAT\"); } // lint: allow(metric-name)\n";
+        assert!(lint("crates/core/src/phase.rs", waived).is_empty());
+        assert!(lint("crates/core/tests/t.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn metric_recording_must_not_read_host_time_on_sim_paths() {
+        let bad = "fn f() { m.observe(\"davidson.iter_s\", &[], t.now_us()); }\n";
+        let v = lint("crates/core/src/diag.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "metric-wallclock");
+        // Cost-model time is fine.
+        let good = "fn f() { m.observe(\"davidson.iter_s\", &[], ck.total()); }\n";
+        assert!(lint("crates/core/src/diag.rs", good).is_empty());
+        // Host-side crates (serve, bench, bins) may mix freely.
+        assert!(lint("crates/serve/src/server.rs", bad).is_empty());
+        // A host read on its own line does not trip this rule (the plain
+        // wallclock rule still covers Instant::now).
+        let split = "fn f() { let t0 = t.now_us(); m.observe(\"a.b\", &[], x); }\n";
+        assert_eq!(
+            lint("crates/ddi/src/dist.rs", split)
+                .iter()
+                .filter(|v| v.rule == "metric-wallclock")
+                .count(),
+            1,
+            "same-line mixing is still one expression"
+        );
+        let two_lines = "fn f() {\n    let dt = t.now_us() - t0;\n    \
+                         m.observe(\"a.b\", &[], dt); // lint: allow(metric-wallclock)\n}\n";
+        assert!(lint("crates/ddi/src/dist.rs", two_lines)
+            .iter()
+            .all(|v| v.rule != "metric-wallclock"));
     }
 
     #[test]

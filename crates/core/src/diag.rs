@@ -209,12 +209,26 @@ impl Preconditioner {
 /// Emit one solver-iteration telemetry point (energy, residual) through
 /// the tracer attached to the context's DDI world, if any.
 fn trace_iteration(ctx: &SigmaCtx, iter: usize, e: f64, res: f64) {
-    ctx.ddi.tracer().instant(
+    let t = ctx.ddi.tracer();
+    t.instant(
         None,
         "diag_iter",
         Category::Other,
         &[("iter", iter as f64), ("energy", e), ("residual", res)],
     );
+    if let Some(m) = t.metrics() {
+        m.counter_incr("davidson.iters", &[]);
+        m.gauge_set("davidson.residual", &[], res);
+        // Simulated seconds this iteration cost: the advance of rank 0's
+        // cursor since the previous `diag_iter` point, parked in a gauge
+        // between calls.
+        let now = t.cursor(0);
+        let prev = m.value("davidson.cursor_s", &[]).unwrap_or(0.0);
+        m.gauge_set("davidson.cursor_s", &[], now);
+        if now > prev {
+            m.observe("davidson.iter_s", &[], now - prev);
+        }
+    }
 }
 
 fn clone_dist(a: &DistMatrix) -> DistMatrix {

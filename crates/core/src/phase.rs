@@ -29,8 +29,23 @@ where
     for (ck, st) in clocks.iter_mut().zip(&stats) {
         charge_comm(ck, st, model);
     }
+    if let Some(m) = tracer.metrics() {
+        // Distribution of per-rank busy time: its spread *is* the load
+        // imbalance Table 3 reports as a residual row.
+        for ck in &clocks {
+            m.observe("sigma.rank_busy_s", &[("phase", name)], ck.total());
+        }
+    }
     let report = RunReport::new(clocks);
     report.record_to(&tracer, name, host_start, tracer.now_us() - host_start);
+    if let Some(m) = tracer.metrics() {
+        m.observe("sigma.phase_s", &[("phase", name)], report.elapsed());
+        m.observe(
+            "sigma.phase_gflops",
+            &[("phase", name)],
+            report.gflops_per_msp(),
+        );
+    }
     report
 }
 

@@ -191,12 +191,24 @@ pub fn solve_resilient_prepared(
                 ranks_lost += 1;
                 nproc = (nproc - 1).max(1);
                 plan.acknowledge_death();
+                // Simulated seconds of work the death threw away: the
+                // discarded chunk's wall-clock (recomputed from the
+                // checkpoint after the restart).
+                let lost_s = chunk.sigma_cost.total().elapsed();
                 tracer.instant(
                     None,
                     "rank_death_recovery",
                     fci_obs::Category::Other,
-                    &[("survivors", nproc as f64), ("restart", restarts as f64)],
+                    &[
+                        ("survivors", nproc as f64),
+                        ("restart", restarts as f64),
+                        ("lost_s", lost_s),
+                    ],
                 );
+                if let Some(m) = tracer.metrics() {
+                    m.counter_incr("fault.rank_deaths", &[]);
+                    m.observe("fault.rank_death_recovery_s", &[], lost_s);
+                }
                 continue 'world;
             }
             total_iters += chunk.iterations;

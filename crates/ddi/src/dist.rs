@@ -176,6 +176,17 @@ impl DistMatrix {
                     ("owner", owner as f64),
                 ],
             );
+            if let Some(m) = t.metrics() {
+                // "ddi_get" → "ddi.get_bytes" etc.; transfer-size
+                // distributions per one-sided op.
+                let name = match op {
+                    "ddi_get" => "ddi.get_bytes",
+                    "ddi_acc" => "ddi.acc_bytes",
+                    "ddi_put" => "ddi.put_bytes",
+                    _ => "ddi.op_bytes",
+                };
+                m.observe(name, &[], bytes as f64);
+            }
         }
     }
 
@@ -545,7 +556,7 @@ impl DistMatrix {
         // takes longer to drain; pure simulated wait, no reordering.
         if let Some(ns) = plan.on_fence() {
             stats.backoff_ns += ns;
-            self.trace_fault(rank, "fence_delay", TransferOp::Acc, col, 0);
+            self.trace_fault(rank, "fence_delay", TransferOp::Acc, col, 0, ns);
         }
     }
 
@@ -588,7 +599,7 @@ impl DistMatrix {
                 stats.put_bytes += bytes;
             }
         }
-        self.trace_fault(rank, "duplicate", op, col, 0);
+        self.trace_fault(rank, "duplicate", op, col, 0, 0);
     }
 
     /// Charge one failed delivery attempt: the lost/garbled message
@@ -621,14 +632,26 @@ impl DistMatrix {
             }
         }
         stats.retries += 1;
-        stats.backoff_ns += plan.backoff_ns(attempt);
+        let backoff_ns = plan.backoff_ns(attempt);
+        stats.backoff_ns += backoff_ns;
         plan.count_retry();
-        self.trace_fault(rank, "transient", op, col, attempt);
+        self.trace_fault(rank, "transient", op, col, attempt, backoff_ns);
     }
 
     /// Emit a `fault_injected` instant for an injected fault handled on
-    /// this matrix.
-    fn trace_fault(&self, rank: usize, kind: &str, op: TransferOp, col: usize, attempt: u32) {
+    /// this matrix. `backoff_ns` is the simulated delay the fault cost
+    /// before the operation proceeded (0 for free faults like duplicate
+    /// discards); it rides on the instant as `backoff_s` and feeds the
+    /// `ddi.retry_backoff_s` histogram.
+    fn trace_fault(
+        &self,
+        rank: usize,
+        kind: &str,
+        op: TransferOp,
+        col: usize,
+        attempt: u32,
+        backoff_ns: u64,
+    ) {
         if let Some(t) = self.tracer.get() {
             let opcode = match op {
                 TransferOp::Get => 0.0,
@@ -641,17 +664,23 @@ impl DistMatrix {
                 "fence_delay" => 2.0,
                 _ => 3.0,
             };
-            t.instant(
-                Some(rank),
-                "fault_injected",
-                Category::Other,
-                &[
-                    ("op", opcode),
-                    ("col", col as f64),
-                    ("attempt", attempt as f64),
-                    ("kind", kindcode),
-                ],
-            );
+            let backoff_s = backoff_ns as f64 / 1e9;
+            let mut args = vec![
+                ("op", opcode),
+                ("col", col as f64),
+                ("attempt", attempt as f64),
+                ("kind", kindcode),
+            ];
+            if backoff_ns > 0 {
+                args.push(("backoff_s", backoff_s));
+            }
+            t.instant(Some(rank), "fault_injected", Category::Other, &args);
+            if let Some(m) = t.metrics() {
+                m.counter_incr("fault.injected", &[("kind", kind)]);
+                if backoff_ns > 0 {
+                    m.observe("ddi.retry_backoff_s", &[("kind", kind)], backoff_s);
+                }
+            }
         }
     }
 

@@ -234,10 +234,17 @@ pub fn dgemm_path(
         GemmPath::Small => true,
         GemmPath::Packed => false,
     };
+    // Host-time probe for per-shape throughput metrics; one relaxed
+    // atomic load when nobody is observing. This is real (host) kernel
+    // time by design — linalg sits below the simulated-clock layer.
+    let timer = crate::probe::active().then(std::time::Instant::now); // lint: allow(wallclock)
     if small {
         small_dgemm(transa, transb, alpha, a, b, c, m, k, n);
     } else {
         packed_dgemm(nthreads, transa, transb, alpha, a, b, c, m, k, n);
+    }
+    if let Some(t0) = timer {
+        crate::probe::emit(m, n, k, t0.elapsed().as_secs_f64());
     }
 }
 

@@ -30,6 +30,7 @@ pub mod blas1;
 pub mod eigen;
 pub mod gemm;
 pub mod matrix;
+pub mod probe;
 pub mod solve;
 pub mod tridiag;
 

@@ -3,8 +3,37 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use crate::metrics::MetricsRegistry;
 use crate::sink::JsonlSink;
 use crate::tracer::Tracer;
+
+/// How the metrics plane attaches to the tracer a config builds.
+#[derive(Clone, Debug, Default)]
+pub enum MetricsMode {
+    /// A fresh registry whenever tracing is enabled (the default).
+    #[default]
+    Auto,
+    /// No metrics plane even when tracing is on.
+    Off,
+    /// Record into a caller-owned registry. With tracing disabled this
+    /// still yields a live metrics-only tracer ([`Tracer::metrics_only`]),
+    /// so a server can aggregate metrics across solves without paying for
+    /// event emission.
+    Shared(MetricsRegistry),
+}
+
+impl PartialEq for MetricsMode {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MetricsMode::Auto, MetricsMode::Auto) => true,
+            (MetricsMode::Off, MetricsMode::Off) => true,
+            (MetricsMode::Shared(a), MetricsMode::Shared(b)) => a.same_store(b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for MetricsMode {}
 
 /// Observability options, carried on `FciOptions`.
 ///
@@ -13,11 +42,13 @@ use crate::tracer::Tracer;
 /// instrumented hot paths cost nothing when tracing is off.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ObsConfig {
-    /// Master switch.
+    /// Master switch for event tracing.
     pub enabled: bool,
     /// Where to write the JSONL trace. `None` with `enabled` collects
     /// events in memory (retrievable via [`Tracer::events`]).
     pub trace_path: Option<PathBuf>,
+    /// Metrics-plane attachment (see [`MetricsMode`]).
+    pub metrics: MetricsMode,
 }
 
 impl ObsConfig {
@@ -30,7 +61,7 @@ impl ObsConfig {
     pub fn in_memory() -> ObsConfig {
         ObsConfig {
             enabled: true,
-            trace_path: None,
+            ..ObsConfig::default()
         }
     }
 
@@ -39,17 +70,51 @@ impl ObsConfig {
         ObsConfig {
             enabled: true,
             trace_path: Some(path.into()),
+            ..ObsConfig::default()
         }
+    }
+
+    /// Record metrics into `registry` (no event tracing unless also
+    /// enabled) — the metrics plane without the trace firehose.
+    pub fn metrics_into(registry: MetricsRegistry) -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            trace_path: None,
+            metrics: MetricsMode::Shared(registry),
+        }
+    }
+
+    /// Use a caller-owned registry for the metrics plane.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> ObsConfig {
+        self.metrics = MetricsMode::Shared(registry);
+        self
+    }
+
+    /// Disable the metrics plane (events only).
+    pub fn without_metrics(mut self) -> ObsConfig {
+        self.metrics = MetricsMode::Off;
+        self
     }
 
     /// Build the tracer this configuration describes.
     pub fn tracer(&self) -> std::io::Result<Tracer> {
+        let metrics = match &self.metrics {
+            MetricsMode::Off => None,
+            MetricsMode::Auto => self.enabled.then(MetricsRegistry::new),
+            MetricsMode::Shared(r) => Some(r.clone()),
+        };
         if !self.enabled {
-            return Ok(Tracer::disabled());
+            return Ok(match metrics {
+                Some(m) => Tracer::metrics_only(m),
+                None => Tracer::disabled(),
+            });
         }
         match &self.trace_path {
-            Some(path) => Ok(Tracer::new(Arc::new(JsonlSink::create(path)?))),
-            None => Ok(Tracer::in_memory()),
+            Some(path) => Ok(Tracer::with_sink(
+                Arc::new(JsonlSink::create(path)?),
+                metrics,
+            )),
+            None => Ok(Tracer::in_memory_with(metrics)),
         }
     }
 }
@@ -62,6 +127,7 @@ mod tests {
     fn default_is_disabled() {
         let t = ObsConfig::default().tracer().unwrap();
         assert!(!t.enabled());
+        assert!(t.metrics().is_none());
     }
 
     #[test]
@@ -69,5 +135,32 @@ mod tests {
         let t = ObsConfig::in_memory().tracer().unwrap();
         assert!(t.enabled());
         assert_eq!(t.events().unwrap().len(), 0);
+        // Auto mode: a metrics plane rides along.
+        assert!(t.metrics().is_some());
+    }
+
+    #[test]
+    fn shared_metrics_survive_the_tracer() {
+        let reg = MetricsRegistry::new();
+        let t = ObsConfig::metrics_into(reg.clone()).tracer().unwrap();
+        assert!(!t.enabled());
+        t.metrics().unwrap().incr("solves");
+        drop(t);
+        assert_eq!(reg.get("solves"), Some(1.0));
+        // Shared + enabled: events and the caller's registry.
+        let t = ObsConfig::in_memory()
+            .with_metrics(reg.clone())
+            .tracer()
+            .unwrap();
+        assert!(t.enabled());
+        t.metrics().unwrap().incr("solves");
+        assert_eq!(reg.get("solves"), Some(2.0));
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let t = ObsConfig::in_memory().without_metrics().tracer().unwrap();
+        assert!(t.enabled());
+        assert!(t.metrics().is_none());
     }
 }

@@ -205,6 +205,40 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
     Ok(out)
 }
 
+/// Like [`parse_jsonl`], but tolerates a truncated final record — the
+/// common shape of a trace from a crashed or killed run, where the last
+/// buffered line was cut mid-write.
+///
+/// A parse error on the *last* non-empty line yields the events parsed so
+/// far plus a warning string; an error anywhere earlier is still a hard
+/// error (the file is corrupt, not merely truncated).
+pub fn parse_jsonl_lenient(text: &str) -> Result<(Vec<Event>, Option<String>), String> {
+    let last_nonempty = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .last()
+        .map(|(i, _)| i);
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = JsonValue::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Event::from_json(&v));
+        match parsed {
+            Ok(e) => out.push(e),
+            Err(e) if Some(i) == last_nonempty => {
+                return Ok((out, Some(format!("line {}: {e} (truncated trace?)", i + 1))));
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok((out, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +283,25 @@ mod tests {
         let text: String = evs.iter().map(|e| e.to_json().to_string() + "\n").collect();
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(evs, back);
+    }
+
+    #[test]
+    fn lenient_parse_tolerates_truncated_tail() {
+        let good = sample().to_json().to_string();
+        let text = format!("{good}\n{good}\n{{\"ev\":\"span\",\"na");
+        let (events, warn) = parse_jsonl_lenient(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(warn.unwrap().contains("truncated"));
+        // A corrupt line in the middle is still fatal.
+        let text = format!("{good}\nnot json\n{good}\n");
+        assert!(parse_jsonl_lenient(&text).is_err());
+        // Clean input: no warning.
+        let (events, warn) = parse_jsonl_lenient(&format!("{good}\n")).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(warn.is_none());
+        // Empty input: no events, no warning, no error.
+        let (events, warn) = parse_jsonl_lenient("").unwrap();
+        assert!(events.is_empty() && warn.is_none());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   simulated seconds from the active `fci_xsim::Clock` (what the
 //!   modelled Cray-X1 would have done), so one trace explains both real
 //!   profiling and the X1 cost model.
-//! * [`MetricsRegistry`] — named monotonic counters and gauges.
+//! * [`MetricsRegistry`] — the metrics plane: a sharded, hash-indexed
+//!   registry of labelled counters, gauges, and log-linear
+//!   ([`Histogram`]) percentile histograms, with a Prometheus-shaped
+//!   text exposition ([`MetricsRegistry::render_text`]).
+//! * [`flame`] — collapsed-stack (flamegraph) export of span traces,
+//!   keyed by host or simulated time.
 //! * Sinks — [`JsonlSink`] (one JSON event per line), [`MemorySink`]
 //!   (tests), and a no-op [`NullSink`]; tracing is zero-cost when
 //!   disabled (one branch on [`Tracer::enabled`]).
@@ -31,6 +36,8 @@
 pub mod chrome;
 pub mod config;
 pub mod event;
+pub mod flame;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod sink;
@@ -38,10 +45,12 @@ pub mod summary;
 pub mod tracer;
 
 pub use chrome::to_chrome;
-pub use config::ObsConfig;
-pub use event::{parse_jsonl, Category, Event, EventKind};
+pub use config::{MetricsMode, ObsConfig};
+pub use event::{parse_jsonl, parse_jsonl_lenient, Category, Event, EventKind};
+pub use flame::{parse_collapsed, to_collapsed, TimeBase};
+pub use hist::{HistStats, Histogram};
 pub use json::JsonValue;
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 pub use summary::RunSummary;
 pub use tracer::Tracer;

@@ -1,30 +1,194 @@
-//! A small registry of named counters and gauges.
+//! The metrics plane: a sharded, hash-indexed registry of counters,
+//! gauges, and log-linear histograms with label dimensions.
+//!
+//! # Design
+//!
+//! The registry is split into [`NSHARDS`] shards, each behind its own
+//! mutex. A metric is addressed by `(name, labels)`; an FNV-1a hash of
+//! that key picks the shard **and** indexes an open-addressed table
+//! inside it, so hot-path recording is: hash (no allocation), lock one
+//! shard, one probe, bump a slot. The previous implementation kept every
+//! metric in one `Mutex<Vec<_>>` and linearly scanned names under the
+//! global lock; that API ([`MetricsRegistry::add`], `incr`, `set`, `get`,
+//! `snapshot`, `to_json`) survives as a thin shim over the sharded store
+//! (a label-less metric is just `(name, [])`).
+//!
+//! Label order is significant: pass labels in a fixed order per call
+//! site (they are hashed and compared as given).
+//!
+//! Cloning a registry is cheap and shares the store — the solver, the
+//! serving layer, and exporters can all hold handles to one plane.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::event::{Event, EventKind};
+use crate::hist::{HistStats, Histogram};
 use crate::json::JsonValue;
 
-#[derive(Clone, Copy, PartialEq)]
-enum MetricKind {
-    Counter,
-    Gauge,
+/// Number of independently locked shards.
+pub const NSHARDS: usize = 16;
+
+const EMPTY: usize = usize::MAX;
+
+#[inline]
+fn fnv1a(name: &str, labels: &[(&str, &str)]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    eat(name.as_bytes());
+    for (k, v) in labels {
+        eat(k.as_bytes());
+        eat(v.as_bytes());
+    }
+    h
 }
 
-struct Metric {
+enum Value {
+    Counter(f64),
+    Gauge(f64),
+    Hist(Histogram),
+}
+
+struct Entry {
+    hash: u64,
     name: String,
-    kind: MetricKind,
-    value: f64,
+    labels: Vec<(String, String)>,
+    value: Value,
 }
 
-/// Named monotonic counters and last-value gauges.
-///
-/// Counters only ever grow (`add`); gauges record the most recent value
-/// (`set`). Both are keyed by name on first use. All operations take
-/// `&self`; the registry is internally locked and safe to share across
-/// worker threads.
+impl Entry {
+    fn matches(&self, hash: u64, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.hash == hash
+            && self.name == name
+            && self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+    }
+}
+
 #[derive(Default)]
+struct Shard {
+    entries: Vec<Entry>,
+    /// Open-addressed hash table of indices into `entries`.
+    table: Vec<usize>,
+}
+
+impl Shard {
+    fn find(&self, hash: u64, name: &str, labels: &[(&str, &str)]) -> Option<usize> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return None,
+                i if self.entries[i].matches(hash, name, labels) => return Some(i),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, hash: u64, name: &str, labels: &[(&str, &str)], value: Value) -> usize {
+        let idx = self.entries.len();
+        self.entries.push(Entry {
+            hash,
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+        if self.entries.len() * 2 >= self.table.len() {
+            self.rehash();
+        } else {
+            self.place(idx);
+        }
+        idx
+    }
+
+    fn place(&mut self, idx: usize) {
+        let mask = self.table.len() - 1;
+        let mut slot = (self.entries[idx].hash as usize) & mask;
+        while self.table[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        self.table[slot] = idx;
+    }
+
+    fn rehash(&mut self) {
+        let cap = (self.entries.len() * 4).next_power_of_two().max(16);
+        self.table = vec![EMPTY; cap];
+        for i in 0..self.entries.len() {
+            self.place(i);
+        }
+    }
+}
+
+struct Store {
+    shards: Vec<Mutex<Shard>>,
+}
+
+/// Sharded registry of named counters, gauges, and histograms.
+///
+/// Counters only ever grow ([`MetricsRegistry::counter_add`]); gauges
+/// record the most recent value ([`MetricsRegistry::gauge_set`]);
+/// histograms accumulate samples ([`MetricsRegistry::observe`]) and
+/// answer bucket-bounded percentile queries. All operations take
+/// `&self`; clones share the underlying store.
+#[derive(Clone)]
 pub struct MetricsRegistry {
-    metrics: Mutex<Vec<Metric>>,
+    store: Arc<Store>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            store: Arc::new(Store {
+                shards: (0..NSHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n: usize = self
+            .store
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum();
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &n)
+            .finish()
+    }
+}
+
+/// One metric sample: `(name, sorted labels, value)`.
+pub type LabeledValue = (String, Vec<(String, String)>, f64);
+/// One histogram: `(name, sorted labels, histogram)`.
+pub type LabeledHist = (String, Vec<(String, String)>, Histogram);
+
+/// A point-in-time copy of every metric, sorted by `(name, labels)`.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<LabeledValue>,
+    /// Last-value gauges.
+    pub gauges: Vec<LabeledValue>,
+    /// Histograms.
+    pub hists: Vec<LabeledHist>,
 }
 
 impl MetricsRegistry {
@@ -33,64 +197,376 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    fn upsert(&self, name: &str, kind: MetricKind, f: impl FnOnce(&mut f64)) {
-        let mut metrics = self.metrics.lock().unwrap();
-        if let Some(m) = metrics.iter_mut().find(|m| m.name == name) {
-            debug_assert!(
-                m.kind == kind,
-                "metric '{name}' reused with a different kind"
+    /// Whether two handles share the same underlying store.
+    pub fn same_store(&self, other: &MetricsRegistry) -> bool {
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
+    fn with_entry(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        mk: impl FnOnce() -> Value,
+        f: impl FnOnce(&mut Value),
+    ) {
+        let hash = fnv1a(name, labels);
+        let shard = &self.store.shards[(hash >> 56) as usize & (NSHARDS - 1)];
+        let mut shard = shard.lock().unwrap();
+        let idx = match shard.find(hash, name, labels) {
+            Some(i) => i,
+            None => shard.insert(hash, name, labels, mk()),
+        };
+        f(&mut shard.entries[idx].value);
+    }
+
+    fn read_entry<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl FnOnce(&Value) -> Option<T>,
+    ) -> Option<T> {
+        let hash = fnv1a(name, labels);
+        let shard = &self.store.shards[(hash >> 56) as usize & (NSHARDS - 1)];
+        let shard = shard.lock().unwrap();
+        let idx = shard.find(hash, name, labels)?;
+        f(&shard.entries[idx].value)
+    }
+
+    /// Add to a labelled monotonic counter (created at 0 on first use).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        self.with_entry(
+            name,
+            labels,
+            || Value::Counter(0.0),
+            |v| {
+                if let Value::Counter(c) = v {
+                    *c += delta;
+                }
+            },
+        );
+    }
+
+    /// Increment a labelled counter by one.
+    pub fn counter_incr(&self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1.0);
+    }
+
+    /// Set a labelled gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_entry(
+            name,
+            labels,
+            || Value::Gauge(0.0),
+            |v| {
+                if let Value::Gauge(g) = v {
+                    *g = value;
+                }
+            },
+        );
+    }
+
+    /// Record a sample into a labelled histogram.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], sample: f64) {
+        self.with_entry(
+            name,
+            labels,
+            || Value::Hist(Histogram::new()),
+            |v| {
+                if let Value::Hist(h) = v {
+                    h.record(sample);
+                }
+            },
+        );
+    }
+
+    /// Current value of a labelled counter or gauge.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.read_entry(name, labels, |v| match v {
+            Value::Counter(c) => Some(*c),
+            Value::Gauge(g) => Some(*g),
+            Value::Hist(_) => None,
+        })
+    }
+
+    /// Copy of a labelled histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        self.read_entry(name, labels, |v| match v {
+            Value::Hist(h) => Some(h.clone()),
+            _ => None,
+        })
+    }
+
+    /// Summary statistics of a labelled histogram.
+    pub fn hist_stats(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistStats> {
+        self.read_entry(name, labels, |v| match v {
+            Value::Hist(h) => Some(h.stats()),
+            _ => None,
+        })
+    }
+
+    /// Bucket-bounded percentile of a labelled histogram.
+    pub fn percentile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.read_entry(name, labels, |v| match v {
+            Value::Hist(h) => h.percentile(q),
+            _ => None,
+        })
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other side's value, histograms merge (order-stable; see
+    /// [`Histogram::merge`]).
+    pub fn merge(&self, other: &MetricsRegistry) {
+        let snap = other.snapshot_all();
+        fn own(labels: &[(String, String)]) -> Vec<(&str, &str)> {
+            labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect()
+        }
+        for (name, labels, v) in &snap.counters {
+            self.counter_add(name, &own(labels), *v);
+        }
+        for (name, labels, v) in &snap.gauges {
+            self.gauge_set(name, &own(labels), *v);
+        }
+        for (name, labels, h) in &snap.hists {
+            self.with_entry(
+                name,
+                &own(labels),
+                || Value::Hist(Histogram::new()),
+                |v| {
+                    if let Value::Hist(mine) = v {
+                        mine.merge(h);
+                    }
+                },
             );
-            f(&mut m.value);
-        } else {
-            let mut value = 0.0;
-            f(&mut value);
-            metrics.push(Metric {
-                name: name.to_string(),
-                kind,
-                value,
-            });
         }
     }
 
+    /// Every metric, sorted by `(name, labels)` for deterministic output.
+    pub fn snapshot_all(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.store.shards {
+            let shard = shard.lock().unwrap();
+            for e in &shard.entries {
+                let key = (e.name.clone(), e.labels.clone());
+                match &e.value {
+                    Value::Counter(c) => snap.counters.push((key.0, key.1, *c)),
+                    Value::Gauge(g) => snap.gauges.push((key.0, key.1, *g)),
+                    Value::Hist(h) => snap.hists.push((key.0, key.1, h.clone())),
+                }
+            }
+        }
+        snap.counters
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        snap.gauges
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        snap.hists
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        snap
+    }
+
+    /// Render the text exposition format — Prometheus-shaped
+    /// (`# TYPE` headers, `name{label="v"} value` samples, histograms as
+    /// summaries with `quantile` labels), with internal dotted names
+    /// mapped to `fcix_<underscored>`. This is the byte stream a future
+    /// TCP `/metrics` endpoint will serve, and what
+    /// `fcix-serve --metrics-out` snapshots to disk.
+    pub fn render_text(&self) -> String {
+        let snap = self.snapshot_all();
+        let mut out = String::new();
+        let wire = |name: &str| format!("fcix_{}", name.replace('.', "_"));
+        let labelset = |labels: &[(String, String)], extra: Option<(&str, &str)>| {
+            let mut parts: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "'")))
+                .collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut last_type: Option<(String, &str)> = None;
+        let mut type_line = |out: &mut String, name: &str, ty: &'static str| {
+            if last_type.as_ref().map(|(n, t)| (n.as_str(), *t)) != Some((name, ty)) {
+                out.push_str(&format!("# TYPE {name} {ty}\n"));
+                last_type = Some((name.to_string(), ty));
+            }
+        };
+        for (name, labels, v) in &snap.counters {
+            let w = wire(name);
+            type_line(&mut out, &w, "counter");
+            out.push_str(&format!("{w}{} {v}\n", labelset(labels, None)));
+        }
+        for (name, labels, v) in &snap.gauges {
+            let w = wire(name);
+            type_line(&mut out, &w, "gauge");
+            out.push_str(&format!("{w}{} {v}\n", labelset(labels, None)));
+        }
+        for (name, labels, h) in &snap.hists {
+            let w = wire(name);
+            type_line(&mut out, &w, "summary");
+            let s = h.stats();
+            for (q, qv) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                out.push_str(&format!(
+                    "{w}{} {qv}\n",
+                    labelset(labels, Some(("quantile", q)))
+                ));
+            }
+            out.push_str(&format!("{w}_max{} {}\n", labelset(labels, None), s.max));
+            out.push_str(&format!("{w}_sum{} {}\n", labelset(labels, None), s.sum));
+            out.push_str(&format!(
+                "{w}_count{} {}\n",
+                labelset(labels, None),
+                s.count
+            ));
+        }
+        out
+    }
+
+    /// Rebuild a metrics plane from a recorded trace, so `fcix-trace
+    /// metrics` can expose any JSONL trace without the producing process.
+    ///
+    /// The mapping mirrors what the live instrumentation records:
+    /// span durations → `trace.span_s{phase,cat}` histograms; DDI
+    /// transfer instants → `ddi.{get,acc,put}_bytes`; fault instants →
+    /// `fault.injected` counters and `ddi.retry_backoff_s`; rank-death
+    /// recoveries → `fault.rank_death_recovery_s`; Davidson iteration
+    /// instants → `davidson.iter_s` (simulated-time deltas); serve job
+    /// instants → per-outcome counters and `serve.{queue_wait,exec}_us`.
+    pub fn from_events(events: &[Event]) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let mut last_iter_s: Option<f64> = None;
+        for e in events {
+            match e.kind {
+                EventKind::Span => {
+                    reg.observe(
+                        "trace.span_s",
+                        &[("phase", &e.name), ("cat", e.cat.as_str())],
+                        e.sim_dur_s,
+                    );
+                    if let Some(flops) = e.arg("flops") {
+                        reg.counter_add("trace.flops", &[("cat", e.cat.as_str())], flops);
+                    }
+                }
+                EventKind::Instant => match e.name.as_str() {
+                    "ddi_get" | "ddi_get_cols" => {
+                        if let Some(b) = e.arg("bytes") {
+                            reg.observe("ddi.get_bytes", &[], b);
+                        }
+                    }
+                    "ddi_acc" => {
+                        if let Some(b) = e.arg("bytes") {
+                            reg.observe("ddi.acc_bytes", &[], b);
+                        }
+                    }
+                    "ddi_put" => {
+                        if let Some(b) = e.arg("bytes") {
+                            reg.observe("ddi.put_bytes", &[], b);
+                        }
+                    }
+                    "fault_injected" => {
+                        let kind = match e.arg("kind").map(|k| k as i64) {
+                            Some(0) => "transient",
+                            Some(1) => "duplicate",
+                            Some(2) => "fence_delay",
+                            _ => "other",
+                        };
+                        reg.counter_incr("fault.injected", &[("kind", kind)]);
+                        if let Some(b) = e.arg("backoff_s") {
+                            if b > 0.0 {
+                                reg.observe("ddi.retry_backoff_s", &[], b);
+                            }
+                        }
+                    }
+                    "rank_death_recovery" => {
+                        reg.counter_incr("fault.rank_deaths", &[]);
+                        if let Some(lost) = e.arg("lost_s") {
+                            reg.observe("fault.rank_death_recovery_s", &[], lost);
+                        }
+                    }
+                    "diag_iter" => {
+                        let now = e.sim_s;
+                        if let Some(prev) = last_iter_s {
+                            if now > prev {
+                                reg.observe("davidson.iter_s", &[], now - prev);
+                            }
+                        } else if now > 0.0 {
+                            reg.observe("davidson.iter_s", &[], now);
+                        }
+                        last_iter_s = Some(now);
+                    }
+                    "job_done" => {
+                        reg.counter_incr("serve.jobs_done", &[]);
+                        if let Some(q) = e.arg("queue_us") {
+                            reg.observe("serve.queue_wait_us", &[], q);
+                        }
+                        if let Some(x) = e.arg("exec_us") {
+                            reg.observe("serve.exec_us", &[], x);
+                        }
+                    }
+                    "job_failed" => reg.counter_incr("serve.jobs_failed", &[]),
+                    "cache_hit" => reg.counter_incr("serve.cache_hits", &[]),
+                    "cache_miss" => reg.counter_incr("serve.cache_misses", &[]),
+                    _ => {}
+                },
+                EventKind::Counter => {}
+            }
+        }
+        reg
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy label-less API (thin shim over the sharded store).
+    // ------------------------------------------------------------------
+
     /// Add to a monotonic counter (creates it at 0 on first use).
     pub fn add(&self, name: &str, delta: f64) {
-        self.upsert(name, MetricKind::Counter, |v| *v += delta);
+        self.counter_add(name, &[], delta);
     }
 
     /// Increment a counter by one.
     pub fn incr(&self, name: &str) {
-        self.add(name, 1.0);
+        self.counter_add(name, &[], 1.0);
     }
 
     /// Set a gauge to its latest value.
     pub fn set(&self, name: &str, value: f64) {
-        self.upsert(name, MetricKind::Gauge, |v| *v = value);
+        self.gauge_set(name, &[], value);
     }
 
-    /// Current value of a metric, if it exists.
+    /// Current value of a label-less metric, if it exists.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.metrics
-            .lock()
-            .unwrap()
-            .iter()
-            .find(|m| m.name == name)
-            .map(|m| m.value)
+        self.value(name, &[])
     }
 
-    /// All metrics as `(name, value)`, sorted by name.
+    /// All scalar metrics as `(key, value)`, sorted by key. Labelled
+    /// metrics render their key as `name{k=v,...}`.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
-        let mut out: Vec<(String, f64)> = self
-            .metrics
-            .lock()
-            .unwrap()
+        let snap = self.snapshot_all();
+        let key = |name: &str, labels: &[(String, String)]| {
+            if labels.is_empty() {
+                name.to_string()
+            } else {
+                let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{name}{{{}}}", inner.join(","))
+            }
+        };
+        let mut out: Vec<(String, f64)> = snap
+            .counters
             .iter()
-            .map(|m| (m.name.clone(), m.value))
+            .chain(snap.gauges.iter())
+            .map(|(n, l, v)| (key(n, l), *v))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
-    /// Metrics as a JSON object, keys sorted.
+    /// Scalar metrics as a JSON object, keys sorted.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Obj(
             self.snapshot()
@@ -132,5 +608,95 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap[0].0, "a");
         assert_eq!(m.to_json().get_f64("b"), Some(2.0));
+    }
+
+    #[test]
+    fn labels_address_distinct_series() {
+        let m = MetricsRegistry::new();
+        m.counter_incr("serve.jobs_done", &[("tenant", "a")]);
+        m.counter_incr("serve.jobs_done", &[("tenant", "a")]);
+        m.counter_incr("serve.jobs_done", &[("tenant", "b")]);
+        assert_eq!(m.value("serve.jobs_done", &[("tenant", "a")]), Some(2.0));
+        assert_eq!(m.value("serve.jobs_done", &[("tenant", "b")]), Some(1.0));
+        assert_eq!(m.value("serve.jobs_done", &[]), None);
+    }
+
+    #[test]
+    fn histogram_percentiles_queryable() {
+        let m = MetricsRegistry::new();
+        for i in 1..=1000 {
+            m.observe("serve.queue_wait_us", &[("tenant", "t0")], i as f64);
+        }
+        let p50 = m
+            .percentile("serve.queue_wait_us", &[("tenant", "t0")], 50.0)
+            .unwrap();
+        assert!((500.0..=500.0 * 1.04).contains(&p50), "p50 = {p50}");
+        let s = m
+            .hist_stats("serve.queue_wait_us", &[("tenant", "t0")])
+            .unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn many_metrics_stay_addressable() {
+        // Exercise shard rehashing: hundreds of distinct keys.
+        let m = MetricsRegistry::new();
+        for i in 0..500 {
+            m.counter_add(&format!("m{i}"), &[], i as f64);
+        }
+        for i in 0..500 {
+            assert_eq!(m.get(&format!("m{i}")), Some(i as f64));
+        }
+        assert_eq!(m.snapshot().len(), 500);
+    }
+
+    #[test]
+    fn merge_is_order_stable() {
+        let mk = |seed: u64| {
+            let m = MetricsRegistry::new();
+            for i in 0..200 {
+                let v = ((seed * 131 + i * 17) % 10_000) as f64 * 1e-3;
+                m.observe("lat", &[], v);
+                m.counter_add("n", &[], 1.0);
+            }
+            m
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let m1 = MetricsRegistry::new();
+        m1.merge(&a);
+        m1.merge(&b);
+        m1.merge(&c);
+        let m2 = MetricsRegistry::new();
+        m2.merge(&c);
+        m2.merge(&a);
+        m2.merge(&b);
+        assert_eq!(m1.render_text(), m2.render_text());
+        assert_eq!(m1.get("n"), Some(600.0));
+    }
+
+    #[test]
+    fn render_text_is_exposition_shaped() {
+        let m = MetricsRegistry::new();
+        m.counter_add("serve.jobs_done", &[("tenant", "a")], 3.0);
+        m.gauge_set("serve.queue_depth", &[], 2.0);
+        m.observe("serve.exec_us", &[("tenant", "a")], 1500.0);
+        let text = m.render_text();
+        assert!(text.contains("# TYPE fcix_serve_jobs_done counter"));
+        assert!(text.contains("fcix_serve_jobs_done{tenant=\"a\"} 3"));
+        assert!(text.contains("# TYPE fcix_serve_queue_depth gauge"));
+        assert!(text.contains("# TYPE fcix_serve_exec_us summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("fcix_serve_exec_us_count{tenant=\"a\"} 1"));
+    }
+
+    #[test]
+    fn shared_store_across_clones() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m2.incr("x");
+        assert_eq!(m.get("x"), Some(1.0));
+        assert!(m.same_store(&m2));
+        assert!(!m.same_store(&MetricsRegistry::new()));
     }
 }

@@ -8,6 +8,7 @@
 //! JSON for the `BENCH_*.json` artifacts.
 
 use crate::event::{Category, Event, EventKind};
+use crate::hist::HistStats;
 use crate::json::JsonValue;
 
 /// Aggregate per-category telemetry of one run (or one phase).
@@ -79,6 +80,13 @@ pub struct RunSummary {
     /// Zero for non-server traces. Kept separate from
     /// [`RunSummary::host_elapsed`], which is defined over spans only.
     pub serve_elapsed: f64,
+    /// Retry backoff delays in simulated seconds (the `backoff_s` payload
+    /// of `fault_injected` instants). Empty for traces written before the
+    /// payload existed.
+    pub backoff: HistStats,
+    /// Rank-death recovery times in simulated seconds (the `lost_s`
+    /// payload of `rank_death_recovery` instants).
+    pub recovery: HistStats,
 }
 
 impl RunSummary {
@@ -181,13 +189,25 @@ impl RunSummary {
         let mut host_last = f64::NEG_INFINITY;
         let mut serve_first = f64::INFINITY;
         let mut serve_last = f64::NEG_INFINITY;
+        let mut backoffs: Vec<f64> = Vec::new();
+        let mut recoveries: Vec<f64> = Vec::new();
         for e in events {
             if e.kind != EventKind::Span {
                 // Fault-plane and serving-layer instants carry tallies.
                 if e.kind == EventKind::Instant {
                     let n = e.arg("count").unwrap_or(1.0);
                     match e.name.as_str() {
-                        "fault_injected" => s.faults_injected += 1.0,
+                        "fault_injected" => {
+                            s.faults_injected += 1.0;
+                            if let Some(b) = e.arg("backoff_s") {
+                                backoffs.push(b);
+                            }
+                        }
+                        "rank_death_recovery" => {
+                            if let Some(t) = e.arg("lost_s") {
+                                recoveries.push(t);
+                            }
+                        }
                         "task_recompute" => s.recomputes += 1.0,
                         "job_done" => s.jobs_done += n,
                         "job_failed" => s.jobs_failed += n,
@@ -244,11 +264,23 @@ impl RunSummary {
         if serve_last > serve_first {
             s.serve_elapsed = (serve_last - serve_first) / 1e6;
         }
+        s.backoff = HistStats::from_samples(&backoffs);
+        s.recovery = HistStats::from_samples(&recoveries);
         s
     }
 
     /// Serialize for the `BENCH_*.json` artifacts.
     pub fn to_json(&self) -> JsonValue {
+        fn stats_json(s: &HistStats) -> JsonValue {
+            JsonValue::obj(vec![
+                ("count", JsonValue::Num(s.count as f64)),
+                ("sum", JsonValue::Num(s.sum)),
+                ("p50", JsonValue::Num(s.p50)),
+                ("p95", JsonValue::Num(s.p95)),
+                ("p99", JsonValue::Num(s.p99)),
+                ("max", JsonValue::Num(s.max)),
+            ])
+        }
         JsonValue::obj(vec![
             ("nproc", JsonValue::Num(self.nproc as f64)),
             ("t_dgemm", JsonValue::Num(self.t_dgemm)),
@@ -277,6 +309,8 @@ impl RunSummary {
             ("cache_misses", JsonValue::Num(self.cache_misses)),
             ("cache_evictions", JsonValue::Num(self.cache_evictions)),
             ("serve_elapsed", JsonValue::Num(self.serve_elapsed)),
+            ("backoff", stats_json(&self.backoff)),
+            ("recovery", stats_json(&self.recovery)),
             ("jobs_per_sec", JsonValue::Num(self.jobs_per_sec())),
             ("cache_hit_rate", JsonValue::Num(self.cache_hit_rate())),
             ("gflops_per_msp", JsonValue::Num(self.gflops_per_msp())),
@@ -289,6 +323,20 @@ impl RunSummary {
     /// Derived quantities (`load_imbalance`, rates) are recomputed, not read.
     pub fn from_json(v: &JsonValue) -> Result<RunSummary, String> {
         let f = |k: &str| v.get_f64(k).ok_or_else(|| format!("missing '{k}'"));
+        // Absent in artifacts written before the fault-plane histograms.
+        fn stats_from(v: &JsonValue, key: &str) -> HistStats {
+            match v.get(key) {
+                Some(o) => HistStats {
+                    count: o.get_f64("count").unwrap_or(0.0) as u64,
+                    sum: o.get_f64("sum").unwrap_or(0.0),
+                    p50: o.get_f64("p50").unwrap_or(0.0),
+                    p95: o.get_f64("p95").unwrap_or(0.0),
+                    p99: o.get_f64("p99").unwrap_or(0.0),
+                    max: o.get_f64("max").unwrap_or(0.0),
+                },
+                None => HistStats::default(),
+            }
+        }
         Ok(RunSummary {
             nproc: f("nproc")? as usize,
             t_dgemm: f("t_dgemm")?,
@@ -318,6 +366,8 @@ impl RunSummary {
             cache_misses: v.get_f64("cache_misses").unwrap_or(0.0),
             cache_evictions: v.get_f64("cache_evictions").unwrap_or(0.0),
             serve_elapsed: v.get_f64("serve_elapsed").unwrap_or(0.0),
+            backoff: stats_from(v, "backoff"),
+            recovery: stats_from(v, "recovery"),
         })
     }
 
@@ -380,6 +430,18 @@ impl RunSummary {
                 "  fault plane: {} injected; {} retries; {} recomputes\n",
                 self.faults_injected, self.retries, self.recomputes
             ));
+        }
+        let quartiles = |label: &str, h: &HistStats| {
+            format!(
+                "  {label}: n={} p50={:.6} p95={:.6} p99={:.6} max={:.6} s\n",
+                h.count, h.p50, h.p95, h.p99, h.max
+            )
+        };
+        if !self.backoff.is_empty() {
+            out.push_str(&quartiles("retry backoff", &self.backoff));
+        }
+        if !self.recovery.is_empty() {
+            out.push_str(&quartiles("rank-death recovery", &self.recovery));
         }
         if self.jobs_done > 0.0 || self.jobs_failed > 0.0 {
             out.push_str(&format!(
@@ -594,6 +656,44 @@ mod tests {
         let s = RunSummary::from_events(&traced());
         let back = RunSummary::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn fault_plane_histograms_roll_up() {
+        let t = Tracer::in_memory();
+        for b in [0.001, 0.002, 0.004, 0.008] {
+            t.instant(
+                Some(0),
+                "fault_injected",
+                Category::Other,
+                &[("kind", 0.0), ("backoff_s", b)],
+            );
+        }
+        // A legacy fault instant without the payload still counts.
+        t.instant(Some(0), "fault_injected", Category::Other, &[("kind", 1.0)]);
+        t.instant(
+            None,
+            "rank_death_recovery",
+            Category::Other,
+            &[("survivors", 3.0), ("lost_s", 0.75)],
+        );
+        let s = RunSummary::from_events(&t.events().unwrap());
+        assert_eq!(s.faults_injected, 5.0);
+        assert_eq!(s.backoff.count, 4);
+        assert_eq!(s.backoff.p50, 0.002);
+        assert_eq!(s.backoff.max, 0.008);
+        assert_eq!(s.recovery.count, 1);
+        assert_eq!(s.recovery.max, 0.75);
+        let text = s.render("faulty");
+        assert!(text.contains("retry backoff"), "missing backoff:\n{text}");
+        assert!(text.contains("rank-death recovery"), "missing:\n{text}");
+        // Round-trips through JSON; legacy artifacts without the nested
+        // objects parse with empty stats.
+        let back = RunSummary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        let legacy = RunSummary::from_events(&traced());
+        assert!(legacy.backoff.is_empty() && legacy.recovery.is_empty());
+        assert!(!legacy.render("t").contains("retry backoff"));
     }
 
     #[test]

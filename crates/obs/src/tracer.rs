@@ -24,7 +24,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::event::{Category, Event, EventKind};
-use crate::sink::{MemorySink, Sink};
+use crate::metrics::MetricsRegistry;
+use crate::sink::{MemorySink, NullSink, Sink};
 
 /// One category slice of a phase, in simulated seconds, with its numeric
 /// payload (flops, bytes, message counts, …).
@@ -53,6 +54,8 @@ struct Inner {
     epoch: Instant,
     /// Per-rank simulated-time cursors, seconds.
     cursors: Mutex<Vec<f64>>,
+    /// The metrics plane riding along with this tracer, if any.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// Handle for emitting trace events. Cheap to clone; cloning shares the
@@ -77,21 +80,35 @@ impl Tracer {
         Tracer { inner: None }
     }
 
-    /// A tracer writing to the given sink.
+    /// A tracer writing to the given sink, with a fresh metrics plane
+    /// attached.
     pub fn new(sink: Arc<dyn Sink>) -> Tracer {
+        Tracer::with_sink(sink, Some(MetricsRegistry::new()))
+    }
+
+    /// A tracer writing to the given sink with an explicit (possibly
+    /// absent, possibly shared) metrics registry.
+    pub fn with_sink(sink: Arc<dyn Sink>, metrics: Option<MetricsRegistry>) -> Tracer {
         Tracer {
             inner: Some(Arc::new(Inner {
                 sink,
                 memory: None,
                 epoch: Instant::now(),
                 cursors: Mutex::new(Vec::new()),
+                metrics,
             })),
         }
     }
 
-    /// A tracer collecting events in memory; read them back with
-    /// [`Tracer::events`].
+    /// A tracer collecting events in memory (with a metrics plane); read
+    /// events back with [`Tracer::events`].
     pub fn in_memory() -> Tracer {
+        Tracer::in_memory_with(Some(MetricsRegistry::new()))
+    }
+
+    /// [`Tracer::in_memory`] with an explicit (possibly absent, possibly
+    /// shared) metrics registry.
+    pub fn in_memory_with(metrics: Option<MetricsRegistry>) -> Tracer {
         let mem = Arc::new(MemorySink::new());
         Tracer {
             inner: Some(Arc::new(Inner {
@@ -99,8 +116,24 @@ impl Tracer {
                 memory: Some(mem),
                 epoch: Instant::now(),
                 cursors: Mutex::new(Vec::new()),
+                metrics,
             })),
         }
+    }
+
+    /// A tracer that records *only* metrics: span/instant emission is
+    /// disabled (the sink is null) but [`Tracer::metrics`] is live, so
+    /// instrumented layers feed the shared registry without paying for
+    /// event serialization.
+    pub fn metrics_only(metrics: MetricsRegistry) -> Tracer {
+        Tracer::with_sink(Arc::new(NullSink), Some(metrics))
+    }
+
+    /// The metrics registry riding along with this tracer, if any.
+    /// Instrumented hot paths guard their recording on this being `Some`.
+    #[inline]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().and_then(|i| i.metrics.as_ref())
     }
 
     /// Whether events will actually be recorded. Guard hot loops on this.
@@ -350,6 +383,21 @@ mod tests {
             0.0,
         );
         assert_eq!(t.events().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn metrics_plane_attaches() {
+        assert!(Tracer::disabled().metrics().is_none());
+        let t = Tracer::in_memory();
+        t.metrics().unwrap().incr("x");
+        assert_eq!(t.metrics().unwrap().get("x"), Some(1.0));
+        // Metrics-only: events off, registry shared and live.
+        let shared = MetricsRegistry::new();
+        let mo = Tracer::metrics_only(shared.clone());
+        assert!(!mo.enabled());
+        mo.instant(Some(0), "dropped", Category::Other, &[]);
+        mo.metrics().unwrap().incr("y");
+        assert_eq!(shared.get("y"), Some(1.0));
     }
 
     #[test]

@@ -150,6 +150,38 @@ impl Server {
         self.trace.events()
     }
 
+    /// The server-level metrics registry, when `cfg.obs` attached one.
+    /// Live while the server runs — a snapshot thread can render it
+    /// concurrently with workers recording into it.
+    pub fn metrics(&self) -> Option<&fci_obs::MetricsRegistry> {
+        self.trace.metrics()
+    }
+
+    /// Emit the job-completion instant plus per-tenant metrics.
+    fn note_job(&self, q: &Queued, done: bool, queue_us: f64, exec_us: f64) {
+        self.trace.instant(
+            None,
+            if done { "job_done" } else { "job_failed" },
+            Category::Other,
+            &[
+                ("seq", q.seq as f64),
+                ("queue_us", queue_us),
+                ("exec_us", exec_us),
+            ],
+        );
+        if let Some(m) = self.trace.metrics() {
+            let tenant = q.spec.tenant.as_str();
+            let name = if done {
+                "serve.jobs_done"
+            } else {
+                "serve.jobs_failed"
+            };
+            m.counter_incr(name, &[("tenant", tenant)]);
+            m.observe("serve.queue_wait_us", &[("tenant", tenant)], queue_us);
+            m.observe("serve.exec_us", &[("tenant", tenant)], exec_us);
+        }
+    }
+
     /// Submit a job. `Err` is the backpressure path: the reason is also
     /// recorded in the final report.
     pub fn submit(&self, spec: JobSpec) -> Result<(), RejectReason> {
@@ -207,6 +239,9 @@ impl Server {
             seq,
             out,
         });
+        if let Some(m) = self.trace.metrics() {
+            m.gauge_set("serve.queue_depth", &[], st.pending.len() as f64);
+        }
         drop(st);
         self.work.notify_all();
         Ok(())
@@ -376,6 +411,9 @@ impl Server {
         let spec0 = &batch[0].spec;
         let (space, ham) = self.artifacts(spec0);
         let sector_dim = space.sector_dim();
+        if let Some(m) = self.trace.metrics() {
+            m.observe("serve.batch_size", &[], batch.len() as f64);
+        }
         if batch.len() > 1 {
             self.trace.instant(
                 None,
@@ -429,6 +467,14 @@ impl Server {
         let name = if hit { "cache_hit" } else { "cache_miss" };
         self.trace
             .instant(None, name, Category::Other, &[("count", 1.0)]);
+        if let Some(m) = self.trace.metrics() {
+            let metric = if hit {
+                "serve.cache_hits"
+            } else {
+                "serve.cache_misses"
+            };
+            m.counter_incr(metric, &[]);
+        }
     }
 
     /// Per-job solver options, including the per-job trace file.
@@ -503,15 +549,11 @@ impl Server {
             (JobStatus::Done, r.energy, r.converged, r.iterations, 0)
         };
         let done_us = self.clock.now_us();
-        self.trace.instant(
-            None,
-            if status == JobStatus::Done {
-                "job_done"
-            } else {
-                "job_failed"
-            },
-            Category::Other,
-            &[("seq", q.seq as f64)],
+        self.note_job(
+            q,
+            status == JobStatus::Done,
+            start_us - q.submit_us,
+            done_us - start_us,
         );
         self.finish(
             q,
@@ -570,15 +612,11 @@ impl Server {
                     false,
                 ),
             };
-            self.trace.instant(
-                None,
-                if status == JobStatus::Done {
-                    "job_done"
-                } else {
-                    "job_failed"
-                },
-                Category::Other,
-                &[("seq", q.seq as f64)],
+            self.note_job(
+                q,
+                status == JobStatus::Done,
+                start_us - q.submit_us,
+                done_us - start_us,
             );
             self.finish(
                 q,

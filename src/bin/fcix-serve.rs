@@ -12,6 +12,10 @@
 //!       --queue-cap N        queue capacity (default 1024)
 //!       --ckpt-dir DIR       resilient-solve checkpoint directory
 //!       --trace FILE         server lifecycle trace (JSONL, fcix-trace readable)
+//!       --metrics-out FILE   metrics-plane text exposition, refreshed every
+//!                            250 ms while the queue drains (atomic replace —
+//!                            a scraper/tailer never sees a torn file) and
+//!                            finalized at exit
 //!       --job-trace-dir DIR  one solver trace file per job
 //!       --verify FILE        JSONL of {"id","energy"} refs; fail if any
 //!                            completed job deviates by > 1e-9
@@ -25,7 +29,10 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use fcix::obs::{JsonValue, ObsConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fcix::obs::{JsonValue, MetricsRegistry, ObsConfig};
 use fcix::serve::{serve, JobSpec, JobStatus, ServeConfig};
 
 fn usage() -> ExitCode {
@@ -42,6 +49,7 @@ struct Cli {
     out: Option<String>,
     verify: Option<String>,
     require_cache_hits: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -51,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         out: None,
         verify: None,
         require_cache_hits: false,
+        metrics_out: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -69,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--queue-cap" => cli.cfg.queue_cap = parse_num(&value(arg)?)?,
             "--ckpt-dir" => cli.cfg.checkpoint_dir = value(arg)?.into(),
             "--trace" => cli.cfg.obs = ObsConfig::to_file(value(arg)?),
+            "--metrics-out" => cli.metrics_out = Some(value(arg)?),
             "--job-trace-dir" => cli.cfg.job_trace_dir = Some(value(arg)?.into()),
             "--verify" => cli.verify = Some(value(arg)?),
             "--require-cache-hits" => cli.require_cache_hits = true,
@@ -131,14 +141,62 @@ fn read_refs(path: &str) -> Result<HashMap<String, f64>, String> {
     Ok(refs)
 }
 
-fn run(cli: Cli) -> Result<bool, String> {
+/// Write the metrics exposition atomically: tmp file + rename, so a
+/// concurrent reader (tailer, future TCP /metrics endpoint serving the
+/// file) never observes a torn snapshot.
+fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, reg.render_text()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace {path}: {e}"))
+}
+
+fn run(mut cli: Cli) -> Result<bool, String> {
     let jobs = read_jobs(&cli.jobs_path)?;
     let n_jobs = jobs.len();
     let refs = match &cli.verify {
         Some(path) => Some(read_refs(path)?),
         None => None,
     };
+    // Metrics plane: a caller-owned registry shared with the server, so
+    // the snapshot thread can render it live while workers record.
+    let metrics = cli.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    if let Some(reg) = &metrics {
+        cli.cfg.obs = cli.cfg.obs.with_metrics(reg.clone());
+        let greg = reg.clone();
+        fcix::linalg::probe::install(Arc::new(move |m, n, k, secs| {
+            let gf = 2.0 * (m as f64) * (n as f64) * (k as f64) / secs.max(1e-12) / 1e9;
+            let shape = format!("{m}x{n}x{k}");
+            greg.observe("linalg.gemm_gflops", &[("shape", &shape)], gf);
+            greg.observe("linalg.gemm_s", &[("shape", &shape)], secs);
+        }));
+        fcix::linalg::probe::set_enabled(true);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshotter = match (&cli.metrics_out, &metrics) {
+        (Some(path), Some(reg)) => {
+            let (path, reg, stop) = (path.clone(), reg.clone(), stop.clone());
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Err(e) = write_metrics(&path, &reg) {
+                        eprintln!("fcix-serve: metrics snapshot: {e}");
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            }))
+        }
+        _ => None,
+    };
     let report = serve(cli.cfg, jobs);
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = snapshotter {
+        let _ = h.join();
+    }
+    if let (Some(path), Some(reg)) = (&cli.metrics_out, &metrics) {
+        // Final snapshot after the queue drained: the complete exposition.
+        write_metrics(path, reg)?;
+        eprintln!("wrote {path}");
+    }
 
     let mut lines = String::new();
     for r in &report.results {

@@ -3,6 +3,8 @@
 //! ```text
 //! fcix-trace summarize <trace.jsonl>            Table-3-style run summary
 //! fcix-trace to-chrome <trace.jsonl> [out.json] Chrome Trace Event Format
+//! fcix-trace flame <trace.jsonl> [out.folded]   collapsed stacks (flamegraph)
+//! fcix-trace metrics <trace.jsonl>              metrics-plane text exposition
 //! fcix-trace diff <a.jsonl> <b.jsonl>           side-by-side summary diff
 //! ```
 //!
@@ -10,11 +12,18 @@
 //! `FciOptions { obs: ObsConfig::to_file("trace.jsonl"), .. }` (or by
 //! attaching a tracer to a `Ddi` directly; see DESIGN.md §Observability).
 //! The Chrome output loads in `chrome://tracing` / Perfetto with one lane
-//! per virtual MSP.
+//! per virtual MSP; the `flame` output feeds any collapsed-stack consumer
+//! (`flamegraph.pl`, speedscope, inferno).
+//!
+//! A truncated final line (crashed run) is tolerated with a warning;
+//! corruption anywhere else, and traces with no parsable events at all,
+//! are diagnosed without panicking.
 
 use std::process::ExitCode;
 
-use fcix::obs::{parse_jsonl, to_chrome, Event, RunSummary};
+use fcix::obs::{
+    parse_jsonl_lenient, to_chrome, to_collapsed, Event, MetricsRegistry, RunSummary, TimeBase,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -22,14 +31,44 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 summarize <trace.jsonl>             print a Table-3-style run summary\n\
          \x20 to-chrome <trace.jsonl> [out.json]  convert to Chrome Trace Event Format\n\
+         \x20 flame [--host] <trace.jsonl> [out]  fold span stacks to collapsed-stack lines\n\
+         \x20                                     (simulated time by default, --host for\n\
+         \x20                                     host wall-clock weights)\n\
+         \x20 metrics <trace.jsonl>               replay the trace through the metrics\n\
+         \x20                                     plane and print the text exposition\n\
          \x20 diff <a.jsonl> <b.jsonl>            compare two runs' summaries"
     );
     ExitCode::from(2)
 }
 
+/// Read and parse a trace, tolerating a truncated final record. An
+/// unreadable file, mid-file corruption, or a trace with zero parsable
+/// events is a diagnosed error, never a panic.
 fn load(path: &str) -> Result<Vec<Event>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    let (events, warning) = parse_jsonl_lenient(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(w) = warning {
+        eprintln!("fcix-trace: warning: {path}: {w}");
+    }
+    if events.is_empty() {
+        return Err(format!(
+            "{path}: no trace events (empty or fully truncated trace)"
+        ));
+    }
+    Ok(events)
+}
+
+/// Print to stdout or write to a file when a destination is given.
+fn emit(out: String, dest: Option<&String>) -> Result<(), String> {
+    match dest {
+        Some(dest) => std::fs::write(dest, out)
+            .map(|()| eprintln!("wrote {dest}"))
+            .map_err(|e| format!("cannot write {dest}: {e}")),
+        None => {
+            print!("{out}");
+            Ok(())
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -51,14 +90,41 @@ fn main() -> ExitCode {
             load(path).and_then(|events| {
                 let out = to_chrome(&events);
                 match args.get(3) {
-                    Some(dest) => std::fs::write(dest, out)
-                        .map(|()| eprintln!("wrote {dest}"))
-                        .map_err(|e| format!("cannot write {dest}: {e}")),
+                    Some(dest) => emit(out, Some(dest)),
                     None => {
                         println!("{out}");
                         Ok(())
                     }
                 }
+            })
+        }
+        Some("flame") => {
+            let mut rest: Vec<&String> = args[2..].iter().collect();
+            let base = if let Some(pos) = rest.iter().position(|a| a.as_str() == "--host") {
+                rest.remove(pos);
+                TimeBase::Host
+            } else {
+                rest.retain(|a| a.as_str() != "--sim");
+                TimeBase::Sim
+            };
+            let Some(path) = rest.first() else {
+                return usage();
+            };
+            load(path).and_then(|events| {
+                let folded = to_collapsed(&events, base);
+                if folded.is_empty() {
+                    return Err(format!("{path}: no spans to fold (instants-only trace)"));
+                }
+                emit(folded, rest.get(1).copied())
+            })
+        }
+        Some("metrics") => {
+            let Some(path) = args.get(2) else {
+                return usage();
+            };
+            load(path).map(|events| {
+                let reg = MetricsRegistry::from_events(&events);
+                print!("{}", reg.render_text());
             })
         }
         Some("diff") => {

@@ -6,7 +6,10 @@
 
 use fcix::core::{apply_sigma, random_hamiltonian, DetSpace, PoolParams, SigmaCtx, SigmaMethod};
 use fcix::ddi::{Backend, Ddi};
-use fcix::obs::{parse_jsonl, to_chrome, Category, Event, EventKind, JsonValue, RunSummary};
+use fcix::obs::{
+    parse_collapsed, parse_jsonl, to_chrome, to_collapsed, Category, Event, EventKind, JsonValue,
+    MetricsRegistry, RunSummary, TimeBase,
+};
 use fcix::xsim::MachineModel;
 
 /// Deterministic case generator (same LCG as `tests/property.rs`).
@@ -200,6 +203,77 @@ fn golden_summary_from_fixed_trace() {
     // And the JSON round trip of the summary itself is exact.
     let back = RunSummary::from_json(&s.to_json()).unwrap();
     assert_eq!(back, s);
+}
+
+/// Flamegraph export on a Table-3-style σ run: the folded output
+/// round-trips through the collapsed-stack parser, conserves the total
+/// simulated time of the trace (to 1 µs per span of rounding), and every
+/// stack is rooted in a rank lane.
+#[test]
+fn flame_round_trips_on_table3_style_run() {
+    let (events, report) = traced_sigma(6, 3, 2, 4, 42, SigmaMethod::Dgemm);
+    let folded = to_collapsed(&events, TimeBase::Sim);
+    let stacks = parse_collapsed(&folded).expect("own flame output must parse");
+    assert!(!stacks.is_empty());
+    for (frames, weight) in &stacks {
+        assert!(
+            frames.first().is_some_and(|f| f.starts_with("rank ")),
+            "stack must be rooted in a rank lane: {frames:?}"
+        );
+        assert!(*weight > 0, "folded weights are positive: {frames:?}");
+    }
+    // Weights conserve the simulated busy time: each span contributes
+    // its duration in µs (floor-rounded, so allow 1 µs per span).
+    let folded_us: u64 = stacks.iter().map(|(_, w)| w).sum();
+    let busy_us = report.clocks.iter().map(|c| c.total()).sum::<f64>() * 1e6;
+    let n_spans = events.iter().filter(|e| e.kind == EventKind::Span).count() as f64;
+    assert!(
+        (folded_us as f64 - busy_us).abs() <= n_spans,
+        "folded {folded_us} µs vs clocks {busy_us:.0} µs"
+    );
+    // The host time base folds and parses too. Its stack set need not
+    // match exactly — a span under 1 µs in one base but not the other
+    // rounds to weight 0 and is dropped from that base's fold — but
+    // every host stack must name frames the trace actually contains.
+    let host = parse_collapsed(&to_collapsed(&events, TimeBase::Host)).unwrap();
+    assert!(!host.is_empty());
+    for (frames, _) in &host {
+        assert!(frames.first().is_some_and(|f| f.starts_with("rank ")));
+    }
+}
+
+/// Replaying a σ trace through the metrics plane populates the span and
+/// flop histograms the `fcix-trace metrics` subcommand prints.
+#[test]
+fn metrics_replay_covers_sigma_trace() {
+    let (events, report) = traced_sigma(5, 2, 2, 3, 7, SigmaMethod::Dgemm);
+    let reg = MetricsRegistry::from_events(&events);
+    let n_spans = events.iter().filter(|e| e.kind == EventKind::Span).count();
+    let text = reg.render_text();
+    assert!(text.contains("fcix_trace_span_s"), "exposition:\n{text}");
+    // Sum a metric's samples across every label set in the exposition.
+    let sum_over_labels = |prefix: &str| -> f64 {
+        text.lines()
+            .filter(|l| {
+                l.starts_with(prefix)
+                    && matches!(l.as_bytes().get(prefix.len()), Some(b'{') | Some(b' '))
+            })
+            .filter_map(|l| l.split_whitespace().next_back()?.parse::<f64>().ok())
+            .sum()
+    };
+    assert_eq!(
+        sum_over_labels("fcix_trace_span_s_count") as usize,
+        n_spans,
+        "every span must be observed exactly once:\n{text}"
+    );
+    // The flops counter totals the report's dgemm+daxpy flops.
+    let summary = report.summary();
+    let flops = summary.flops_dgemm + summary.flops_daxpy;
+    let got = sum_over_labels("fcix_trace_flops");
+    assert!(
+        (got - flops).abs() <= 1e-6 * flops.max(1.0),
+        "replayed flops {got} vs clocked {flops}"
+    );
 }
 
 /// The Chrome export is valid JSON with one complete ("X") record per
