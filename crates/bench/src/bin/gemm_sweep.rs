@@ -43,9 +43,9 @@ mod seed {
         let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
         c.fill_zero();
         // Deliberate replica of the seed's per-call allocations.
-        // lint: allow(alloc)
+        // lint: allow(alloc) — ablation baseline reproduces the seed's per-call alloc
         let mut apack = vec![0.0; MC * KC];
-        // lint: allow(alloc)
+        // lint: allow(alloc) — ablation baseline reproduces the seed's per-call alloc
         let mut bpack = vec![0.0; KC * n.div_ceil(NR) * NR];
         let mut l0 = 0;
         while l0 < k {

@@ -1,4 +1,5 @@
-//! Dynamic correctness checks: `fcix-check <race|explore> [options]`.
+//! Static and dynamic correctness checks:
+//! `fcix-check <race|explore|graph|locks> [options]`.
 //!
 //! ```text
 //! fcix-check race --fault none        # correct DDI_ACC protocol → expects 0 races
@@ -7,17 +8,26 @@
 //! fcix-check race --solve             # online-check a small FCI solve (must be clean)
 //! fcix-check race --trace run.jsonl   # offline-analyze an fci-obs trace
 //! fcix-check explore --seeds 8        # schedule explorer: σ/energy must be bitwise equal
+//! fcix-check graph [--format json] [--strict-index] [--root NAME]...
+//!                                     # call graph + transitive no-alloc/no-panic
+//! fcix-check locks [--format json] [--dynamic] [--path DIR]...
+//!                                     # static lock-order / deadlock analysis
 //! ```
 //!
 //! Exit code 0 means the check passed: for `--fault none`, `--solve` and
 //! `--trace` that means no races; for the injected faults it means the
-//! detector *caught* the bug (a silent pass there is the failure).
+//! detector *caught* the bug (a silent pass there is the failure); for
+//! `graph` it means every hot-path root is free of reachable
+//! allocation/panic sites; for `locks` it means the lock-order graph is
+//! cycle-free with no condvar hazards (and, with `--dynamic`, that every
+//! observed runtime lock-order edge is predicted by the static graph).
 
 use fci_check::{analyze_trace_events, explore_mixed, ExploreConfig, RaceDetector};
 use fci_ddi::{AccFault, Backend, CheckConfig, Ddi, DistMatrix};
 use fci_ints::EriTensor;
 use fci_linalg::Matrix;
 use fci_scf::MoIntegrals;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -26,6 +36,8 @@ fn usage() -> ExitCode {
         "usage: fcix-check race [--fault none|skip-fence|skip-lock] [--solve] [--trace FILE]"
     );
     eprintln!("       fcix-check explore [--seeds K]");
+    eprintln!("       fcix-check graph [--format json] [--strict-index] [--root NAME]...");
+    eprintln!("       fcix-check locks [--format json] [--dynamic] [--path DIR]...");
     ExitCode::FAILURE
 }
 
@@ -34,7 +46,195 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("race") => race(&args[1..]),
         Some("explore") => explore(&args[1..]),
+        Some("graph") => graph(&args[1..]),
+        Some("locks") => locks(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Workspace root: the nearest ancestor of the current directory with a
+/// `Cargo.toml` containing `[workspace]`, else the current directory.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// `fcix-check graph`: build the workspace call graph and verify the
+/// σ-task / GEMM hot paths are transitively allocation- and panic-free.
+fn graph(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut strict_index = false;
+    let mut roots: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage(),
+            },
+            "--strict-index" => strict_index = true,
+            "--root" => match it.next() {
+                Some(r) => roots.push(r.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root_names: Vec<&str> = if roots.is_empty() {
+        fci_check::graph::DEFAULT_ROOTS.to_vec()
+    } else {
+        roots.iter().map(String::as_str).collect()
+    };
+    let ws = workspace_root();
+    let (g, reports) = match fci_check::graph::analyze_hot_paths(&ws, &root_names) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("fcix-check graph: cannot scan {}: {e}", ws.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = reports.len() == root_names.len();
+    if reports.len() != root_names.len() {
+        eprintln!(
+            "fcix-check graph: {} of {} roots not found/unique in the workspace",
+            root_names.len() - reports.len(),
+            root_names.len()
+        );
+    }
+    for r in &reports {
+        ok &= r.is_clean() && (!strict_index || r.index_sites == 0);
+    }
+    if json {
+        let doc = fci_obs::JsonValue::obj(vec![
+            ("graph", g.to_json()),
+            (
+                "roots",
+                fci_obs::JsonValue::Arr(reports.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("clean", fci_obs::JsonValue::Bool(ok)),
+        ]);
+        println!("{doc}");
+    } else {
+        println!(
+            "fcix-check graph: {} fns, {} edges, {} unresolved call sites",
+            g.fns.len(),
+            g.edges.iter().map(Vec::len).sum::<usize>(),
+            g.unresolved.len()
+        );
+        for r in &reports {
+            println!(
+                "  root {}: {} reachable fns, {} alloc, {} panic, {} index sites, {} unresolved",
+                r.root,
+                r.reachable,
+                r.alloc.len(),
+                r.panic.len(),
+                r.index_sites,
+                r.unresolved
+            );
+            for a in r.alloc.iter().chain(&r.panic) {
+                println!(
+                    "    {}:{}: {} in {} (via {})",
+                    a.finding.file,
+                    a.finding.line,
+                    a.finding.what,
+                    a.in_fn,
+                    a.chain.join(" -> ")
+                );
+            }
+        }
+        println!(
+            "fcix-check graph: {}",
+            if ok { "PASS (hot paths clean)" } else { "FAIL" }
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `fcix-check locks`: static lock-order / condvar analysis over the
+/// serve and obs layers, optionally cross-checked against the dynamic
+/// lockset witness of an in-process serve workload.
+fn locks(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut dynamic = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage(),
+            },
+            "--dynamic" => dynamic = true,
+            "--path" => match it.next() {
+                Some(p) => paths.push(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let ws = workspace_root();
+    let scan: Vec<&str> = if paths.is_empty() {
+        fci_check::locks::DEFAULT_LOCK_PATHS.to_vec()
+    } else {
+        paths.iter().map(String::as_str).collect()
+    };
+    let report = match fci_check::locks::analyze_locks(&ws, &scan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fcix-check locks: cannot scan {}: {e}", ws.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let dynamic_report = if dynamic {
+        Some(fci_check::locks::dynamic_cross_check(&report))
+    } else {
+        None
+    };
+    let mut ok = report.is_clean();
+    if let Some(d) = &dynamic_report {
+        ok &= d.consistent;
+    }
+    if json {
+        let mut pairs = vec![("static", report.to_json())];
+        if let Some(d) = &dynamic_report {
+            pairs.push(("dynamic", d.to_json()));
+        }
+        pairs.push(("clean", fci_obs::JsonValue::Bool(ok)));
+        println!("{}", fci_obs::JsonValue::obj(pairs));
+    } else {
+        print!("{}", report.render_text());
+        if let Some(d) = &dynamic_report {
+            print!("{}", d.render_text());
+        }
+        println!(
+            "fcix-check locks: {}",
+            if ok {
+                "PASS (lock graph cycle-free)"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,31 +1,52 @@
-//! Workspace source lint: `fcix-lint [root]`.
+//! Workspace source lint: `fcix-lint [root] [--format text|json]`.
 //!
 //! Scans every `.rs` file under `root` (default: current directory) for
 //! the repo conventions documented in `fci_check::lint` and prints one
-//! line per violation. Exit code 0 iff the tree is clean — wire it into
-//! CI next to `clippy`.
+//! line per violation. `--format json` emits the machine-readable
+//! report (violations plus per-rule waiver counts) for CI artifact
+//! upload. Exit code 0 iff the tree is clean — wire it into CI next to
+//! `clippy`.
 
-use fci_check::{lint_workspace, LintConfig};
+use fci_check::lint::{lint_workspace_report, LintConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    let cfg = LintConfig::new(root);
-    match lint_workspace(&cfg) {
-        Ok(violations) if violations.is_empty() => {
-            println!("fcix-lint: clean");
-            ExitCode::SUCCESS
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("fcix-lint: bad --format {other:?} (want text|json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => root = PathBuf::from(a),
         }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+    }
+    let cfg = LintConfig::new(root);
+    match lint_workspace_report(&cfg) {
+        Ok(report) => {
+            let clean = report.violations.is_empty();
+            if json {
+                println!("{}", report.to_json());
+            } else if clean {
+                println!("fcix-lint: clean");
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!("fcix-lint: {} violation(s)", report.violations.len());
             }
-            println!("fcix-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("fcix-lint: error: {e}");

@@ -20,12 +20,28 @@
 //! * [`lint`] — a std-only source scanner (`fcix-lint`) enforcing repo
 //!   conventions: `// SAFETY:` on `unsafe` blocks, no wall-clock reads
 //!   outside `crates/obs`, no `unwrap`/`expect` on hot paths, no stray
-//!   `println!`.
+//!   `println!`. v2: all rules run on the [`lex`] token stream.
+//! * [`lex`] — a lossless std-only Rust lexer (raw strings, nested block
+//!   comments, char/lifetime disambiguation, doc comments) with byte
+//!   spans; the substrate for every source-level analysis here.
+//! * [`graph`] — item parser + workspace call graph with transitive
+//!   allocation-freedom and panic-freedom analyses rooted at the σ-task
+//!   and GEMM kernels (`fcix-check graph`).
+//! * [`locks`] — static lock-order / condvar analysis over the serve and
+//!   obs layers, with deadlock-cycle detection and a dynamic-lockset
+//!   cross-check against the `fci-obs` lock witness
+//!   (`fcix-check locks`).
 
 pub mod explore;
+pub mod graph;
+pub mod lex;
 pub mod lint;
+pub mod locks;
 pub mod race;
 
 pub use explore::{explore_mixed, ExploreConfig, ExploreOutcome, ExploreReport};
 pub use lint::{lint_paths, lint_source, lint_workspace, LintConfig, Violation};
-pub use race::{analyze, analyze_trace_events, RaceDetector, RaceReport, RaceSite, VectorClock};
+pub use race::{
+    analyze, analyze_trace_events, LocksetViolation, RaceDetector, RaceReport, RaceSite,
+    VectorClock,
+};

@@ -1,28 +1,34 @@
 //! `fcix-lint`: a std-only source-convention scanner.
 //!
-//! No external parser crates are available in this environment, so the
-//! scanner is a hand-rolled character state machine: it splits every
-//! source file into per-line **code text** (string literals blanked, so
-//! patterns inside strings never match) and **comment text** (where
-//! `SAFETY:` justifications and waivers live), tracks `#[cfg(test)]`
-//! regions by brace depth, and then applies line-local rules:
+//! v2: every rule runs on the lossless token stream from [`crate::lex`]
+//! instead of the old per-line character state machine. Tokens carry
+//! byte spans and line numbers, so rules see across lines (a `.expect(`
+//! split by rustfmt, a metric call whose name sits on the next line),
+//! never match text inside string literals or comments, and can reason
+//! about **statement spans** — the unit the SAFETY rule now binds to.
 //!
 //! | rule       | requirement |
 //! |------------|-------------|
-//! | `unsafe`   | every `unsafe` or `get_unchecked[_mut]` token is covered by a `// SAFETY:` comment on the same line or within the 3 lines above (the covering `unsafe` block may open far from the unchecked access, so each access justifies itself) |
+//! | `unsafe`   | every `unsafe` or `get_unchecked[_mut]` token is covered by a `// SAFETY:` comment attached to its enclosing statement: on a line of the statement itself, or in the contiguous comment block immediately above the statement (the covering `unsafe` block may open far from the unchecked access, so each access justifies itself) |
 //! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
 //! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`, `crates/serve/src` — a scheduler that panics takes every queued tenant down with it); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
 //! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc GEMM modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`) outside tests — the σ hot path must not touch the heap after warm-up |
 //! | `metric-name` | literal metric names passed to the metrics plane (`.observe("…")`, `.counter_add(`, `.counter_incr(`, `.gauge_set(`, `.incr(`) must match `[a-z0-9_.]+` — the text exposition mangles anything else, and two spellings of one metric split its series |
-//! | `metric-wallclock` | on simulated-path crates (`crates/ddi`, `crates/core`, `crates/fault`, `crates/xsim`), a metric-recording call must not read host time (`now_us(`, `Instant::now`, `SystemTime`) in the same expression — simulated metrics must come from the cost model, or the histogram mixes host jitter into X1 numbers |
+//! | `metric-wallclock` | on simulated-path crates (`crates/ddi`, `crates/core`, `crates/fault`, `crates/xsim`), a metric-recording call must not read host time (`now_us(`, `Instant::now`, `SystemTime`) in the same statement or on the same line — simulated metrics must come from the cost model, or the histogram mixes host jitter into X1 numbers |
 //!
 //! A violation can be waived in place with a trailing comment
 //! `lint: allow(<rule>)` on the offending line or the line above — the
-//! waiver is greppable, reviewable, and local.
+//! waiver is greppable, reviewable, and local. [`lint_workspace_report`]
+//! counts waivers per rule so CI can flag growth, and
+//! [`LintReport::to_json`] emits the machine-readable report
+//! `fcix-lint --format json` prints.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, Tok, TokKind};
+use fci_obs::JsonValue;
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,7 +38,7 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`unsafe`, `wallclock`, `unwrap`, `println`,
-    /// `alloc`).
+    /// `alloc`, `metric-name`, `metric-wallclock`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -65,7 +71,7 @@ pub struct LintConfig {
     /// forbidden outside tests — the zero-alloc GEMM hot path.
     pub zero_alloc_paths: Vec<String>,
     /// Path fragments running under the simulated clock, where metric
-    /// recording must not read host time in the same expression.
+    /// recording must not read host time in the same statement.
     pub sim_paths: Vec<String>,
 }
 
@@ -103,286 +109,218 @@ impl LintConfig {
     }
 }
 
-/// Call tokens that record into the metrics plane; the first argument is
-/// the metric name.
+/// Method names that record into the metrics plane; the first argument
+/// is the metric name.
 const METRIC_CALLS: [&str; 5] = [
-    ".observe(",
-    ".counter_add(",
-    ".counter_incr(",
-    ".gauge_set(",
-    ".incr(",
+    "observe",
+    "counter_add",
+    "counter_incr",
+    "gauge_set",
+    "incr",
 ];
 
-/// Literal metric names on one raw source line (strings intact) that
-/// violate the `[a-z0-9_.]+` naming rule. Dynamic names (non-literal
-/// first argument) are skipped — the registry can't be linted statically.
-fn bad_metric_names(raw: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    for call in METRIC_CALLS {
-        let mut from = 0;
-        while let Some(p) = raw[from..].find(call) {
-            let after = from + p + call.len();
-            from = after;
-            let rest = raw[after..].trim_start();
-            let Some(lit) = rest.strip_prefix('"') else {
-                continue;
-            };
-            let Some(end) = lit.find('"') else { continue };
-            let name = &lit[..end];
-            let ok = !name.is_empty()
-                && name
-                    .chars()
-                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
-            if !ok {
-                out.push(name.to_string());
-            }
-        }
-    }
-    out
+/// Tokenized file with the per-line facts every rule needs.
+pub(crate) struct FileCtx<'s> {
+    pub(crate) src: &'s str,
+    pub(crate) toks: Vec<Tok>,
+    /// Indices into `toks` of code tokens only.
+    pub(crate) code: Vec<usize>,
+    /// Per line (0-based): concatenated comment text.
+    pub(crate) comments: Vec<String>,
+    /// Per line (0-based): the line carries at least one code token.
+    pub(crate) has_code: Vec<bool>,
+    /// Per line (0-based): inside a `#[cfg(test)]` item.
+    pub(crate) in_test: Vec<bool>,
 }
 
-/// One source line, split into its code and comment parts.
-struct ScanLine {
-    /// Code with string/char literals blanked out.
-    code: String,
-    /// Concatenated comment text of the line.
-    comment: String,
-    /// Inside a `#[cfg(test)]` item.
-    in_test: bool,
-}
-
-/// Character state machine: strip literals, collect comments, per line.
-fn scan_source(src: &str) -> Vec<ScanLine> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut st = St::Code;
-    let mut lines: Vec<ScanLine> = Vec::new();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let chars: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            lines.push(ScanLine {
-                code: std::mem::take(&mut code),
-                comment: std::mem::take(&mut comment),
-                in_test: false,
-            });
-            i += 1;
-            continue;
-        }
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    i += 2;
-                }
-                '"' => {
-                    st = St::Str;
-                    code.push(' ');
-                    i += 1;
-                }
-                'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&code) => {
-                    // Possible raw string r"..." / r#"..."#.
-                    let mut j = i + 1;
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        code.push(' ');
-                        i = j + 1;
-                    } else {
-                        code.push(c);
-                        i += 1;
+impl<'s> FileCtx<'s> {
+    pub(crate) fn new(src: &'s str) -> FileCtx<'s> {
+        let toks = lex(src);
+        let nlines = src.as_bytes().iter().filter(|&&b| b == b'\n').count() + 1;
+        let mut comments = vec![String::new(); nlines];
+        let mut has_code = vec![false; nlines];
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind.is_code())
+            .map(|(i, _)| i)
+            .collect();
+        for t in &toks {
+            let text = t.text(src);
+            if t.kind.is_comment() {
+                for (k, part) in text.split('\n').enumerate() {
+                    let l = t.line as usize - 1 + k;
+                    if l < nlines {
+                        comments[l].push_str(part);
                     }
                 }
-                // Char literal vs lifetime: 'x' or '\…' is a literal,
-                // 'ident is a lifetime.
-                '\'' if next == Some('\\') || chars.get(i + 2) == Some(&'\'') => {
-                    st = St::Char;
-                    code.push(' ');
-                    i += 1;
-                }
-                _ => {
-                    code.push(c);
-                    i += 1;
-                }
-            },
-            St::LineComment => {
-                comment.push(c);
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    comment.push(c);
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    st = St::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k as usize) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
+            } else if t.kind.is_code() {
+                let span_lines = text.matches('\n').count();
+                for k in 0..=span_lines {
+                    let l = t.line as usize - 1 + k;
+                    if l < nlines {
+                        has_code[l] = true;
                     }
-                    if ok {
-                        st = St::Code;
-                        i += 1 + hashes as usize;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            St::Char => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '\'' {
-                    st = St::Code;
-                    i += 1;
-                } else {
-                    i += 1;
                 }
             }
         }
-    }
-    if !code.is_empty() || !comment.is_empty() {
-        lines.push(ScanLine {
+        let mut ctx = FileCtx {
+            src,
+            toks,
             code,
-            comment,
-            in_test: false,
-        });
+            comments,
+            has_code,
+            in_test: vec![false; nlines],
+        };
+        ctx.mark_test_regions();
+        ctx
     }
-    mark_test_regions(&mut lines);
-    lines
-}
 
-fn prev_is_ident(code: &str) -> bool {
-    code.chars()
-        .last()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
+    /// Text of the code token at code-index `ci` (`""` out of range).
+    pub(crate) fn ctext(&self, ci: usize) -> &str {
+        self.code
+            .get(ci)
+            .map_or("", |&i| self.toks[i].text(self.src))
+    }
 
-/// Mark every line inside an item annotated `#[cfg(test)]` (tracked by
-/// brace depth from the attribute's following `{`).
-fn mark_test_regions(lines: &mut [ScanLine]) {
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].code.contains("#[cfg(test)]") {
-            // Find the opening brace of the annotated item.
+    pub(crate) fn ctok(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    /// Whether the code tokens starting at `ci` spell out `pat`.
+    pub(crate) fn seq_at(&self, ci: usize, pat: &[&str]) -> bool {
+        pat.iter()
+            .enumerate()
+            .all(|(k, want)| self.ctext(ci + k) == *want)
+    }
+
+    /// Mark every line inside an item annotated `#[cfg(test)]` (tracked
+    /// by brace depth over code tokens from the attribute on).
+    fn mark_test_regions(&mut self) {
+        let attr = ["#", "[", "cfg", "(", "test", ")", "]"];
+        let mut ci = 0;
+        while ci < self.code.len() {
+            if !self.seq_at(ci, &attr) {
+                ci += 1;
+                continue;
+            }
+            let start_line = self.ctok(ci).line as usize;
             let mut depth = 0i64;
             let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                for c in lines[j].code.clone().chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
+            let mut j = ci + attr.len();
+            let mut end_line = self.in_test.len();
+            while j < self.code.len() {
+                match self.ctext(j) {
+                    "{" => {
+                        depth += 1;
+                        opened = true;
                     }
+                    "}" => depth -= 1,
+                    _ => {}
                 }
-                lines[j].in_test = true;
                 if opened && depth <= 0 {
+                    let t = self.ctok(j);
+                    end_line = t.line as usize + t.text(self.src).matches('\n').count();
                     break;
                 }
                 j += 1;
             }
-            i = j + 1;
+            for l in start_line..=end_line.min(self.in_test.len()) {
+                self.in_test[l - 1] = true;
+            }
+            ci = j + 1;
+        }
+    }
+
+    /// `lint: allow(<rule>)` waiver in a comment on `line` or the line
+    /// above (1-based).
+    pub(crate) fn waived(&self, line: usize, rule: &str) -> bool {
+        let tag = format!("lint: allow({rule})");
+        let hit = |l: usize| {
+            l >= 1
+                && self
+                    .comments
+                    .get(l - 1)
+                    .is_some_and(|c| c.contains(tag.as_str()))
+        };
+        hit(line) || hit(line - 1)
+    }
+
+    /// Code-index of the first token of the statement containing code
+    /// token `ci`: the token after the nearest preceding `;`, `{`, or
+    /// `}` (or the first code token of the file).
+    pub(crate) fn stmt_start(&self, ci: usize) -> usize {
+        let mut s = ci;
+        while s > 0 {
+            if matches!(self.ctext(s - 1), ";" | "{" | "}") {
+                break;
+            }
+            s -= 1;
+        }
+        s
+    }
+
+    /// Code-index one past the last token of the statement containing
+    /// `ci`: up to and including the next `;`, or stopping before the
+    /// next `{`/`}` (conservative — block arguments end the walk).
+    pub(crate) fn stmt_end(&self, ci: usize) -> usize {
+        let mut e = ci;
+        while e < self.code.len() {
+            match self.ctext(e) {
+                ";" => return e + 1,
+                "{" | "}" if e > ci => return e,
+                _ => e += 1,
+            }
+        }
+        e
+    }
+
+    /// Statement-bound SAFETY coverage for the token at code-index `ci`:
+    /// a `SAFETY:` comment on any line of the statement up to the token,
+    /// or anywhere in the contiguous comment block immediately above the
+    /// statement's first line. Unlike the old fixed 3-line window, a
+    /// long (reflowed) justification still covers, and a comment pinned
+    /// to the `unsafe` block header does *not* cover an access several
+    /// statements deeper.
+    fn safety_covered(&self, ci: usize) -> bool {
+        let tok_line = self.ctok(ci).line as usize;
+        let start_line = self.ctok(self.stmt_start(ci)).line as usize;
+        for l in start_line..=tok_line {
+            if self
+                .comments
+                .get(l - 1)
+                .is_some_and(|c| c.contains("SAFETY:"))
+            {
+                return true;
+            }
+        }
+        let mut l = start_line;
+        while l > 1 {
+            l -= 1;
+            let idx = l - 1;
+            if self.has_code[idx] || self.comments[idx].trim().is_empty() {
+                break;
+            }
+            if self.comments[idx].contains("SAFETY:") {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clock-read pattern (`now_us(`, `Instant::now`, `SystemTime`)
+    /// starting at code-index `ci`, with the needle name for messages.
+    fn clock_read_at(&self, ci: usize) -> Option<&'static str> {
+        if self.ctext(ci) == "now_us" && self.ctext(ci + 1) == "(" {
+            Some("now_us(")
+        } else if self.seq_at(ci, &["Instant", ":", ":", "now"]) {
+            Some("Instant::now")
+        } else if self.ctext(ci) == "SystemTime" {
+            Some("SystemTime")
         } else {
-            i += 1;
+            None
         }
     }
-}
-
-/// Whether a token occurrence at `pos` is preceded by an identifier char
-/// (`eprintln!` must not match `println!`).
-fn boundary_before(code: &str, pos: usize) -> bool {
-    pos == 0
-        || !code[..pos]
-            .chars()
-            .last()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// Whether the char after the match is an identifier char
-/// (`unsafe_code` must not match `unsafe`).
-fn boundary_after(code: &str, end: usize) -> bool {
-    !code[end..]
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// Token occurrences of `needle` in `code` respecting identifier
-/// boundaries on both sides.
-fn token_positions(code: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = code[from..].find(needle) {
-        let pos = from + p;
-        if boundary_before(code, pos) && boundary_after(code, pos + needle.len()) {
-            out.push(pos);
-        }
-        from = pos + needle.len();
-    }
-    out
-}
-
-fn waived(lines: &[ScanLine], idx: usize, rule: &str) -> bool {
-    let tag = format!("lint: allow({rule})");
-    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
-}
-
-fn safety_covered(lines: &[ScanLine], idx: usize) -> bool {
-    let lo = idx.saturating_sub(3);
-    lines[lo..=idx]
-        .iter()
-        .any(|l| l.comment.contains("SAFETY:"))
 }
 
 /// Normalize a path to forward slashes relative to `root` (best effort).
@@ -411,7 +349,7 @@ fn println_allowed(relpath: &str) -> bool {
 /// Lint one file's contents. `relpath` is the `/`-separated path relative
 /// to the workspace root, which selects which rules apply.
 pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation> {
-    let lines = scan_source(src);
+    let ctx = FileCtx::new(src);
     let mut out = Vec::new();
     let file = PathBuf::from(relpath);
     let hot = cfg
@@ -428,203 +366,274 @@ pub fn lint_source(cfg: &LintConfig, relpath: &str, src: &str) -> Vec<Violation>
         .sim_paths
         .iter()
         .any(|h| relpath.starts_with(h.as_str()));
-    // Raw lines (strings intact) for the metric-name rule: the scanner
-    // blanks string literals, but metric names *are* string literals.
-    let raw_lines: Vec<&str> = src.lines().collect();
+    let test_file = is_test_context(relpath);
+    let in_test = |line: usize| ctx.in_test.get(line - 1).copied().unwrap_or(false);
 
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let code = &line.code;
-
-        // Rule: unsafe needs SAFETY.
-        for _pos in token_positions(code, "unsafe") {
-            if waived(&lines, idx, "unsafe") || safety_covered(&lines, idx) {
-                continue;
-            }
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        if !ctx.waived(line, rule) {
             out.push(Violation {
                 file: file.clone(),
-                line: lineno,
-                rule: "unsafe",
-                message: "`unsafe` without a `// SAFETY:` comment on this line or the 3 above"
-                    .into(),
+                line,
+                rule,
+                message,
             });
         }
+    };
 
-        // Rule: unchecked indexing needs its own SAFETY — the covering
-        // `unsafe` block may open many lines earlier, so each access
-        // must carry (or sit under) a local justification.
-        for needle in ["get_unchecked", "get_unchecked_mut"] {
-            for _pos in token_positions(code, needle) {
-                if waived(&lines, idx, "unsafe") || safety_covered(&lines, idx) {
-                    continue;
-                }
-                out.push(Violation {
-                    file: file.clone(),
-                    line: lineno,
-                    rule: "unsafe",
-                    message: format!(
-                        "`{needle}` without a `// SAFETY:` comment on this line or the 3 above"
-                    ),
-                });
-            }
-        }
+    for ci in 0..ctx.code.len() {
+        let tok = ctx.ctok(ci);
+        let text = ctx.ctext(ci);
+        let line = tok.line as usize;
 
-        // Rule: no heap allocation in the zero-alloc GEMM modules
-        // (tests exempt; the arena's pool-growth site is waived inline).
-        if zero_alloc && !line.in_test && !is_test_context(relpath) {
-            for needle in ["vec!", "Vec::new", "Vec::with_capacity", "Box::new"] {
-                for _pos in token_positions(code, needle) {
-                    if waived(&lines, idx, "alloc") {
-                        continue;
-                    }
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "alloc",
-                        message: format!(
-                            "`{needle}` in a zero-alloc GEMM module — pack into \
-                             `arena::acquire` scratch instead"
+        match tok.kind {
+            TokKind::Ident => match text {
+                // Rule: unsafe / unchecked access needs a SAFETY comment
+                // bound to its enclosing statement — the covering
+                // `unsafe` block may open many lines earlier, so each
+                // access must carry (or sit under) a local
+                // justification.
+                "unsafe" | "get_unchecked" | "get_unchecked_mut" if !ctx.safety_covered(ci) => {
+                    push(
+                        line,
+                        "unsafe",
+                        format!(
+                            "`{text}` without a `// SAFETY:` comment attached to its \
+                             statement (on the statement's lines or the comment block \
+                             directly above it)"
                         ),
-                    });
+                    );
                 }
-            }
-            let collapsed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
-            for needle in [".to_vec()", ".collect()", ".reserve("] {
-                if collapsed.contains(needle) && !waived(&lines, idx, "alloc") {
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "alloc",
-                        message: format!(
-                            "`{needle}` in a zero-alloc GEMM module — pack into \
-                             `arena::acquire` scratch instead"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: wall-clock reads only in the obs crate.
-        if !clock_ok {
-            for needle in ["Instant::now", "SystemTime"] {
-                for _pos in token_positions(code, needle) {
-                    if waived(&lines, idx, "wallclock") {
-                        continue;
-                    }
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "wallclock",
-                        message: format!(
-                            "`{needle}` outside crates/obs — simulated code must take time \
-                             from the cost model, host time from the tracer"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: no unwrap/expect on hot paths (tests exempt).
-        if hot && !line.in_test && !is_test_context(relpath) {
-            let collapsed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
-            let prev_code: String = if idx > 0 {
-                lines[idx - 1]
-                    .code
-                    .chars()
-                    .filter(|c| !c.is_whitespace())
-                    .collect()
-            } else {
-                String::new()
-            };
-            let mut from = 0;
-            while let Some(p) = collapsed[from..].find(".unwrap()") {
-                let pos = from + p;
-                let lock_idiom = collapsed[..pos].ends_with(".lock()")
-                    || (pos == 0 && prev_code.ends_with(".lock()"));
-                if !lock_idiom && !waived(&lines, idx, "unwrap") {
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "unwrap",
-                        message: "`.unwrap()` in hot-path code — handle the error or use \
-                                  `unwrap_or_else`/`total_cmp`; `.lock().unwrap()` is the \
-                                  only allowed form"
+                // Rule: wall-clock reads only in the obs crate.
+                "SystemTime" if !clock_ok => {
+                    push(
+                        line,
+                        "wallclock",
+                        "`SystemTime` outside crates/obs — simulated code must take time \
+                         from the cost model, host time from the tracer"
                             .into(),
-                    });
+                    );
                 }
-                from = pos + ".unwrap()".len();
-            }
-            if collapsed.contains(".expect(") && !waived(&lines, idx, "unwrap") {
-                out.push(Violation {
-                    file: file.clone(),
-                    line: lineno,
-                    rule: "unwrap",
-                    message: "`.expect(…)` in hot-path code — propagate or handle the error".into(),
-                });
-            }
-        }
-
-        // Rules on metric-recording calls. The call token is looked up in
-        // the blanked code text (so a token inside a doc string does not
-        // count), the name itself in the raw line.
-        let records_metric = METRIC_CALLS.iter().any(|c| code.contains(c));
-        if records_metric && !line.in_test && !is_test_context(relpath) {
-            // Rule: literal metric names match [a-z0-9_.]+.
-            if !waived(&lines, idx, "metric-name") {
-                for name in raw_lines
-                    .get(idx)
-                    .map_or(Vec::new(), |r| bad_metric_names(r))
-                {
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "metric-name",
-                        message: format!(
-                            "metric name `{name}` — names must match [a-z0-9_.]+ so the \
-                             text exposition and series labels stay stable"
-                        ),
-                    });
+                "Instant" if !clock_ok && ctx.seq_at(ci + 1, &[":", ":", "now"]) => {
+                    push(
+                        line,
+                        "wallclock",
+                        "`Instant::now` outside crates/obs — simulated code must take time \
+                         from the cost model, host time from the tracer"
+                            .into(),
+                    );
+                }
+                // Rule: no stray println!.
+                "println" if !println_ok && !in_test(line) && ctx.ctext(ci + 1) == "!" => {
+                    push(
+                        line,
+                        "println",
+                        "`println!` outside bins/tests — libraries report through \
+                         return values or the tracer"
+                            .into(),
+                    );
+                }
+                // Rule: no heap allocation in the zero-alloc GEMM
+                // modules (tests exempt; the arena's pool-growth site is
+                // waived inline).
+                "vec" if zero_alloc && !in_test(line) && !test_file && ctx.ctext(ci + 1) == "!" => {
+                    push(line, "alloc", alloc_msg("vec!"));
+                }
+                "Vec" | "Box" if zero_alloc && !in_test(line) && !test_file => {
+                    for ctor in ["new", "with_capacity"] {
+                        if ctx.seq_at(ci + 1, &[":", ":", ctor]) && (text == "Vec" || ctor == "new")
+                        {
+                            push(line, "alloc", alloc_msg(&format!("{text}::{ctor}")));
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Punct if text == "." => {
+                let name = ctx.ctext(ci + 1);
+                let call = ctx.ctext(ci + 2) == "(";
+                // Rule: no unwrap/expect on hot paths (tests exempt);
+                // `.lock().unwrap()` is the one allowed form, including
+                // rustfmt's multi-line split of the chain.
+                if hot && !in_test(line) && !test_file && call {
+                    if name == "unwrap" && ctx.ctext(ci + 3) == ")" {
+                        let lock_idiom = ci >= 4 && ctx.seq_at(ci - 4, &[".", "lock", "(", ")"]);
+                        if !lock_idiom {
+                            push(
+                                ctx.ctok(ci + 1).line as usize,
+                                "unwrap",
+                                "`.unwrap()` in hot-path code — handle the error or use \
+                                 `unwrap_or_else`/`total_cmp`; `.lock().unwrap()` is the \
+                                 only allowed form"
+                                    .into(),
+                            );
+                        }
+                    } else if name == "expect" {
+                        push(
+                            ctx.ctok(ci + 1).line as usize,
+                            "unwrap",
+                            "`.expect(…)` in hot-path code — propagate or handle the error".into(),
+                        );
+                    }
+                }
+                // Rule: no heap allocation in the zero-alloc modules.
+                if zero_alloc && !in_test(line) && !test_file && call {
+                    match name {
+                        "to_vec" | "collect" if ctx.ctext(ci + 3) == ")" => {
+                            push(line, "alloc", alloc_msg(&format!(".{name}()")));
+                        }
+                        "reserve" => push(line, "alloc", alloc_msg(".reserve(")),
+                        _ => {}
+                    }
+                }
+                // Rules on metric-recording calls.
+                if call && METRIC_CALLS.contains(&name) && !in_test(line) && !test_file {
+                    // Rule: literal metric names match [a-z0-9_.]+.
+                    // Dynamic names (non-literal first argument) are
+                    // skipped — the registry can't be linted statically.
+                    let arg = ctx
+                        .code
+                        .get(ci + 3)
+                        .map(|&i| &ctx.toks[i])
+                        .filter(|t| t.kind == TokKind::StrLit);
+                    if let Some(lit) = arg {
+                        let raw = lit.text(src);
+                        let metric = raw.trim_matches('"');
+                        let ok = !metric.is_empty()
+                            && metric.chars().all(|c| {
+                                c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'
+                            });
+                        if !ok {
+                            push(
+                                line,
+                                "metric-name",
+                                format!(
+                                    "metric name `{metric}` — names must match [a-z0-9_.]+ \
+                                     so the text exposition and series labels stay stable"
+                                ),
+                            );
+                        }
+                    }
+                    // Rule: simulated-path metrics must not read host
+                    // time in the recording statement (or anywhere on
+                    // the recording line — two statements jammed onto
+                    // one line are still one audited unit).
+                    if sim {
+                        let (s, e) = (ctx.stmt_start(ci), ctx.stmt_end(ci));
+                        let clocky = (s..e).find_map(|k| ctx.clock_read_at(k)).or_else(|| {
+                            (0..ctx.code.len())
+                                .filter(|&k| ctx.ctok(k).line as usize == line)
+                                .find_map(|k| ctx.clock_read_at(k))
+                        });
+                        if let Some(n) = clocky {
+                            push(
+                                line,
+                                "metric-wallclock",
+                                format!(
+                                    "`{n}` inside a metric-recording statement on a \
+                                     simulated path — record cost-model time, or split the \
+                                     host read into its own audited statement"
+                                ),
+                            );
+                        }
+                    }
                 }
             }
-            // Rule: simulated-path metrics must not read host time in the
-            // recording expression.
-            if sim && !waived(&lines, idx, "metric-wallclock") {
-                let clocky = ["now_us(", "Instant::now", "SystemTime"]
-                    .iter()
-                    .find(|n| code.contains(*n));
-                if let Some(n) = clocky {
-                    out.push(Violation {
-                        file: file.clone(),
-                        line: lineno,
-                        rule: "metric-wallclock",
-                        message: format!(
-                            "`{n}` inside a metric-recording expression on a simulated \
-                             path — record cost-model time, or split the host read onto \
-                             its own audited line"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule: no stray println!.
-        if !println_ok && !line.in_test {
-            for _pos in token_positions(code, "println!") {
-                if waived(&lines, idx, "println") {
-                    continue;
-                }
-                out.push(Violation {
-                    file: file.clone(),
-                    line: lineno,
-                    rule: "println",
-                    message: "`println!` outside bins/tests — libraries report through \
-                              return values or the tracer"
-                        .into(),
-                });
-            }
+            _ => {}
         }
     }
     out
+}
+
+fn alloc_msg(needle: &str) -> String {
+    format!("`{needle}` in a zero-alloc GEMM module — pack into `arena::acquire` scratch instead")
+}
+
+/// Per-rule `lint: allow(...)` waiver counts in one file's comments.
+pub fn waivers_in_source(src: &str) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for t in lex(src) {
+        if !t.kind.is_comment() {
+            continue;
+        }
+        let text = t.text(src);
+        let mut from = 0;
+        while let Some(p) = text[from..].find("lint: allow(") {
+            let start = from + p + "lint: allow(".len();
+            from = start;
+            let Some(end) = text[start..].find(')') else {
+                break;
+            };
+            let rule = text[start..start + end].to_string();
+            // Identifier-shaped only: documentation spells the pattern
+            // with placeholders (`<rule>`, `…`) that are not waivers.
+            if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                continue;
+            }
+            match counts.iter_mut().find(|(r, _)| *r == rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((rule, 1)),
+            }
+        }
+    }
+    counts
+}
+
+/// Aggregated lint run: violations plus per-rule waiver counts, the
+/// payload behind `fcix-lint --format json`.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All violations, in path order.
+    pub violations: Vec<Violation>,
+    /// Waiver tallies per rule, sorted by rule name. CI diffs these
+    /// against the previous run to flag waiver growth.
+    pub waivers: Vec<(String, usize)>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// Machine-readable report:
+    /// `{"tool":"fcix-lint","files":N,"violations":[{file,line,rule,message}],
+    ///   "waivers":[{rule,count}]}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("tool", JsonValue::Str("fcix-lint".into())),
+            ("files", JsonValue::Num(self.files as f64)),
+            (
+                "violations",
+                JsonValue::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            JsonValue::obj(vec![
+                                (
+                                    "file",
+                                    JsonValue::Str(v.file.to_string_lossy().replace('\\', "/")),
+                                ),
+                                ("line", JsonValue::Num(v.line as f64)),
+                                ("rule", JsonValue::Str(v.rule.into())),
+                                ("message", JsonValue::Str(v.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "waivers",
+                JsonValue::Arr(
+                    self.waivers
+                        .iter()
+                        .map(|(rule, n)| {
+                            JsonValue::obj(vec![
+                                ("rule", JsonValue::Str(rule.clone())),
+                                ("count", JsonValue::Num(*n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Recursively collect `.rs` files under `dir`, skipping build output and
@@ -661,10 +670,31 @@ pub fn lint_paths(cfg: &LintConfig, files: &[PathBuf]) -> std::io::Result<Vec<Vi
 
 /// Lint every `.rs` file under `cfg.root`.
 pub fn lint_workspace(cfg: &LintConfig) -> std::io::Result<Vec<Violation>> {
+    Ok(lint_workspace_report(cfg)?.violations)
+}
+
+/// Lint every `.rs` file under `cfg.root` and tally waivers per rule.
+pub fn lint_workspace_report(cfg: &LintConfig) -> std::io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rs(&cfg.root, &mut files)?;
     files.sort();
-    lint_paths(cfg, &files)
+    let mut report = LintReport {
+        files: files.len(),
+        ..LintReport::default()
+    };
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        let relpath = rel(&cfg.root, f);
+        report.violations.extend(lint_source(cfg, &relpath, &src));
+        for (rule, n) in waivers_in_source(&src) {
+            match report.waivers.iter_mut().find(|(r, _)| *r == rule) {
+                Some((_, total)) => *total += n,
+                None => report.waivers.push((rule, n)),
+            }
+        }
+    }
+    report.waivers.sort();
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -697,12 +727,16 @@ mod tests {
         assert!(lint("crates/core/src/x.rs", src).is_empty());
         let raw = "fn f() { let s = r#\"unsafe\"#; }\n";
         assert!(lint("crates/core/src/x.rs", raw).is_empty());
+        // v2 fix: a *multi-line* raw string can no longer leak tokens —
+        // the old per-line scanner saw `unsafe` on the middle line.
+        let multi = "fn f() -> &'static str {\n    r#\"line one\nunsafe { }\nx.unwrap()\"#\n}\n";
+        assert!(lint("crates/ddi/src/x.rs", multi).is_empty());
     }
 
     #[test]
     fn get_unchecked_requires_local_safety_comment() {
-        // The block-level SAFETY covers the `unsafe` keyword but sits
-        // too far above the access itself.
+        // The block-level SAFETY covers the `unsafe` keyword but is
+        // pinned to the block header, not the access's own statement.
         let bad = "// SAFETY: block argument.\nunsafe {\n    let a = 1;\n    let b = 2;\n    \
                    let c = 3;\n    let x = *p.get_unchecked(0);\n}\n";
         let v = lint("crates/linalg/src/x.rs", bad);
@@ -712,6 +746,33 @@ mod tests {
         let good = "// SAFETY: block argument.\nunsafe {\n    // SAFETY: idx < len by loop \
                     bound.\n    let x = *p.get_unchecked_mut(0);\n}\n";
         assert!(lint("crates/linalg/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_binds_to_statement_not_line_distance() {
+        // v2 fix: a reflowed multi-line justification still covers the
+        // access even though `SAFETY:` sits more than 3 lines above it —
+        // the old fixed window would have flagged this.
+        let reflowed = "unsafe {\n    // SAFETY: i < n because the loop bound was\n    \
+                        // hoisted above, and the pointer is derived\n    \
+                        // from a live slice whose length is checked\n    \
+                        // at pack time by debug_assert.\n    let x = *p.get_unchecked(i);\n}\n\
+                        // lint: allow(unsafe) — block header demo\n";
+        let v: Vec<_> = lint("crates/linalg/src/x.rs", reflowed)
+            .into_iter()
+            .filter(|v| v.line != 1)
+            .collect();
+        assert!(v.is_empty(), "{v:?}");
+        // A SAFETY comment *inside* the statement (trailing) covers too.
+        let trailing = "// SAFETY: covers the block.\nunsafe {\n    let x = *p.get_unchecked(i); \
+             // SAFETY: i < n.\n}\n";
+        assert!(lint("crates/linalg/src/x.rs", trailing).is_empty());
+        // A statement spanning lines is one unit: SAFETY on its first
+        // line covers an access on its last.
+        let spanning = "// SAFETY: covers the block.\nunsafe {\n    // SAFETY: both in \
+                        bounds.\n    let x = p.get_unchecked(0)\n        + \
+                        p.get_unchecked(1);\n}\n";
+        assert!(lint("crates/linalg/src/x.rs", spanning).is_empty());
     }
 
     #[test]
@@ -732,6 +793,9 @@ mod tests {
         // Tests inside the module are exempt.
         let test = "#[cfg(test)]\nmod tests {\n    fn g() { let v = vec![1]; }\n}\n";
         assert!(lint("crates/linalg/src/gemm.rs", test).is_empty());
+        // v2 fix: a chain split across lines is still an allocation.
+        let split = "fn f() {\n    let v: Vec<f64> = it\n        .collect();\n}\n";
+        assert_eq!(lint("crates/linalg/src/gemm.rs", split).len(), 1);
     }
 
     #[test]
@@ -763,6 +827,9 @@ mod tests {
         assert!(lint("crates/ddi/src/dist.rs", split).is_empty());
         let expect = "fn f() { x.expect(\"boom\"); }\n";
         assert_eq!(lint("crates/linalg/src/gemm.rs", expect).len(), 1);
+        // v2 fix: `.expect(` split across lines is still caught.
+        let expect_split = "fn f() {\n    x\n        .expect(\"boom\");\n}\n";
+        assert_eq!(lint("crates/linalg/src/matrix.rs", expect_split).len(), 1);
         // Tests inside the hot file are exempt.
         let test = "#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
         assert!(lint("crates/ddi/src/dist.rs", test).is_empty());
@@ -804,6 +871,10 @@ mod tests {
         let waived = "fn f() { m.incr(\"WAT\"); } // lint: allow(metric-name)\n";
         assert!(lint("crates/core/src/phase.rs", waived).is_empty());
         assert!(lint("crates/core/tests/t.rs", bad).is_empty());
+        // v2 fix: a name pushed to the next line by rustfmt is checked.
+        let wrapped = "fn f() {\n    m.observe(\n        \"Sigma Phase-S\",\n        &labels,\n  \
+                       x,\n    );\n}\n";
+        assert_eq!(lint("crates/core/src/phase.rs", wrapped).len(), 1);
     }
 
     #[test]
@@ -833,6 +904,17 @@ mod tests {
         assert!(lint("crates/ddi/src/dist.rs", two_lines)
             .iter()
             .all(|v| v.rule != "metric-wallclock"));
+        // v2 fix: a recording *statement* wrapped across lines is one
+        // unit — the old line-local rule missed the host read below.
+        let wrapped = "fn f() {\n    m.observe(\n        \"a.b\",\n        &[],\n        \
+                       t.now_us(),\n    );\n}\n";
+        assert_eq!(
+            lint("crates/ddi/src/dist.rs", wrapped)
+                .iter()
+                .filter(|v| v.rule == "metric-wallclock")
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -857,5 +939,40 @@ mod tests {
         assert!(lint("crates/core/src/x.rs", src).is_empty());
         let nested = "/* a /* unsafe */ b */\nfn f() {}\n";
         assert!(lint("crates/core/src/x.rs", nested).is_empty());
+    }
+
+    #[test]
+    fn waiver_counting_per_rule() {
+        let src = "// lint: allow(unwrap) — reason one\nfn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap() } // lint: allow(unwrap)\n\
+                   // lint: allow(alloc) — pool growth\nfn h() {}\n";
+        let w = waivers_in_source(src);
+        assert_eq!(w, vec![("unwrap".to_string(), 2), ("alloc".to_string(), 1)]);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = LintReport {
+            violations: vec![Violation {
+                file: PathBuf::from("crates/x/src/a.rs"),
+                line: 3,
+                rule: "unwrap",
+                message: "msg".into(),
+            }],
+            waivers: vec![("alloc".into(), 2)],
+            files: 10,
+        };
+        let j = report.to_json();
+        let text = j.to_string();
+        let back = JsonValue::parse(&text).expect("valid json");
+        assert_eq!(back.get_f64("files"), Some(10.0));
+        let viols = back.get("violations").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(viols.len(), 1);
+        assert_eq!(
+            viols[0].get("rule").and_then(JsonValue::as_str),
+            Some("unwrap")
+        );
+        let waivers = back.get("waivers").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(waivers[0].get_f64("count"), Some(2.0));
     }
 }

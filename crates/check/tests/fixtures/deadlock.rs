@@ -1,0 +1,50 @@
+//! Seeded-deadlock fixture for the `fcix-check locks` integration test.
+//!
+//! Not a compile target: this file lives under `tests/fixtures/`, which
+//! cargo does not build, and is read as *source text* by
+//! `locks_workspace.rs`. It seeds exactly the hazards the analysis must
+//! flag on a codebase that has them:
+//!
+//! * an AB/BA lock-order cycle split across two functions
+//!   (`enqueue` takes `queue` → `stats`, `report` takes `stats` → `queue`),
+//! * a condvar wait while a *second* unrelated lock is held
+//!   (`drain` parks on `ready` with `stats` still pinned).
+//!
+//! The companion negative test proves the real serve/obs tree has none
+//! of these, so together they show the checker separates the two.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Broker {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl Broker {
+    pub fn enqueue(&self, job: u64) {
+        let mut q = self.queue.lock().unwrap();
+        let mut n = self.stats.lock().unwrap();
+        q.push(job);
+        *n += 1;
+        self.ready.notify_one();
+    }
+
+    pub fn report(&self) -> u64 {
+        let n = self.stats.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        *n + q.len() as u64
+    }
+
+    pub fn drain(&self) -> Option<u64> {
+        let n = self.stats.lock().unwrap();
+        let mut q = self.queue.lock().unwrap();
+        while q.is_empty() {
+            q = self.ready.wait(q).unwrap();
+        }
+        let job = q.pop();
+        drop(q);
+        drop(n);
+        job
+    }
+}

@@ -138,6 +138,7 @@ fn process_task_into(
     // gather — then fold the excitation signs in place. An in-place
     // `*v *= -1` produces the same bits as the old `sgn * v` store.
     bufs.cols.clear();
+    // lint: allow(alloc) — capacity reserved once in WorkBufs::new; clear+extend never reallocates
     bufs.cols.extend(fam.iter().map(|e| e.to as usize));
     c.get_cols(rank, &bufs.cols, &mut bufs.cg[..nq * nbstr], stats);
     for (slot, e) in fam.iter().enumerate() {

@@ -411,6 +411,7 @@ impl DistMatrix {
                     // The response arrives garbled: its CRC32 disagrees
                     // with the checksum the owner computed, so the
                     // delivery is rejected before any data is used.
+                    // lint: allow(alloc) — injected-fault recovery path; never runs in a fault-free production sweep
                     let mut wire = vec![0.0; self.nrows];
                     let sent = {
                         let seg = self.segments[owner].lock().unwrap();
@@ -665,6 +666,7 @@ impl DistMatrix {
                 _ => 3.0,
             };
             let backoff_s = backoff_ns as f64 / 1e9;
+            // lint: allow(alloc) — fault-trace emission; runs only when a fault was injected
             let mut args = vec![
                 ("op", opcode),
                 ("col", col as f64),
@@ -672,6 +674,7 @@ impl DistMatrix {
                 ("kind", kindcode),
             ];
             if backoff_ns > 0 {
+                // lint: allow(alloc) — fault-trace emission; runs only when a fault was injected
                 args.push(("backoff_s", backoff_s));
             }
             t.instant(Some(rank), "fault_injected", Category::Other, &args);

@@ -32,7 +32,7 @@ const MAX_POOLED: usize = 64;
 
 // The pool itself is the one sanctioned allocation site of the
 // zero-alloc GEMM paths; `Vec::new` here is const and allocation-free.
-// lint: allow(alloc)
+// lint: allow(alloc) — const Vec::new; the pool is the one sanctioned allocation site
 static POOL: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
 
 /// A pooled scratch buffer; returns itself to the pool on drop.
@@ -70,7 +70,7 @@ pub fn acquire(len: usize) -> ScratchGuard {
         match pick(&pool, len) {
             Some(i) => pool.swap_remove(i),
             // Capacity-0 vector: no allocation until `grow_and_fill`.
-            // lint: allow(alloc)
+            // lint: allow(alloc) — capacity-0 Vec::new; no heap touch until grow_and_fill
             None => Vec::new(),
         }
     };
@@ -95,7 +95,7 @@ fn grow_and_fill(buf: &mut Vec<f64>, len: usize) {
     if buf.capacity() < len {
         // Pool growth: the one allocation of the scratch subsystem,
         // amortized to zero after warm-up.
-        // lint: allow(alloc)
+        // lint: allow(alloc) — pool warm-up growth, amortized to zero across the run
         buf.reserve(len - buf.len());
     }
     // Within capacity after the reserve above: no allocation. The fill

@@ -237,7 +237,7 @@ pub fn dgemm_path(
     // Host-time probe for per-shape throughput metrics; one relaxed
     // atomic load when nobody is observing. This is real (host) kernel
     // time by design — linalg sits below the simulated-clock layer.
-    let timer = crate::probe::active().then(std::time::Instant::now); // lint: allow(wallclock)
+    let timer = crate::probe::active().then(std::time::Instant::now); // lint: allow(wallclock) — real host kernel time by design
     if small {
         small_dgemm(transa, transb, alpha, a, b, c, m, k, n);
     } else {

@@ -144,17 +144,17 @@ mod tests {
         let reg = MetricsRegistry::new();
         let t = ObsConfig::metrics_into(reg.clone()).tracer().unwrap();
         assert!(!t.enabled());
-        t.metrics().unwrap().incr("solves");
+        t.metrics().unwrap().counter_incr("solves", &[]);
         drop(t);
-        assert_eq!(reg.get("solves"), Some(1.0));
+        assert_eq!(reg.value("solves", &[]), Some(1.0));
         // Shared + enabled: events and the caller's registry.
         let t = ObsConfig::in_memory()
             .with_metrics(reg.clone())
             .tracer()
             .unwrap();
         assert!(t.enabled());
-        t.metrics().unwrap().incr("solves");
-        assert_eq!(reg.get("solves"), Some(2.0));
+        t.metrics().unwrap().counter_incr("solves", &[]);
+        assert_eq!(reg.value("solves", &[]), Some(2.0));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod event;
 pub mod flame;
 pub mod hist;
 pub mod json;
+pub mod lockwitness;
 pub mod metrics;
 pub mod sink;
 pub mod summary;
@@ -50,6 +51,7 @@ pub use event::{parse_jsonl, parse_jsonl_lenient, Category, Event, EventKind};
 pub use flame::{parse_collapsed, to_collapsed, TimeBase};
 pub use hist::{HistStats, Histogram};
 pub use json::JsonValue;
+pub use lockwitness::{TrackedCondvar, TrackedGuard, TrackedMutex};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 pub use summary::RunSummary;

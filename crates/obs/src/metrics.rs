@@ -23,7 +23,6 @@ use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind};
 use crate::hist::{HistStats, Histogram};
-use crate::json::JsonValue;
 
 /// Number of independently locked shards.
 pub const NSHARDS: usize = 16;
@@ -519,62 +518,6 @@ impl MetricsRegistry {
         }
         reg
     }
-
-    // ------------------------------------------------------------------
-    // Legacy label-less API (thin shim over the sharded store).
-    // ------------------------------------------------------------------
-
-    /// Add to a monotonic counter (creates it at 0 on first use).
-    pub fn add(&self, name: &str, delta: f64) {
-        self.counter_add(name, &[], delta);
-    }
-
-    /// Increment a counter by one.
-    pub fn incr(&self, name: &str) {
-        self.counter_add(name, &[], 1.0);
-    }
-
-    /// Set a gauge to its latest value.
-    pub fn set(&self, name: &str, value: f64) {
-        self.gauge_set(name, &[], value);
-    }
-
-    /// Current value of a label-less metric, if it exists.
-    pub fn get(&self, name: &str) -> Option<f64> {
-        self.value(name, &[])
-    }
-
-    /// All scalar metrics as `(key, value)`, sorted by key. Labelled
-    /// metrics render their key as `name{k=v,...}`.
-    pub fn snapshot(&self) -> Vec<(String, f64)> {
-        let snap = self.snapshot_all();
-        let key = |name: &str, labels: &[(String, String)]| {
-            if labels.is_empty() {
-                name.to_string()
-            } else {
-                let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
-                format!("{name}{{{}}}", inner.join(","))
-            }
-        };
-        let mut out: Vec<(String, f64)> = snap
-            .counters
-            .iter()
-            .chain(snap.gauges.iter())
-            .map(|(n, l, v)| (key(n, l), *v))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
-    }
-
-    /// Scalar metrics as a JSON object, keys sorted.
-    pub fn to_json(&self) -> JsonValue {
-        JsonValue::Obj(
-            self.snapshot()
-                .into_iter()
-                .map(|(k, v)| (k, JsonValue::Num(v)))
-                .collect(),
-        )
-    }
 }
 
 #[cfg(test)]
@@ -584,30 +527,30 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = MetricsRegistry::new();
-        m.incr("ddi.nxtval");
-        m.incr("ddi.nxtval");
-        m.add("ddi.acc_bytes", 4096.0);
-        assert_eq!(m.get("ddi.nxtval"), Some(2.0));
-        assert_eq!(m.get("ddi.acc_bytes"), Some(4096.0));
-        assert_eq!(m.get("missing"), None);
+        m.counter_incr("ddi.nxtval", &[]);
+        m.counter_incr("ddi.nxtval", &[]);
+        m.counter_add("ddi.acc_bytes", &[], 4096.0);
+        assert_eq!(m.value("ddi.nxtval", &[]), Some(2.0));
+        assert_eq!(m.value("ddi.acc_bytes", &[]), Some(4096.0));
+        assert_eq!(m.value("missing", &[]), None);
     }
 
     #[test]
     fn gauges_take_last_value() {
         let m = MetricsRegistry::new();
-        m.set("residual", 1.0);
-        m.set("residual", 1e-6);
-        assert_eq!(m.get("residual"), Some(1e-6));
+        m.gauge_set("residual", &[], 1.0);
+        m.gauge_set("residual", &[], 1e-6);
+        assert_eq!(m.value("residual", &[]), Some(1e-6));
     }
 
     #[test]
-    fn snapshot_sorted_and_json() {
+    fn snapshot_is_sorted() {
         let m = MetricsRegistry::new();
-        m.set("b", 2.0);
-        m.set("a", 1.0);
-        let snap = m.snapshot();
-        assert_eq!(snap[0].0, "a");
-        assert_eq!(m.to_json().get_f64("b"), Some(2.0));
+        m.gauge_set("b", &[], 2.0);
+        m.gauge_set("a", &[], 1.0);
+        let snap = m.snapshot_all();
+        assert_eq!(snap.gauges[0].0, "a");
+        assert_eq!(snap.gauges[1].0, "b");
     }
 
     #[test]
@@ -646,9 +589,9 @@ mod tests {
             m.counter_add(&format!("m{i}"), &[], i as f64);
         }
         for i in 0..500 {
-            assert_eq!(m.get(&format!("m{i}")), Some(i as f64));
+            assert_eq!(m.value(&format!("m{i}"), &[]), Some(i as f64));
         }
-        assert_eq!(m.snapshot().len(), 500);
+        assert_eq!(m.snapshot_all().counters.len(), 500);
     }
 
     #[test]
@@ -672,7 +615,7 @@ mod tests {
         m2.merge(&a);
         m2.merge(&b);
         assert_eq!(m1.render_text(), m2.render_text());
-        assert_eq!(m1.get("n"), Some(600.0));
+        assert_eq!(m1.value("n", &[]), Some(600.0));
     }
 
     #[test]
@@ -694,8 +637,8 @@ mod tests {
     fn shared_store_across_clones() {
         let m = MetricsRegistry::new();
         let m2 = m.clone();
-        m2.incr("x");
-        assert_eq!(m.get("x"), Some(1.0));
+        m2.counter_incr("x", &[]);
+        assert_eq!(m.value("x", &[]), Some(1.0));
         assert!(m.same_store(&m2));
         assert!(!m.same_store(&MetricsRegistry::new()));
     }

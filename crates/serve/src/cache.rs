@@ -18,9 +18,10 @@
 //! the whole server — is reproducible at any worker count.
 
 use fci_core::{DetSpace, Hamiltonian};
+use fci_obs::{TrackedCondvar, TrackedMutex};
 use fci_scf::MoIntegrals;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// Cache key: artifact kind + content hash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,8 +130,8 @@ struct CacheState {
 /// Thread-safe shared-artifact cache with a hard byte budget.
 pub struct ArtifactCache {
     budget: usize,
-    state: Mutex<CacheState>,
-    built: Condvar,
+    state: TrackedMutex<CacheState>,
+    built: TrackedCondvar,
 }
 
 impl ArtifactCache {
@@ -140,15 +141,18 @@ impl ArtifactCache {
     pub fn new(budget: usize) -> ArtifactCache {
         ArtifactCache {
             budget,
-            state: Mutex::new(CacheState {
-                map: HashMap::new(),
-                building: Vec::new(),
-                used: 0,
-                level: 0.0,
-                seq: 0,
-                stats: CacheStats::default(),
-            }),
-            built: Condvar::new(),
+            state: TrackedMutex::new(
+                "ArtifactCache.state",
+                CacheState {
+                    map: HashMap::new(),
+                    building: Vec::new(),
+                    used: 0,
+                    level: 0.0,
+                    seq: 0,
+                    stats: CacheStats::default(),
+                },
+            ),
+            built: TrackedCondvar::new("ArtifactCache.built"),
         }
     }
 
@@ -159,7 +163,7 @@ impl ArtifactCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().unwrap().stats
+        self.state.lock().stats
     }
 
     /// Look up `key`, building via `build` on a miss. Returns the
@@ -175,7 +179,7 @@ impl ArtifactCache {
         build: impl FnOnce() -> Artifact,
     ) -> (Artifact, bool) {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state.lock();
             loop {
                 if st.map.contains_key(&key) {
                     st.stats.hits += 1;
@@ -190,10 +194,7 @@ impl ArtifactCache {
                 }
                 if st.building.contains(&key) {
                     // Someone else is building it; wait for the insert.
-                    st = self
-                        .built
-                        .wait(st)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st = self.built.wait(st);
                     continue;
                 }
                 st.stats.misses += 1;
@@ -203,7 +204,7 @@ impl ArtifactCache {
         }
         let art = build();
         let bytes = art.bytes();
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         st.building.retain(|k| *k != key);
         if bytes <= self.budget {
             self.make_room(&mut st, bytes);
@@ -262,6 +263,7 @@ fn priority(level: f64, art: &Artifact, bytes: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::spec::ProblemSpec;
+    use std::sync::Mutex;
 
     fn ints_artifact(seed: u64, n_orb: usize) -> Artifact {
         Artifact::Ints(Arc::new(ProblemSpec::Random { n_orb, seed }.build()))

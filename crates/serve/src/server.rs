@@ -31,11 +31,11 @@ use fci_core::{
     build_space, solve_prepared, solve_resilient_prepared, solve_roots_prepared, DetSpace,
     Hamiltonian, RecoveryOptions,
 };
-use fci_obs::{Category, ObsConfig, Tracer};
+use fci_obs::{Category, ObsConfig, Tracer, TrackedCondvar, TrackedMutex};
 use fci_strings::binomial;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -108,10 +108,10 @@ pub struct Server {
     trace: Tracer,
     /// Host-time source; always enabled, events discarded.
     clock: Tracer,
-    state: Mutex<QueueState>,
-    work: Condvar,
-    results: Mutex<Vec<Option<JobResult>>>,
-    rejected: Mutex<Vec<(String, RejectReason)>>,
+    state: TrackedMutex<QueueState>,
+    work: TrackedCondvar,
+    results: TrackedMutex<Vec<Option<JobResult>>>,
+    rejected: TrackedMutex<Vec<(String, RejectReason)>>,
 }
 
 impl Server {
@@ -133,10 +133,10 @@ impl Server {
             trace,
             clock: Tracer::in_memory(),
             cfg,
-            state: Mutex::new(QueueState::default()),
-            work: Condvar::new(),
-            results: Mutex::new(Vec::new()),
-            rejected: Mutex::new(Vec::new()),
+            state: TrackedMutex::new("Server.state", QueueState::default()),
+            work: TrackedCondvar::new("Server.work"),
+            results: TrackedMutex::new("Server.results", Vec::new()),
+            rejected: TrackedMutex::new("Server.rejected", Vec::new()),
         }
     }
 
@@ -186,29 +186,22 @@ impl Server {
     /// recorded in the final report.
     pub fn submit(&self, spec: JobSpec) -> Result<(), RejectReason> {
         if let Err(why) = self.admit(&spec) {
-            self.rejected
-                .lock()
-                .unwrap()
-                .push((spec.id.clone(), why.clone()));
+            self.rejected.lock().push((spec.id.clone(), why.clone()));
             self.trace
                 .instant(None, "job_rejected", Category::Other, &[("count", 1.0)]);
             return Err(why);
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         if st.closed || st.shutdown {
             let why = RejectReason::Invalid("server is shutting down".into());
             drop(st);
-            self.rejected
-                .lock()
-                .unwrap()
-                .push((spec.id.clone(), why.clone()));
+            self.rejected.lock().push((spec.id.clone(), why.clone()));
             return Err(why);
         }
         if st.ids.contains(&spec.id) {
             drop(st);
             self.rejected
                 .lock()
-                .unwrap()
                 .push((spec.id.clone(), RejectReason::DuplicateId));
             return Err(RejectReason::DuplicateId);
         }
@@ -217,17 +210,14 @@ impl Server {
                 capacity: self.cfg.queue_cap,
             };
             drop(st);
-            self.rejected
-                .lock()
-                .unwrap()
-                .push((spec.id.clone(), why.clone()));
+            self.rejected.lock().push((spec.id.clone(), why.clone()));
             return Err(why);
         }
         st.ids.insert(spec.id.clone());
         let seq = st.next_seq;
         st.next_seq += 1;
         let out = {
-            let mut res = self.results.lock().unwrap();
+            let mut res = self.results.lock();
             res.push(None);
             res.len() - 1
         };
@@ -250,7 +240,7 @@ impl Server {
     /// Cancel a queued job. Returns `false` if it already started (or
     /// was never accepted) — running solves are not interrupted.
     pub fn cancel(&self, id: &str) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         let Some(pos) = st.pending.iter().position(|q| q.spec.id == id) else {
             return false;
         };
@@ -277,7 +267,7 @@ impl Server {
 
     /// No further submissions; workers exit once the queue drains.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.state.lock().closed = true;
         self.work.notify_all();
     }
 
@@ -285,7 +275,7 @@ impl Server {
     /// `Shutdown`); in-flight solves run to completion.
     pub fn shutdown(&self) {
         let abandoned = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state.lock();
             st.shutdown = true;
             st.closed = true;
             std::mem::take(&mut st.pending)
@@ -343,7 +333,7 @@ impl Server {
     fn worker_loop(&self) {
         loop {
             let batch = {
-                let mut st = self.state.lock().unwrap();
+                let mut st = self.state.lock();
                 loop {
                     if st.shutdown {
                         return;
@@ -354,11 +344,11 @@ impl Server {
                     if st.closed && st.running == 0 {
                         return;
                     }
-                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    st = self.work.wait(st);
                 }
             };
             self.execute(batch);
-            self.state.lock().unwrap().running -= 1;
+            self.state.lock().running -= 1;
             self.work.notify_all();
         }
     }
@@ -638,7 +628,7 @@ impl Server {
     }
 
     fn finish(&self, q: &Queued, result: JobResult) {
-        self.results.lock().unwrap()[q.out] = Some(result);
+        self.results.lock()[q.out] = Some(result);
     }
 
     /// Drain the queue with `workers` scoped threads. Blocks until the
@@ -662,22 +652,9 @@ impl Server {
             &[("count", cache.evictions as f64)],
         );
         self.trace.flush();
-        let results: Vec<JobResult> = self
-            .results
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .into_iter()
-            .flatten()
-            .collect();
-        let rejected = self
-            .rejected
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner);
-        let batches = self
-            .state
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .batches;
+        let results: Vec<JobResult> = self.results.into_inner().into_iter().flatten().collect();
+        let rejected = self.rejected.into_inner();
+        let batches = self.state.into_inner().batches;
         let jobs_done = results
             .iter()
             .filter(|r| r.status == JobStatus::Done)
