@@ -1,0 +1,211 @@
+//! Durable-serving overhead: what the write-ahead log costs on the
+//! serving hot path, emitting `results/BENCH_served_durability.json`.
+//!
+//! Three arms run the same unbatched workload through `fci-serve`:
+//!
+//! * **plain** — no WAL: the pre-durability scheduler;
+//! * **wal** — WAL on, buffered appends (the `fcix-served` default):
+//!   every submit and completion is framed, CRC'd, and written before
+//!   it is acknowledged, but the OS flushes at its leisure — this is
+//!   the crash-exactly-once configuration the durability suite tests;
+//! * **wal+sync** — `fdatasync` per append (power-loss durability),
+//!   reported for context but not gated: its cost is the disk's, not
+//!   the code's.
+//!
+//! The gated metric is `wal_over_plain` — buffered-WAL wall time over
+//! plain wall time, both measured on this host in the same process, so
+//! the ratio is machine-tolerant. The acceptance bar is <= 1.10: a
+//! durable accept must cost no more than 10% of serving throughput.
+//!
+//! After the `wal` arm the log is reopened and replayed, asserting the
+//! artifact a crash would actually recover from: every job has exactly
+//! one completion record and nothing is left pending.
+//!
+//! `--quick` shrinks the workload for CI and exits 1 when the gate
+//! fails; either mode writes the same artifact consumed by
+//! `fcix-bench-diff` against `results/baselines/served_durability.json`.
+
+use fci_obs::JsonValue;
+use fci_serve::{serve, JobSpec, ProblemSpec, ServeConfig, ServeSummary, Wal};
+use std::path::PathBuf;
+
+/// `n_jobs` distinct-space ground-state jobs (sites varies the space so
+/// the artifact cache cannot collapse the arm into one build — the WAL
+/// cost must be measured against real per-job work, not cache hits).
+fn workload(n_jobs: usize, n_orb: usize, n_elec: usize, max_iter: usize) -> Vec<JobSpec> {
+    (0..n_jobs)
+        .map(|i| {
+            let mut j = JobSpec::new(
+                format!("job-{i}"),
+                ProblemSpec::Hubbard {
+                    sites: n_orb,
+                    t: 1.0,
+                    u: 2.0 + (i % 5) as f64,
+                    periodic: false,
+                },
+                n_elec,
+                0,
+            );
+            j.tenant = format!("tenant-{}", i % 4);
+            j.max_iter = max_iter;
+            j.tol = 1e-6;
+            j.batchable = false;
+            j
+        })
+        .collect()
+}
+
+fn run_arm(jobs: Vec<JobSpec>, wal_path: Option<PathBuf>, wal_sync: bool) -> ServeSummary {
+    if let Some(p) = &wal_path {
+        let _ = std::fs::remove_file(p);
+    }
+    let cfg = ServeConfig {
+        workers: 1,
+        cache_budget: 0,
+        batching: false,
+        wal_path,
+        wal_sync,
+        ..ServeConfig::default()
+    };
+    let report = serve(cfg, jobs);
+    assert_eq!(
+        report.summary.jobs_done,
+        report.results.len(),
+        "bench workload must complete"
+    );
+    report.summary
+}
+
+/// Best throughput over `reps` repetitions (first rep warms the page
+/// cache and code paths; jitter on shared runners only ever slows runs).
+fn best_of(reps: usize, mut arm: impl FnMut() -> ServeSummary) -> ServeSummary {
+    let mut best: Option<ServeSummary> = None;
+    for _ in 0..reps {
+        let s = arm();
+        if best
+            .as_ref()
+            .map(|b| s.jobs_per_sec > b.jobs_per_sec)
+            .unwrap_or(true)
+        {
+            best = Some(s);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut params = if quick {
+        [12, 12, 4, 3, 3]
+    } else {
+        [32, 14, 5, 4, 3]
+    };
+    for (slot, v) in args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .zip(&mut params)
+    {
+        *v = slot.parse().unwrap_or(*v);
+    }
+    let [n_jobs, n_orb, n_elec, max_iter, reps] = params;
+
+    let dir = std::env::temp_dir().join(format!("fcix-bench-durab-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let wal_path = dir.join("bench.wal");
+
+    println!(
+        "served_durability: {n_jobs} jobs, {n_orb} orbitals ({n_elec}a0b), \
+         max_iter {max_iter}"
+    );
+    let plain = best_of(reps, || {
+        run_arm(workload(n_jobs, n_orb, n_elec, max_iter), None, false)
+    });
+    println!("  plain    : {:7.2} jobs/s", plain.jobs_per_sec);
+    let wal = best_of(reps, || {
+        run_arm(
+            workload(n_jobs, n_orb, n_elec, max_iter),
+            Some(wal_path.clone()),
+            false,
+        )
+    });
+    println!("  wal      : {:7.2} jobs/s", wal.jobs_per_sec);
+    let synced = best_of(reps, || {
+        run_arm(
+            workload(n_jobs, n_orb, n_elec, max_iter),
+            Some(dir.join("bench-sync.wal")),
+            true,
+        )
+    });
+    println!("  wal+sync : {:7.2} jobs/s", synced.jobs_per_sec);
+
+    // The log the last wal arm left behind is the recovery artifact:
+    // replay it and check the exactly-once bookkeeping a crash relies on.
+    let (reopened, replay) = Wal::open(&wal_path).expect("reopen bench WAL");
+    let wal_bytes = reopened.len();
+    drop(reopened);
+    assert!(
+        replay.is_clean(),
+        "bench WAL must replay clean: {:?}",
+        replay.warnings
+    );
+    assert!(replay.pending.is_empty(), "drained run left pending jobs");
+    assert_eq!(
+        replay.completed.len(),
+        n_jobs,
+        "one completion record per job"
+    );
+
+    let wal_over_plain = plain.jobs_per_sec / wal.jobs_per_sec;
+    let sync_over_plain = plain.jobs_per_sec / synced.jobs_per_sec;
+    println!("  wal/plain      = {wal_over_plain:.3}x  (gate <= 1.10)");
+    println!("  wal+sync/plain = {sync_over_plain:.3}x  (informational)");
+    println!(
+        "  wal size       = {wal_bytes} B ({:.0} B/job)",
+        wal_bytes as f64 / n_jobs as f64
+    );
+
+    let doc = JsonValue::obj(vec![
+        (
+            "workload",
+            JsonValue::obj(vec![
+                ("n_jobs", JsonValue::Num(n_jobs as f64)),
+                ("n_orb", JsonValue::Num(n_orb as f64)),
+                ("n_alpha", JsonValue::Num(n_elec as f64)),
+                ("n_beta", JsonValue::Num(0.0)),
+                ("max_iter", JsonValue::Num(max_iter as f64)),
+                ("workers", JsonValue::Num(1.0)),
+                ("reps", JsonValue::Num(reps as f64)),
+            ]),
+        ),
+        ("plain", plain.to_json()),
+        ("wal", wal.to_json()),
+        ("wal_sync", synced.to_json()),
+        ("wal_over_plain", JsonValue::Num(wal_over_plain)),
+        ("sync_over_plain", JsonValue::Num(sync_over_plain)),
+        ("wal_bytes", JsonValue::Num(wal_bytes as f64)),
+        (
+            "wal_bytes_per_job",
+            JsonValue::Num(wal_bytes as f64 / n_jobs as f64),
+        ),
+        (
+            "replay_completed",
+            JsonValue::Num(replay.completed.len() as f64),
+        ),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    match fci_bench::write_bench_json("served_durability", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            println!("FAIL: cannot write artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+    if quick {
+        if wal_over_plain > 1.10 {
+            println!("FAIL: WAL costs {wal_over_plain:.3}x plain serving, need <= 1.10x");
+            std::process::exit(1);
+        }
+        println!("OK: buffered WAL overhead within 10%");
+    }
+}

@@ -54,6 +54,8 @@ fn real_serve_obs_lock_graph_is_cycle_free() {
     for id in [
         "Server.state",
         "Server.results",
+        "Server.wal",
+        "NetServer.tenants",
         "Store.shards",
         "Inner.cursors",
         "JsonlSink.writer",
@@ -67,6 +69,17 @@ fn real_serve_obs_lock_graph_is_cycle_free() {
             .iter()
             .any(|e| e.from == "Server.state" && e.to == "Server.results"),
         "submit()'s state→results nesting not found: {:?}",
+        report.edges
+    );
+    // The TCP front-end's tenant registry nests *around* the scheduler
+    // (gate → sweep finished jobs via peek_result), never inside it —
+    // the ordering the durable-serving design pins.
+    assert!(
+        report
+            .edges
+            .iter()
+            .any(|e| e.from == "NetServer.tenants" && e.to == "Server.results"),
+        "net gate's tenants→results nesting not found: {:?}",
         report.edges
     );
 }

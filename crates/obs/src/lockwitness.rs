@@ -246,6 +246,40 @@ impl TrackedCondvar {
         guard
     }
 
+    /// Block on the condvar for at most `dur`, releasing `guard`'s mutex
+    /// (poison-recovering). Returns the re-acquired guard and whether the
+    /// wait timed out. Bookkeeping mirrors [`TrackedCondvar::wait`]: the
+    /// released mutex leaves the witness held-stack for the duration and
+    /// re-registers on wakeup.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: TrackedGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (TrackedGuard<'a, T>, bool) {
+        let inner = guard.guard.take().unwrap_or_else(|| unreachable!());
+        let name = guard.name;
+        let tracked = guard.tracked;
+        if tracked {
+            pop_held(name);
+        }
+        let (woken, timeout) = match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(poison) => {
+                let (g, t) = poison.into_inner();
+                (g, t.timed_out())
+            }
+        };
+        if witness_enabled() {
+            record_acquire(name);
+            push_held(name);
+            guard.tracked = true;
+        } else {
+            guard.tracked = false;
+        }
+        guard.guard = Some(woken);
+        (guard, timeout)
+    }
+
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -338,6 +372,27 @@ mod tests {
         assert!(
             edges.contains(&("C.m".to_string(), "C.other".to_string())),
             "wakeup must re-push the mutex: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn timed_wait_times_out_and_restores_the_guard() {
+        let _g = test_lock();
+        reset_witness();
+        set_witness_enabled(true);
+        let m = TrackedMutex::new("TW.m", 7u32);
+        let cv = TrackedCondvar::new("TW.cv");
+        let guard = m.lock();
+        let (guard, timed_out) = cv.wait_timeout(guard, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+        assert_eq!(*guard, 7);
+        drop(guard);
+        set_witness_enabled(false);
+        // The re-acquisition after the timed wait is recorded.
+        let counts = witness_acquisitions();
+        assert!(
+            counts.iter().any(|(n, c)| n == "TW.m" && *c >= 2),
+            "{counts:?}"
         );
     }
 

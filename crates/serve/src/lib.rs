@@ -15,7 +15,13 @@
 //!   control and backpressure, the batching coalescer that turns
 //!   same-space jobs into one multi-root solve, and the scoped worker
 //!   pool (deterministic at any worker count — see the module docs);
-//! * [`result`] — per-job JSONL results and the server [`ServeSummary`].
+//! * [`result`] — per-job JSONL results and the server [`ServeSummary`];
+//! * [`wal`] — the write-ahead job log: accepted jobs and their state
+//!   transitions survive `kill -9`, and a restarted server resumes with
+//!   crash-exactly-once semantics;
+//! * [`net`] — a std-only TCP/JSONL front-end with per-tenant
+//!   token-bucket rate limits, in-flight caps, timeouts, and explicit
+//!   overload rejects carrying backoff hints.
 //!
 //! ```
 //! use fci_serve::{serve, JobSpec, ProblemSpec, ServeConfig};
@@ -30,11 +36,15 @@
 //! ```
 
 pub mod cache;
+pub mod net;
 pub mod result;
 pub mod server;
 pub mod spec;
+pub mod wal;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey, CacheStats};
+pub use net::{NetClient, NetConfig, NetServer};
 pub use result::{JobResult, JobStatus, RejectReason, ServeReport, ServeSummary};
-pub use server::{estimated_bytes, serve, serve_with, ServeConfig, Server};
+pub use server::{estimated_bytes, serve, serve_with, QueueStats, ServeConfig, Server};
 pub use spec::{fnv1a, JobSpec, ProblemSpec};
+pub use wal::{Replay, Wal, WalRecord};

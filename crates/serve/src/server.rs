@@ -27,6 +27,7 @@
 use crate::cache::{Artifact, ArtifactCache, CacheKey};
 use crate::result::{percentile, JobResult, JobStatus, RejectReason, ServeReport, ServeSummary};
 use crate::spec::JobSpec;
+use crate::wal::{Replay, Wal, WalRecord};
 use fci_core::{
     build_space, solve_prepared, solve_resilient_prepared, solve_roots_prepared, DetSpace,
     Hamiltonian, RecoveryOptions,
@@ -58,6 +59,13 @@ pub struct ServeConfig {
     /// When set, each job's solve writes its own trace file here
     /// (`job-<id>.trace.jsonl`).
     pub job_trace_dir: Option<PathBuf>,
+    /// When set, accepted jobs and their state transitions are appended
+    /// to this write-ahead log before they are acknowledged, and
+    /// [`Server::recover`] replays it on startup (crash-exactly-once).
+    pub wal_path: Option<PathBuf>,
+    /// `fdatasync` the WAL per append (power-loss durability; process
+    /// crashes are covered without it).
+    pub wal_sync: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,8 +79,27 @@ impl Default for ServeConfig {
             checkpoint_dir: std::env::temp_dir(),
             obs: ObsConfig::off(),
             job_trace_dir: None,
+            wal_path: None,
+            wal_sync: false,
         }
     }
+}
+
+/// A point-in-time view of the queue for the `STATUS` verb and tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueStats {
+    /// Jobs accepted but not yet dispatched.
+    pub pending: usize,
+    /// Jobs currently in a solve.
+    pub running: usize,
+    /// Jobs with a terminal result.
+    pub completed: usize,
+    /// Submissions refused by admission control.
+    pub rejected: usize,
+    /// No further submissions are accepted.
+    pub closed: bool,
+    /// Write-ahead log size in bytes (0 when durability is off).
+    pub wal_bytes: u64,
 }
 
 struct Queued {
@@ -112,11 +139,45 @@ pub struct Server {
     work: TrackedCondvar,
     results: TrackedMutex<Vec<Option<JobResult>>>,
     rejected: TrackedMutex<Vec<(String, RejectReason)>>,
+    /// Write-ahead log (absent when `cfg.wal_path` is unset).
+    wal: Option<TrackedMutex<Wal>>,
+    /// Signalled whenever a result lands; [`Server::wait_result`] parks here.
+    done: TrackedCondvar,
 }
 
 impl Server {
-    /// A server with an empty queue.
+    /// A server with an empty queue. With `cfg.wal_path` set, an
+    /// existing log is replayed exactly as [`Server::recover`] would —
+    /// but open failures downgrade to a warning with durability off,
+    /// and the replay detail is discarded.
     pub fn new(cfg: ServeConfig) -> Server {
+        let fallback = ServeConfig {
+            wal_path: None,
+            ..cfg.clone()
+        };
+        match Server::recover(cfg) {
+            Ok((server, replay)) => {
+                for w in &replay.warnings {
+                    eprintln!("warning: WAL recovery: {w}");
+                }
+                server
+            }
+            Err(e) => {
+                eprintln!("warning: could not open WAL: {e}; durability disabled");
+                let (server, _) = Server::recover(fallback).unwrap_or_else(|_| unreachable!());
+                server
+            }
+        }
+    }
+
+    /// Open the server against its write-ahead log: replay the log,
+    /// pre-fill results for jobs whose completion record survived,
+    /// re-enqueue accepted-but-unfinished jobs, and compact the log.
+    /// With `cfg.wal_path` unset this is [`Server::new`] with an empty
+    /// [`Replay`]. `Err` means the log could not be opened or rewritten
+    /// (replayed *damage* is never an error — it is counted in
+    /// [`Replay::warnings`]).
+    pub fn recover(cfg: ServeConfig) -> std::io::Result<(Server, Replay)> {
         let trace = cfg.obs.tracer().unwrap_or_else(|e| {
             eprintln!("warning: could not open serve trace output: {e}; tracing disabled");
             Tracer::disabled()
@@ -128,16 +189,68 @@ impl Server {
                 cfg.checkpoint_dir.display()
             );
         }
-        Server {
+        let (wal, replay) = match &cfg.wal_path {
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir)?;
+                }
+                let (mut wal, replay) = Wal::open(path)?;
+                wal.set_sync(cfg.wal_sync);
+                // Rewrite to just the live records so terminal records
+                // of past generations never accumulate.
+                wal.compact(&replay)?;
+                (Some(wal), replay)
+            }
+            None => (None, Replay::default()),
+        };
+        // Pre-fill the queue and results as plain values *before* any
+        // mutex wraps them: construction acquires no locks, so the lock
+        // graph sees only the steady-state orderings.
+        let clock = Tracer::in_memory();
+        let mut st = QueueState::default();
+        let mut results: Vec<Option<JobResult>> = Vec::new();
+        for r in &replay.completed {
+            st.ids.insert(r.id.clone());
+            results.push(Some(r.clone()));
+        }
+        for spec in &replay.pending {
+            st.ids.insert(spec.id.clone());
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            results.push(None);
+            st.pending.push(Queued {
+                submit_us: clock.now_us(),
+                spec: spec.clone(),
+                seq,
+                out: results.len() - 1,
+            });
+        }
+        let server = Server {
             cache: ArtifactCache::new(cfg.cache_budget),
             trace,
-            clock: Tracer::in_memory(),
+            clock,
             cfg,
-            state: TrackedMutex::new("Server.state", QueueState::default()),
+            state: TrackedMutex::new("Server.state", st),
             work: TrackedCondvar::new("Server.work"),
-            results: TrackedMutex::new("Server.results", Vec::new()),
+            results: TrackedMutex::new("Server.results", results),
             rejected: TrackedMutex::new("Server.rejected", Vec::new()),
+            wal: wal.map(|w| TrackedMutex::new("Server.wal", w)),
+            done: TrackedCondvar::new("Server.done"),
+        };
+        if let Some(m) = server.trace.metrics() {
+            m.gauge_set(
+                "serve.wal_recovered_pending",
+                &[],
+                replay.pending.len() as f64,
+            );
+            m.gauge_set(
+                "serve.wal_recovered_completed",
+                &[],
+                replay.completed.len() as f64,
+            );
+            m.gauge_set("serve.wal_warnings", &[], replay.warnings.len() as f64);
         }
+        Ok((server, replay))
     }
 
     /// The artifact cache (stats inspection).
@@ -182,35 +295,75 @@ impl Server {
         }
     }
 
+    /// Append to the WAL (no-op without one), tracking size metrics.
+    /// Safe to call with the state lock held: `Server.wal` is a leaf of
+    /// the lock graph — nothing else is ever acquired while holding it.
+    fn wal_append(&self, rec: &WalRecord) -> std::io::Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut w = wal.lock();
+        w.append(rec)?;
+        let len = w.len();
+        drop(w);
+        if let Some(m) = self.trace.metrics() {
+            m.counter_incr("serve.wal_appends", &[]);
+            m.gauge_set("serve.wal_bytes", &[], len as f64);
+        }
+        Ok(())
+    }
+
+    /// Record a refused submission (report + trace + WAL) and hand the
+    /// reason back. Must be called with no queue locks held.
+    fn reject(&self, id: &str, why: RejectReason) -> RejectReason {
+        if let Err(e) = self.wal_append(&WalRecord::Rejected {
+            id: id.to_string(),
+            reason: why.to_string(),
+        }) {
+            eprintln!("warning: WAL append (reject {id}) failed: {e}");
+        }
+        self.rejected.lock().push((id.to_string(), why.clone()));
+        self.trace
+            .instant(None, "job_rejected", Category::Other, &[("count", 1.0)]);
+        why
+    }
+
     /// Submit a job. `Err` is the backpressure path: the reason is also
-    /// recorded in the final report.
+    /// recorded in the final report. With a WAL attached, `Ok` means the
+    /// acceptance record is durable — a crash after this returns cannot
+    /// lose the job.
     pub fn submit(&self, spec: JobSpec) -> Result<(), RejectReason> {
         if let Err(why) = self.admit(&spec) {
-            self.rejected.lock().push((spec.id.clone(), why.clone()));
-            self.trace
-                .instant(None, "job_rejected", Category::Other, &[("count", 1.0)]);
-            return Err(why);
+            return Err(self.reject(&spec.id, why));
         }
         let mut st = self.state.lock();
         if st.closed || st.shutdown {
-            let why = RejectReason::Invalid("server is shutting down".into());
             drop(st);
-            self.rejected.lock().push((spec.id.clone(), why.clone()));
-            return Err(why);
+            let why = RejectReason::Invalid("server is shutting down".into());
+            return Err(self.reject(&spec.id, why));
         }
         if st.ids.contains(&spec.id) {
             drop(st);
-            self.rejected
-                .lock()
-                .push((spec.id.clone(), RejectReason::DuplicateId));
-            return Err(RejectReason::DuplicateId);
+            return Err(self.reject(&spec.id, RejectReason::DuplicateId));
         }
         if st.pending.len() >= self.cfg.queue_cap {
+            drop(st);
             let why = RejectReason::QueueFull {
                 capacity: self.cfg.queue_cap,
             };
+            return Err(self.reject(&spec.id, why));
+        }
+        // Durability point: the acceptance record must be on disk before
+        // the job becomes visible anywhere (still under the state lock,
+        // so the duplicate-id check and the log agree).
+        if let Err(e) = self.wal_append(&WalRecord::Submitted {
+            spec: Box::new(spec.clone()),
+        }) {
             drop(st);
+            let why = RejectReason::Invalid(format!("write-ahead log append failed: {e}"));
             self.rejected.lock().push((spec.id.clone(), why.clone()));
+            self.trace
+                .instant(None, "job_rejected", Category::Other, &[("count", 1.0)]);
             return Err(why);
         }
         st.ids.insert(spec.id.clone());
@@ -397,6 +550,13 @@ impl Server {
         for q in &batch {
             self.trace
                 .instant(None, "job_start", Category::Other, &[("seq", q.seq as f64)]);
+            // Progress marker; replay re-runs started-but-unfinished
+            // jobs (resilient ones resume from their own checkpoint).
+            if let Err(e) = self.wal_append(&WalRecord::Started {
+                id: q.spec.id.clone(),
+            }) {
+                eprintln!("warning: WAL append (start {}) failed: {e}", q.spec.id);
+            }
         }
         let spec0 = &batch[0].spec;
         let (space, ham) = self.artifacts(spec0);
@@ -628,7 +788,82 @@ impl Server {
     }
 
     fn finish(&self, q: &Queued, result: JobResult) {
+        // Exactly-once ordering: the completion record (with its result
+        // hash) is durable before the result becomes visible. A crash
+        // in between replays as "completed" and never re-runs the job;
+        // a crash before it replays as "pending" and re-runs it — the
+        // in-memory result it shadowed was never observable.
+        if let Err(e) = self.wal_append(&WalRecord::Finished {
+            rhash: result.result_hash(),
+            result: Box::new(result.clone()),
+        }) {
+            eprintln!("warning: WAL append (finish {}) failed: {e}", result.id);
+        }
         self.results.lock()[q.out] = Some(result);
+        self.done.notify_all();
+    }
+
+    /// The result of job `id`, if it reached a terminal state.
+    pub fn peek_result(&self, id: &str) -> Option<JobResult> {
+        self.results
+            .lock()
+            .iter()
+            .flatten()
+            .find(|r| r.id == id)
+            .cloned()
+    }
+
+    /// Block until job `id` has a result or `timeout` elapses. Returns
+    /// `None` on timeout (the job may still be queued, running, or
+    /// simply unknown).
+    pub fn wait_result(&self, id: &str, timeout: std::time::Duration) -> Option<JobResult> {
+        let start = self.clock.now_us();
+        let budget_us = timeout.as_micros() as f64;
+        let mut res = self.results.lock();
+        loop {
+            if let Some(r) = res.iter().flatten().find(|r| r.id == id) {
+                return Some(r.clone());
+            }
+            let left = budget_us - (self.clock.now_us() - start);
+            if left <= 0.0 {
+                return None;
+            }
+            // Chunked waits bound the window of a lost wake-up race.
+            let chunk = std::time::Duration::from_micros(left.min(50_000.0) as u64);
+            let (guard, _) = self.done.wait_timeout(res, chunk);
+            res = guard;
+        }
+    }
+
+    /// Close the queue and block until every accepted job has finished.
+    pub fn drain(&self) {
+        self.close();
+        let mut st = self.state.lock();
+        while !(st.pending.is_empty() && st.running == 0) {
+            let (guard, _) = self
+                .work
+                .wait_timeout(st, std::time::Duration::from_millis(100));
+            st = guard;
+        }
+    }
+
+    /// Queue counters for the `STATUS` verb.
+    pub fn stats(&self) -> QueueStats {
+        let (pending, running, closed) = {
+            let st = self.state.lock();
+            (st.pending.len(), st.running, st.closed || st.shutdown)
+        };
+        let completed = self.results.lock().iter().flatten().count();
+        let rejected = self.rejected.lock().len();
+        let wal_bytes = self.wal.as_ref().map_or(0, |w| w.lock().len());
+        QueueStats {
+            pending,
+            running,
+            completed,
+            rejected,
+            closed,
+            wal_bytes,
+        }
     }
 
     /// Drain the queue with `workers` scoped threads. Blocks until the

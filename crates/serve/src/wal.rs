@@ -1,0 +1,682 @@
+//! Write-ahead job log: the durability plane of the server.
+//!
+//! Every accepted [`JobSpec`] and every later state transition (started,
+//! completed/failed/cancelled with a result hash, rejected) is appended
+//! to an on-disk log *before* the transition is acknowledged anywhere
+//! else. A server killed mid-workload replays the log on startup,
+//! re-enqueues every accepted-but-unfinished job, skips jobs whose
+//! completion record is present, and compacts the log — the
+//! crash-exactly-once contract the durability tests enforce.
+//!
+//! # Format
+//!
+//! The framing reuses the `FCIXCKP2` checkpoint machinery's shape
+//! (magic + version byte + CRC32, little-endian throughout):
+//!
+//! ```text
+//! header:  "FCIXWAL1"  version:u8
+//! record:  len:u32  payload:[u8; len]  crc32(payload):u32
+//! ```
+//!
+//! Payloads are one JSON object each (`{"t":"submit",...}` etc.), so a
+//! log is inspectable with `xxd`/`strings` yet every byte is covered by
+//! a checksum. Appends go straight to the file descriptor (no user-space
+//! buffering), so a `kill -9` can lose at most the record being written,
+//! never a record that was acknowledged.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] scans frames until the first damage — truncated tail,
+//! flipped payload byte, over-long length field, wrong-version header —
+//! and recovers the **longest valid prefix**, truncating the damage away
+//! and counting a warning instead of failing the boot. Semantic damage
+//! inside valid frames (duplicated records, completion-hash mismatches)
+//! is likewise counted and skipped. The recovered state then drives
+//! [`crate::server::Server`] startup, and the log is rewritten
+//! (tmp + rename) to just the live records.
+
+use crate::result::JobResult;
+use crate::spec::JobSpec;
+use fci_fault::crc32;
+use fci_obs::JsonValue;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Log file magic; the trailing `1` is the on-disk generation.
+const MAGIC: &[u8; 8] = b"FCIXWAL1";
+/// Format version written after the magic.
+const VERSION: u8 = 1;
+/// Header bytes before the first record.
+const HEADER: usize = 9;
+/// Upper bound on one payload. A `JobSpec` serializes to well under a
+/// KiB; a length field above this is a corrupt frame, not a real record.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// One logged state transition.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// A job passed admission and entered the queue.
+    Submitted {
+        /// The accepted spec, in full (replay rebuilds the queue from it).
+        spec: Box<JobSpec>,
+    },
+    /// A job was dispatched to a worker (informational: replay re-runs
+    /// started-but-unfinished jobs from their checkpoint or from scratch).
+    Started {
+        /// Job id.
+        id: String,
+    },
+    /// A job reached a terminal state; `rhash` must equal
+    /// `result.result_hash()` or replay discards the record.
+    Finished {
+        /// The terminal result (done / failed / cancelled / shutdown).
+        result: Box<JobResult>,
+        /// Integrity tag over the outcome-defining fields.
+        rhash: u64,
+    },
+    /// A submission was refused at admission.
+    Rejected {
+        /// Job id.
+        id: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl WalRecord {
+    /// Payload JSON for this record.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            WalRecord::Submitted { spec } => JsonValue::obj(vec![
+                ("t", JsonValue::Str("submit".into())),
+                ("job", spec.to_json()),
+            ]),
+            WalRecord::Started { id } => JsonValue::obj(vec![
+                ("t", JsonValue::Str("start".into())),
+                ("id", JsonValue::Str(id.clone())),
+            ]),
+            WalRecord::Finished { result, rhash } => JsonValue::obj(vec![
+                ("t", JsonValue::Str("finish".into())),
+                ("result", result.to_wal_json()),
+                ("rhash", JsonValue::Str(format!("{rhash:016x}"))),
+            ]),
+            WalRecord::Rejected { id, reason } => JsonValue::obj(vec![
+                ("t", JsonValue::Str("reject".into())),
+                ("id", JsonValue::Str(id.clone())),
+                ("reason", JsonValue::Str(reason.clone())),
+            ]),
+        }
+    }
+
+    /// Parse a payload written by [`WalRecord::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<WalRecord, String> {
+        let t = v
+            .get("t")
+            .and_then(JsonValue::as_str)
+            .ok_or("record needs `t`")?;
+        match t {
+            "submit" => Ok(WalRecord::Submitted {
+                spec: Box::new(JobSpec::from_json(
+                    v.get("job").ok_or("submit record needs `job`")?,
+                )?),
+            }),
+            "start" => Ok(WalRecord::Started {
+                id: v
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("start record needs `id`")?
+                    .to_string(),
+            }),
+            "finish" => {
+                let result = JobResult::from_wal_json(
+                    v.get("result").ok_or("finish record needs `result`")?,
+                )?;
+                let rhash = v
+                    .get("rhash")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("finish record needs `rhash`")?;
+                let rhash =
+                    u64::from_str_radix(rhash, 16).map_err(|_| format!("bad `rhash` {rhash:?}"))?;
+                Ok(WalRecord::Finished {
+                    result: Box::new(result),
+                    rhash,
+                })
+            }
+            "reject" => Ok(WalRecord::Rejected {
+                id: v
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("reject record needs `id`")?
+                    .to_string(),
+                reason: v
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown record type `{other}`")),
+        }
+    }
+}
+
+/// What replaying a log recovers.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Accepted jobs without a terminal record, in acceptance order —
+    /// the server re-enqueues exactly these.
+    pub pending: Vec<JobSpec>,
+    /// Jobs whose completion record survived; the server pre-fills its
+    /// result table so they are never run again.
+    pub completed: Vec<JobResult>,
+    /// Rejections that were logged (informational; clients were already
+    /// told at submit time).
+    pub rejected: Vec<(String, String)>,
+    /// Counted-not-fatal recoveries: duplicated records, hash
+    /// mismatches, tail truncation, header damage.
+    pub warnings: Vec<String>,
+    /// Valid frames applied.
+    pub records: usize,
+    /// Bytes cut from the damaged tail (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+impl Replay {
+    /// `true` when the log replayed without a single recovery action.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// An open write-ahead log (replayed, truncated to its valid prefix,
+/// positioned for append).
+pub struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+    /// Current valid length in bytes.
+    len: u64,
+    /// Durability: `true` adds an `fdatasync` per append (survives power
+    /// loss, not just process death). Default off — `kill -9` safety
+    /// needs only the write to reach the kernel.
+    sync: bool,
+    /// Crash-injection hook for the durability harness: abort the
+    /// process (no unwinding, no drops — a self-inflicted `kill -9`)
+    /// the moment the log reaches this byte offset, truncating the
+    /// in-flight record if the offset lands inside one.
+    kill_at: Option<u64>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Encode one record as a CRC-framed byte string.
+fn frame(rec: &WalRecord) -> Vec<u8> {
+    let payload = rec.to_json().to_string().into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Split raw log bytes into `(records, valid_len, tail_warning)`.
+///
+/// Scanning stops at the first damaged frame; everything before it is
+/// the longest valid prefix.
+fn scan_frames(bytes: &[u8]) -> (Vec<(WalRecord, u64)>, u64, Option<String>) {
+    let mut recs = Vec::new();
+    let mut off = HEADER;
+    while off < bytes.len() {
+        let rest = bytes.len() - off;
+        if rest < 8 {
+            return (
+                recs,
+                off as u64,
+                Some(format!("truncated frame header at byte {off} ({rest} B)")),
+            );
+        }
+        let mut b4 = [0u8; 4];
+        b4.copy_from_slice(&bytes[off..off + 4]);
+        let len = u32::from_le_bytes(b4);
+        if len > MAX_PAYLOAD || off + 8 + len as usize > bytes.len() {
+            return (
+                recs,
+                off as u64,
+                Some(format!(
+                    "frame at byte {off} claims {len} B payload with {rest} B left"
+                )),
+            );
+        }
+        let payload = &bytes[off + 4..off + 4 + len as usize];
+        b4.copy_from_slice(&bytes[off + 4 + len as usize..off + 8 + len as usize]);
+        if u32::from_le_bytes(b4) != crc32(payload) {
+            return (
+                recs,
+                off as u64,
+                Some(format!("CRC mismatch in frame at byte {off}")),
+            );
+        }
+        let parsed = std::str::from_utf8(payload)
+            .map_err(|e| e.to_string())
+            .and_then(JsonValue::parse)
+            .and_then(|v| WalRecord::from_json(&v));
+        match parsed {
+            Ok(rec) => {
+                off += 8 + len as usize;
+                recs.push((rec, off as u64));
+            }
+            // A checksummed frame that does not parse is damage the CRC
+            // cannot see (e.g. written by a newer build): stop here too.
+            Err(e) => {
+                return (
+                    recs,
+                    off as u64,
+                    Some(format!("unparseable frame at byte {off}: {e}")),
+                );
+            }
+        }
+    }
+    (recs, bytes.len() as u64, None)
+}
+
+/// Fold scanned records into the recovered server state.
+fn apply(recs: Vec<(WalRecord, u64)>, replay: &mut Replay) {
+    // id → index into replay.pending (live) or None (finished).
+    let mut seen: HashMap<String, bool> = HashMap::new(); // id → finished?
+    for (rec, _) in recs {
+        replay.records += 1;
+        match rec {
+            WalRecord::Submitted { spec } => match seen.get(spec.id.as_str()) {
+                Some(_) => replay
+                    .warnings
+                    .push(format!("duplicate submit record for job `{}`", spec.id)),
+                None => {
+                    seen.insert(spec.id.clone(), false);
+                    replay.pending.push(*spec);
+                }
+            },
+            WalRecord::Started { id } => {
+                // Progress marker only; unknown ids are harmless on a
+                // compacted log, dispatch order is rebuilt from scratch.
+                let _ = id;
+            }
+            WalRecord::Finished { result, rhash } => {
+                if rhash != result.result_hash() {
+                    replay.warnings.push(format!(
+                        "completion record for job `{}` fails its result hash; job will re-run",
+                        result.id
+                    ));
+                    continue;
+                }
+                match seen.get(result.id.as_str()) {
+                    Some(true) => {
+                        replay.warnings.push(format!(
+                            "duplicate completion record for job `{}`",
+                            result.id
+                        ));
+                        continue;
+                    }
+                    Some(false) => {
+                        // Normal life cycle: retire the pending entry.
+                        replay.pending.retain(|j| j.id != result.id);
+                    }
+                    // No submit record: the log was compacted (completed
+                    // jobs keep only their finish record). Not a warning.
+                    None => {}
+                }
+                seen.insert(result.id.clone(), true);
+                replay.completed.push(*result);
+            }
+            WalRecord::Rejected { id, reason } => replay.rejected.push((id, reason)),
+        }
+    }
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`: replay it, truncate
+    /// damage to the longest valid prefix, and return the writer plus
+    /// the recovered state.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Wal, Replay)> {
+        let path = path.into();
+        let mut replay = Replay::default();
+        let mut valid_len = HEADER as u64;
+        let mut fresh_header = true;
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                if bytes.len() < HEADER || &bytes[..8] != MAGIC || bytes[8] != VERSION {
+                    replay.warnings.push(format!(
+                        "log {} has a damaged or wrong-version header; starting a fresh log \
+                         (previous contents unrecoverable)",
+                        path.display()
+                    ));
+                    replay.truncated_bytes = bytes.len() as u64;
+                } else {
+                    fresh_header = false;
+                    let (recs, len, tail) = scan_frames(&bytes);
+                    valid_len = len;
+                    if let Some(warning) = tail {
+                        replay.truncated_bytes = bytes.len() as u64 - len;
+                        replay.warnings.push(format!(
+                            "{warning}; recovered {} valid records, dropped {} damaged tail bytes",
+                            recs.len(),
+                            replay.truncated_bytes
+                        ));
+                    }
+                    apply(recs, &mut replay);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        if fresh_header {
+            file.set_len(0)?;
+            write_header(&file)?;
+            valid_len = HEADER as u64;
+        } else {
+            // Cut the damaged tail so appends extend the valid prefix.
+            file.set_len(valid_len)?;
+        }
+        let kill_at = std::env::var("FCIX_WAL_KILL_AT")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        let mut wal = Wal {
+            file,
+            path,
+            len: valid_len,
+            sync: false,
+            kill_at,
+        };
+        wal.seek_end()?;
+        Ok((wal, replay))
+    }
+
+    /// Enable per-append `fdatasync` (power-loss durability).
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
+    }
+
+    /// Bytes in the valid log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len <= HEADER as u64
+    }
+
+    /// The log path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn seek_end(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::Start(self.len))?;
+        Ok(())
+    }
+
+    /// Append one record; returns only after the bytes reached the
+    /// kernel (and the disk, with [`Wal::set_sync`]). This is the
+    /// ordering point the exactly-once property rests on: callers must
+    /// not acknowledge a transition before this returns.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let bytes = frame(rec);
+        if let Some(kill) = self.kill_at {
+            let end = self.len + bytes.len() as u64;
+            if end >= kill {
+                // Crash-injection: emulate kill -9 at an exact log
+                // offset, mid-record when the offset lands inside the
+                // frame. abort() runs no destructors and no cleanup.
+                let keep = kill.saturating_sub(self.len).min(bytes.len() as u64) as usize;
+                let _ = self.file.write_all(&bytes[..keep]);
+                let _ = self.file.sync_data();
+                std::process::abort();
+            }
+        }
+        self.file.write_all(&bytes)?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrite the log to just the live records (tmp + rename): one
+    /// submit per still-pending job, one finish per completed job.
+    /// Bounds log growth across restarts — terminal records of one
+    /// generation never accumulate into the next.
+    pub fn compact(&mut self, replay: &Replay) -> io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let file = std::fs::File::create(&tmp)?;
+            write_header(&file)?;
+            let mut w = io::BufWriter::new(file);
+            for result in &replay.completed {
+                let rec = WalRecord::Finished {
+                    rhash: result.result_hash(),
+                    result: Box::new(result.clone()),
+                };
+                w.write_all(&frame(&rec))?;
+            }
+            for spec in &replay.pending {
+                let rec = WalRecord::Submitted {
+                    spec: Box::new(spec.clone()),
+                };
+                w.write_all(&frame(&rec))?;
+            }
+            w.flush()?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        self.len = self.file.metadata()?.len();
+        self.seek_end()
+    }
+}
+
+fn write_header(mut file: &std::fs::File) -> io::Result<()> {
+    file.write_all(MAGIC)?;
+    file.write_all(&[VERSION])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::JobStatus;
+    use crate::spec::ProblemSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fcix-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn job(id: &str) -> JobSpec {
+        JobSpec::new(
+            id,
+            ProblemSpec::Hubbard {
+                sites: 4,
+                t: 1.0,
+                u: 4.0,
+                periodic: false,
+            },
+            2,
+            2,
+        )
+    }
+
+    fn done(id: &str, energy: f64) -> JobResult {
+        JobResult {
+            id: id.into(),
+            tenant: "default".into(),
+            status: JobStatus::Done,
+            energy,
+            converged: true,
+            iterations: 9,
+            sector_dim: 36,
+            batch_size: 1,
+            restarts: 0,
+            queue_us: 1.0,
+            exec_us: 2.0,
+        }
+    }
+
+    fn append_all(path: &Path, recs: &[WalRecord]) {
+        let (mut wal, replay) = Wal::open(path).unwrap();
+        assert!(replay.is_clean());
+        for r in recs {
+            wal.append(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_reenqueues_unfinished_and_skips_finished() {
+        let path = tmp("basic.wal");
+        let _ = std::fs::remove_file(&path);
+        let r = done("a", -1.5);
+        append_all(
+            &path,
+            &[
+                WalRecord::Submitted {
+                    spec: Box::new(job("a")),
+                },
+                WalRecord::Submitted {
+                    spec: Box::new(job("b")),
+                },
+                WalRecord::Started { id: "a".into() },
+                WalRecord::Finished {
+                    rhash: r.result_hash(),
+                    result: Box::new(r),
+                },
+                WalRecord::Rejected {
+                    id: "z".into(),
+                    reason: "queue full".into(),
+                },
+            ],
+        );
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert!(replay.is_clean(), "{:?}", replay.warnings);
+        assert_eq!(replay.records, 5);
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(replay.pending[0].id, "b");
+        assert_eq!(replay.completed.len(), 1);
+        assert_eq!(replay.completed[0].id, "a");
+        assert_eq!(replay.completed[0].energy, -1.5);
+        assert_eq!(replay.rejected, vec![("z".into(), "queue full".into())]);
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_replays_identically() {
+        let path = tmp("compact.wal");
+        let _ = std::fs::remove_file(&path);
+        let r = done("a", -2.25);
+        append_all(
+            &path,
+            &[
+                WalRecord::Submitted {
+                    spec: Box::new(job("a")),
+                },
+                WalRecord::Started { id: "a".into() },
+                WalRecord::Finished {
+                    rhash: r.result_hash(),
+                    result: Box::new(r),
+                },
+                WalRecord::Submitted {
+                    spec: Box::new(job("b")),
+                },
+                WalRecord::Rejected {
+                    id: "z".into(),
+                    reason: "invalid".into(),
+                },
+            ],
+        );
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        let before = wal.len();
+        wal.compact(&replay).unwrap();
+        assert!(wal.len() < before, "compaction must shrink the log");
+        let (_, again) = Wal::open(&path).unwrap();
+        assert!(again.is_clean());
+        assert_eq!(again.pending.len(), 1);
+        assert_eq!(again.pending[0].id, "b");
+        assert_eq!(again.completed.len(), 1);
+        assert_eq!(
+            again.completed[0].energy.to_bits(),
+            (-2.25f64).to_bits(),
+            "completion survives compaction bitwise"
+        );
+        // Rejections are dead weight; compaction drops them.
+        assert!(again.rejected.is_empty());
+    }
+
+    #[test]
+    fn appends_after_recovery_extend_the_valid_prefix() {
+        let path = tmp("extend.wal");
+        let _ = std::fs::remove_file(&path);
+        append_all(
+            &path,
+            &[WalRecord::Submitted {
+                spec: Box::new(job("a")),
+            }],
+        );
+        // Damage the tail with half a record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[200, 0, 0, 0, b'{', b'"']);
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.warnings.len(), 1);
+        wal.append(&WalRecord::Submitted {
+            spec: Box::new(job("b")),
+        })
+        .unwrap();
+        let (_, again) = Wal::open(&path).unwrap();
+        assert!(again.is_clean(), "{:?}", again.warnings);
+        assert_eq!(
+            again
+                .pending
+                .iter()
+                .map(|j| j.id.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn result_hash_mismatch_reruns_the_job() {
+        let path = tmp("rhash.wal");
+        let _ = std::fs::remove_file(&path);
+        let r = done("a", -1.0);
+        append_all(
+            &path,
+            &[
+                WalRecord::Submitted {
+                    spec: Box::new(job("a")),
+                },
+                WalRecord::Finished {
+                    rhash: r.result_hash() ^ 1,
+                    result: Box::new(r),
+                },
+            ],
+        );
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.warnings.len(), 1);
+        assert!(replay.completed.is_empty());
+        assert_eq!(replay.pending.len(), 1, "job must re-run");
+    }
+}

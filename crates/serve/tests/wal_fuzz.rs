@@ -1,0 +1,207 @@
+//! Fuzz-style corruption matrix for the write-ahead log: every damage
+//! class must recover to the longest valid prefix with a counted
+//! warning — never a panic, never an `Err`, never silent data loss
+//! beyond the damaged bytes.
+
+use fci_serve::wal::{Wal, WalRecord};
+use fci_serve::{JobResult, JobSpec, JobStatus, ProblemSpec};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fcix-walfuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn job(id: &str) -> JobSpec {
+    JobSpec::new(
+        id,
+        ProblemSpec::Hubbard {
+            sites: 4,
+            t: 1.0,
+            u: 4.0,
+            periodic: false,
+        },
+        2,
+        2,
+    )
+}
+
+fn done(id: &str, energy: f64) -> JobResult {
+    JobResult {
+        id: id.into(),
+        tenant: "default".into(),
+        status: JobStatus::Done,
+        energy,
+        converged: true,
+        iterations: 7,
+        sector_dim: 36,
+        batch_size: 1,
+        restarts: 0,
+        queue_us: 1.0,
+        exec_us: 2.0,
+    }
+}
+
+/// Build a 3-record log (submit a, finish a, submit b) and return its
+/// bytes plus the byte offset where each record starts.
+fn seed_log(path: &PathBuf) -> (Vec<u8>, Vec<usize>) {
+    let (mut wal, _) = Wal::open(path).unwrap();
+    let mut offsets = Vec::new();
+    let r = done("a", -2.5);
+    for rec in [
+        WalRecord::Submitted {
+            spec: Box::new(job("a")),
+        },
+        WalRecord::Finished {
+            rhash: r.result_hash(),
+            result: Box::new(r.clone()),
+        },
+        WalRecord::Submitted {
+            spec: Box::new(job("b")),
+        },
+    ] {
+        offsets.push(wal.len() as usize);
+        wal.append(&rec).unwrap();
+    }
+    drop(wal);
+    (std::fs::read(path).unwrap(), offsets)
+}
+
+#[test]
+fn truncated_tail_record_recovers_prefix() {
+    let path = tmp("trunc.wal");
+    let (bytes, offsets) = seed_log(&path);
+    // Keep only half of the last record.
+    let cut = offsets[2] + (bytes.len() - offsets[2]) / 2;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+    let (wal, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.warnings.len(), 1, "{:?}", replay.warnings);
+    assert_eq!(replay.records, 2, "the two whole records survive");
+    assert!(
+        replay.pending.is_empty(),
+        "submit b was in the damaged tail"
+    );
+    assert_eq!(replay.completed.len(), 1);
+    assert_eq!(
+        wal.len() as usize,
+        offsets[2],
+        "file truncated to the prefix"
+    );
+}
+
+#[test]
+fn flipped_crc_byte_stops_at_the_damaged_frame() {
+    let path = tmp("crcflip.wal");
+    let (mut bytes, offsets) = seed_log(&path);
+    // The CRC trailer is the last 4 bytes of record 1; flip one bit.
+    let crc_byte = offsets[2] - 2;
+    bytes[crc_byte] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.warnings.len(), 1, "{:?}", replay.warnings);
+    assert!(
+        replay.warnings[0].contains("CRC"),
+        "warning names the CRC: {}",
+        replay.warnings[0]
+    );
+    // Damage in record 1 drops records 1 and 2 (prefix semantics): job
+    // `a` re-runs rather than trusting a frame that failed its checksum.
+    assert_eq!(replay.records, 1);
+    assert_eq!(replay.pending.len(), 1);
+    assert_eq!(replay.pending[0].id, "a");
+    assert!(replay.completed.is_empty());
+}
+
+#[test]
+fn flipped_payload_byte_is_equally_fatal_for_that_frame() {
+    let path = tmp("payloadflip.wal");
+    let (mut bytes, offsets) = seed_log(&path);
+    bytes[offsets[1] + 10] ^= 0x01; // inside record 1's JSON payload
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.warnings.len(), 1);
+    assert_eq!(replay.records, 1);
+    assert_eq!(replay.pending.len(), 1);
+}
+
+#[test]
+fn duplicated_record_is_skipped_with_a_warning_not_truncated() {
+    let path = tmp("dup.wal");
+    let (bytes, offsets) = seed_log(&path);
+    // Splice a byte-exact copy of record 0 (submit a) after itself: the
+    // frame is valid, so this is semantic damage, not framing damage.
+    let mut doctored = bytes[..offsets[1]].to_vec();
+    doctored.extend_from_slice(&bytes[offsets[0]..offsets[1]]);
+    doctored.extend_from_slice(&bytes[offsets[1]..]);
+    std::fs::write(&path, &doctored).unwrap();
+    let (wal, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.warnings.len(), 1, "{:?}", replay.warnings);
+    assert!(
+        replay.warnings[0].contains("duplicate"),
+        "warning names the duplicate: {}",
+        replay.warnings[0]
+    );
+    // Everything after the duplicate still applies — no truncation.
+    assert_eq!(replay.records, 4);
+    assert_eq!(replay.completed.len(), 1);
+    assert_eq!(replay.pending.len(), 1);
+    assert_eq!(replay.pending[0].id, "b");
+    assert_eq!(wal.len() as usize, doctored.len());
+}
+
+#[test]
+fn wrong_version_header_starts_fresh_with_a_warning() {
+    let path = tmp("version.wal");
+    let (mut bytes, _) = seed_log(&path);
+    bytes[8] = 99; // version byte
+    std::fs::write(&path, &bytes).unwrap();
+    let (wal, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.warnings.len(), 1, "{:?}", replay.warnings);
+    assert!(replay.pending.is_empty() && replay.completed.is_empty());
+    assert!(wal.is_empty(), "fresh log after an unreadable header");
+    // And the fresh log is usable.
+    let (mut wal, _) = Wal::open(&path).unwrap();
+    wal.append(&WalRecord::Submitted {
+        spec: Box::new(job("c")),
+    })
+    .unwrap();
+    let (_, again) = Wal::open(&path).unwrap();
+    assert!(again.is_clean());
+    assert_eq!(again.pending.len(), 1);
+}
+
+#[test]
+fn random_byte_flips_never_panic_and_never_fail_open() {
+    let path = tmp("sweep.wal");
+    let (bytes, _) = seed_log(&path);
+    // Deterministic xorshift sweep: 64 single-byte corruptions anywhere
+    // in the file, including the header.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let pos = (x as usize) % bytes.len();
+        let bit = 1u8 << ((x >> 32) % 8);
+        let mut doctored = bytes.clone();
+        doctored[pos] ^= bit;
+        std::fs::write(&path, &doctored).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        // Whatever was recovered must replay as a consistent state: a
+        // completed job is never also pending.
+        for r in &replay.completed {
+            assert!(
+                replay.pending.iter().all(|p| p.id != r.id),
+                "job {} both completed and pending after flipping byte {pos}",
+                r.id
+            );
+        }
+        // And reopening the (now truncated/repaired) log is clean or at
+        // least stable: a second replay recovers the same record count.
+        let (_, second) = Wal::open(&path).unwrap();
+        assert_eq!(second.records, replay.records, "repair must be stable");
+    }
+}

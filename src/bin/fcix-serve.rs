@@ -204,14 +204,18 @@ fn run(mut cli: Cli) -> Result<bool, String> {
         lines.push('\n');
     }
     for (id, why) in &report.rejected {
-        lines.push_str(
-            &JsonValue::obj(vec![
-                ("id", JsonValue::Str(id.clone())),
-                ("status", JsonValue::Str("rejected".into())),
-                ("error", JsonValue::Str(why.to_string())),
-            ])
-            .to_string(),
-        );
+        // Structured reject: machine-readable reason code plus the
+        // backoff hint a resubmitting client should honor.
+        let mut pairs = vec![
+            ("id", JsonValue::Str(id.clone())),
+            ("status", JsonValue::Str("rejected".into())),
+            ("reason", JsonValue::Str(why.code().into())),
+            ("error", JsonValue::Str(why.to_string())),
+        ];
+        if let Some(ms) = why.retry_after_ms() {
+            pairs.push(("retry_after_ms", JsonValue::Num(ms as f64)));
+        }
+        lines.push_str(&JsonValue::obj(pairs).to_string());
         lines.push('\n');
     }
     match &cli.out {
@@ -228,6 +232,12 @@ fn run(mut cli: Cli) -> Result<bool, String> {
             "error: {} of {n_jobs} jobs did not complete",
             n_jobs - report.summary.jobs_done
         );
+    }
+    // Admission refusals are an error exit, never a silent drop: each
+    // one gets a structured stderr line and fails the run.
+    for (id, why) in &report.rejected {
+        eprintln!("reject: {id}: {}: {why}", why.code());
+        ok = false;
     }
     if let Some(refs) = refs {
         for (id, want) in &refs {

@@ -1,0 +1,411 @@
+//! `fcix-served` — the durable network front-end to the `fci-serve`
+//! scheduler: a TCP/JSONL server with a write-ahead job log, plus a
+//! small client mode that drives it (the CI smoke test's tool).
+//!
+//! ```text
+//! server:  fcix-served --listen ADDR --wal FILE [options]
+//!
+//!   --listen ADDR        bind address (use 127.0.0.1:0 for a free port;
+//!                        the bound address is printed as "LISTENING <addr>")
+//!   --wal FILE           write-ahead job log (replayed + compacted on start)
+//!   --wal-sync           fdatasync per append (power-loss durability)
+//!   -w, --workers N      worker threads (default 2)
+//!   --no-batching        disable same-space multi-root coalescing (makes
+//!                        every energy a pure function of its spec — the
+//!                        bitwise-reproducibility mode the durability
+//!                        tests pin; coalescing is load-dependent, so a
+//!                        crash can legally re-partition a batch)
+//!   --queue-cap N        queue capacity (default 1024)
+//!   --mem-bytes N        admission memory budget
+//!   --cache-bytes N      artifact-cache budget
+//!   --ckpt-dir DIR       resilient-solve checkpoint directory
+//!   --rate N             per-tenant submissions/second (0 = unlimited)
+//!   --burst N            token-bucket burst size (default 8)
+//!   --max-inflight N     outstanding jobs per tenant (0 = unlimited)
+//!   --max-conns N        concurrent connections (default 64)
+//!   --read-timeout-ms N  per-connection read timeout (default 30000)
+//!   --metrics-out FILE   write the metrics exposition at exit
+//!
+//! client:  fcix-served --client ADDR --jobs FILE [options]
+//!
+//!   --jobs FILE          JSONL job specs to submit (idempotently: a
+//!                        duplicate-id reject counts as accepted)
+//!   -o, --out FILE       per-job JSONL results (default stdout)
+//!   --verify FILE        JSONL {"id","energy"} refs, checked to --tol
+//!   --tol X              verification tolerance (default 1e-9)
+//!   --timeout-ms N       overall per-job result deadline (default 120000)
+//!   --reconnect-ms N     keep reconnecting this long if the server goes
+//!                        away mid-run (default 30000) — the crash-restart
+//!                        window the smoke test exercises
+//!   --drain              after all results arrive, drain + stop the server
+//! ```
+//!
+//! The server exits cleanly when a client sends `drain` (every accepted
+//! job completes first). A `kill -9` at any point is recoverable: restart
+//! with the same `--wal` and accepted jobs resume exactly once.
+//!
+//! Exit status: 0 success, 1 failure, 2 bad usage.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fcix::obs::JsonValue;
+use fcix::serve::{JobSpec, NetClient, NetConfig, NetServer, ServeConfig, Server};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fcix-served --listen ADDR --wal FILE [options]\n\
+         \x20      fcix-served --client ADDR --jobs FILE [options]\n\
+         see the bin docs for the full option list"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn read_jsonl(path: &str) -> Result<Vec<JsonValue>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(JsonValue::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn read_jobs(path: &str) -> Result<Vec<JobSpec>, String> {
+    let jobs: Result<Vec<JobSpec>, String> =
+        read_jsonl(path)?.iter().map(JobSpec::from_json).collect();
+    let jobs = jobs?;
+    if jobs.is_empty() {
+        return Err(format!("{path}: no jobs"));
+    }
+    Ok(jobs)
+}
+
+fn read_refs(path: &str) -> Result<HashMap<String, f64>, String> {
+    let mut refs = HashMap::new();
+    for v in read_jsonl(path)? {
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: ref needs `id`"))?;
+        let energy = v
+            .get_f64("energy")
+            .ok_or_else(|| format!("{path}: ref needs `energy`"))?;
+        refs.insert(id.to_string(), energy);
+    }
+    Ok(refs)
+}
+
+// ---------------------------------------------------------------- server
+
+struct ServerCli {
+    cfg: ServeConfig,
+    net: NetConfig,
+    workers: usize,
+    metrics_out: Option<String>,
+}
+
+fn run_server(mut cli: ServerCli) -> Result<bool, String> {
+    if cli.metrics_out.is_some() {
+        cli.cfg.obs = cli.cfg.obs.with_metrics(fcix::obs::MetricsRegistry::new());
+    }
+    let (server, replay) = Server::recover(cli.cfg).map_err(|e| format!("WAL recovery: {e}"))?;
+    for w in &replay.warnings {
+        eprintln!("fcix-served: WAL recovery: {w}");
+    }
+    if replay.records > 0 {
+        eprintln!(
+            "fcix-served: replayed {} WAL records: {} completed, {} re-enqueued",
+            replay.records,
+            replay.completed.len(),
+            replay.pending.len()
+        );
+    }
+    let server = Arc::new(server);
+    let net = NetServer::bind(server.clone(), cli.net).map_err(|e| format!("bind: {e}"))?;
+    let addr = net.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    // The handshake line a supervisor (or the smoke test) waits for.
+    println!("LISTENING {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let workers = cli.workers;
+    std::thread::scope(|s| {
+        let srv = server.clone();
+        s.spawn(move || srv.run(workers));
+        net.run();
+        // `drain` already closed the queue; make close unconditional so
+        // the worker pool always winds down.
+        server.close();
+    });
+    if let Some(path) = &cli.metrics_out {
+        if let Some(reg) = server.metrics() {
+            std::fs::write(path, reg.render_text())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    let st = server.stats();
+    eprintln!(
+        "fcix-served: stopped: {} completed, {} rejected, WAL {} bytes",
+        st.completed, st.rejected, st.wal_bytes
+    );
+    Ok(true)
+}
+
+// ---------------------------------------------------------------- client
+
+struct ClientCli {
+    addr: String,
+    jobs_path: String,
+    out: Option<String>,
+    verify: Option<String>,
+    tol: f64,
+    timeout_ms: u64,
+    reconnect_ms: u64,
+    drain: bool,
+}
+
+/// Connect, retrying while the server may be restarting.
+fn connect_patiently(addr: &str, budget_ms: u64) -> Result<NetClient, String> {
+    let mut waited = 0u64;
+    loop {
+        match NetClient::connect(addr, 15_000) {
+            Ok(c) => return Ok(c),
+            Err(e) if waited < budget_ms => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                waited += 100;
+            }
+            Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+        }
+    }
+}
+
+fn run_client(cli: ClientCli) -> Result<bool, String> {
+    let jobs = read_jobs(&cli.jobs_path)?;
+    let refs = match &cli.verify {
+        Some(path) => Some(read_refs(path)?),
+        None => None,
+    };
+    let mut client = connect_patiently(&cli.addr, cli.reconnect_ms)?;
+
+    // Submit at-least-once: a reconnect + duplicate_id reject proves the
+    // first attempt's WAL record survived. Backpressure rejects honor
+    // the server's retry_after_ms hint.
+    for job in &jobs {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match client.submit(job) {
+                Ok(resp) => {
+                    let ok = resp.get("ok") == Some(&JsonValue::Bool(true));
+                    let reason = resp.get("reason").and_then(JsonValue::as_str).unwrap_or("");
+                    if ok || reason == "duplicate_id" {
+                        break;
+                    }
+                    let retry = resp.get_f64("retry_after_ms");
+                    match retry {
+                        Some(ms) if attempts < 200 => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms.max(1.0) as u64))
+                        }
+                        _ => {
+                            return Err(format!(
+                                "job {} rejected: {}: {}",
+                                job.id,
+                                reason,
+                                resp.get("detail").and_then(JsonValue::as_str).unwrap_or("")
+                            ))
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Server went away (crash window): reconnect and
+                    // resubmit; durability makes the retry idempotent.
+                    client = connect_patiently(&cli.addr, cli.reconnect_ms)?;
+                }
+            }
+        }
+    }
+
+    // Collect every result, riding out server restarts.
+    let mut lines = String::new();
+    let mut ok = true;
+    let mut got = 0usize;
+    let mut verified = 0usize;
+    for job in &jobs {
+        let mut waited = 0u64;
+        let result = loop {
+            match client.wait(&job.id, 5_000) {
+                Ok(resp) if resp.get("ok") == Some(&JsonValue::Bool(true)) => {
+                    break resp.get("result").cloned()
+                }
+                Ok(_) => {
+                    waited += 5_000;
+                    if waited >= cli.timeout_ms {
+                        break None;
+                    }
+                }
+                Err(_) => {
+                    client = connect_patiently(&cli.addr, cli.reconnect_ms)?;
+                }
+            }
+        };
+        match result {
+            Some(r) => {
+                lines.push_str(&r.to_string());
+                lines.push('\n');
+                got += 1;
+                let status = r.get("status").and_then(JsonValue::as_str).unwrap_or("");
+                if status != "done" {
+                    eprintln!("error: job {} finished as `{status}`", job.id);
+                    ok = false;
+                } else if let Some(refs) = &refs {
+                    if let Some(want) = refs.get(&job.id) {
+                        let energy = r.get_f64("energy").unwrap_or(f64::NAN);
+                        let err = (energy - want).abs();
+                        if err <= cli.tol {
+                            verified += 1;
+                        } else {
+                            eprintln!(
+                                "verify: {}: energy {energy:.12} differs from reference \
+                                 {want:.12} by {err:.3e}",
+                                job.id
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            None => {
+                eprintln!(
+                    "error: job {} produced no result in {} ms",
+                    job.id, cli.timeout_ms
+                );
+                ok = false;
+            }
+        }
+    }
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{lines}"),
+    }
+    if cli.drain {
+        let resp = client.drain().map_err(|e| format!("drain: {e}"))?;
+        if resp.get("ok") != Some(&JsonValue::Bool(true)) {
+            eprintln!("error: drain refused: {resp}");
+            ok = false;
+        }
+    }
+    match refs {
+        Some(_) => eprintln!(
+            "fcix-served: {got}/{} results, {verified} verified to {:.0e}",
+            jobs.len(),
+            cli.tol
+        ),
+        None => eprintln!("fcix-served: {got}/{} results", jobs.len()),
+    }
+    Ok(ok)
+}
+
+// ---------------------------------------------------------------- main
+
+fn parse(args: &[String]) -> Result<Result<ServerCli, ClientCli>, String> {
+    let mut listen = None;
+    let mut client = None;
+    let mut cfg = ServeConfig::default();
+    let mut net = NetConfig::default();
+    let mut workers = 2usize;
+    let mut metrics_out = None;
+    let mut jobs_path = None;
+    let mut out = None;
+    let mut verify = None;
+    let mut tol = 1e-9f64;
+    let mut timeout_ms = 120_000u64;
+    let mut reconnect_ms = 30_000u64;
+    let mut drain = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(value(arg)?),
+            "--client" => client = Some(value(arg)?),
+            "--wal" => cfg.wal_path = Some(value(arg)?.into()),
+            "--wal-sync" => cfg.wal_sync = true,
+            "-w" | "--workers" => workers = parse_num(&value(arg)?)?,
+            "--no-batching" => cfg.batching = false,
+            "--queue-cap" => cfg.queue_cap = parse_num(&value(arg)?)?,
+            "--mem-bytes" => cfg.mem_budget = parse_num(&value(arg)?)?,
+            "--cache-bytes" => cfg.cache_budget = parse_num(&value(arg)?)?,
+            "--ckpt-dir" => cfg.checkpoint_dir = value(arg)?.into(),
+            "--rate" => net.rate_per_s = parse_num(&value(arg)?)?,
+            "--burst" => net.burst = parse_num(&value(arg)?)?,
+            "--max-inflight" => net.max_inflight = parse_num(&value(arg)?)?,
+            "--max-conns" => net.max_conns = parse_num(&value(arg)?)?,
+            "--read-timeout-ms" => net.read_timeout_ms = parse_num(&value(arg)?)?,
+            "--metrics-out" => metrics_out = Some(value(arg)?),
+            "--jobs" => jobs_path = Some(value(arg)?),
+            "-o" | "--out" => out = Some(value(arg)?),
+            "--verify" => verify = Some(value(arg)?),
+            "--tol" => tol = parse_num(&value(arg)?)?,
+            "--timeout-ms" => timeout_ms = parse_num(&value(arg)?)?,
+            "--reconnect-ms" => reconnect_ms = parse_num(&value(arg)?)?,
+            "--drain" => drain = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    match (listen, client) {
+        (Some(addr), None) => {
+            net.addr = addr;
+            Ok(Ok(ServerCli {
+                cfg,
+                net,
+                workers,
+                metrics_out,
+            }))
+        }
+        (None, Some(addr)) => Ok(Err(ClientCli {
+            addr,
+            jobs_path: jobs_path.ok_or("--client needs --jobs FILE")?,
+            out,
+            verify,
+            tol,
+            timeout_ms,
+            reconnect_ms,
+            drain,
+        })),
+        _ => Err("need exactly one of --listen ADDR or --client ADDR".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        return usage();
+    }
+    let run = parse(&args).and_then(|mode| match mode {
+        Ok(server) => run_server(server),
+        Err(client) => run_client(client),
+    });
+    match run {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("fcix-served: {e}");
+            usage()
+        }
+    }
+}
