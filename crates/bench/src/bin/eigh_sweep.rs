@@ -1,0 +1,203 @@
+//! Eigensolver sweep: scalar vs blocked tridiagonal reduction plus the
+//! Jacobi/tridiag crossover, emitting `results/BENCH_eigh_sweep.json`.
+//!
+//! Modes:
+//!
+//! * (default) full sweep — times `reduce_to_tridiag` with the scalar
+//!   Numerical-Recipes `tred2` and with the panel-blocked compact-WY
+//!   reduction at n = 64..512, records GF/s per path (nominal 4/3·n³
+//!   flops) and the 512 speedup `blocked_over_scalar_512`, then prints
+//!   the full-solver crossover table (`eigh_jacobi` vs `eigh_tridiag`)
+//!   around `EIGH_JACOBI_CUTOFF` — the cutoff is a robustness choice
+//!   (Jacobi is also the fallback when QL fails to converge), and the
+//!   table documents what it costs on the current host;
+//! * `--quick` — CI smoke: both reductions at n = 256 only, writes the
+//!   machine-tolerant ratio to `results/BENCH_eigh_sweep_quick.json`
+//!   for `fcix-bench-diff`, and **exits 1** if the blocked reduction is
+//!   slower than the scalar one (blocking must never cost throughput at
+//!   subspace-collapse sizes).
+
+use fci_linalg::{
+    eigh_jacobi, eigh_tridiag, reduce_to_tridiag, Matrix, TridiagPath, EIGH_JACOBI_CUTOFF,
+};
+use fci_obs::JsonValue;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Random symmetric matrix with a mild diagonal shift (well-conditioned
+/// but not special — the reduction cost is structure-independent).
+fn rand_sym(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+        a[(i, i)] += i as f64 * 0.01;
+    }
+    a
+}
+
+/// Minimum wall time of `reps` runs (plus one warm-up).
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    black_box(&mut f)();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // lint: allow(wallclock) — the sweep measures real host time
+        let t0 = Instant::now();
+        black_box(&mut f)();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Nominal reduction flop count: Householder tridiagonalization with the
+/// accumulated orthogonal factor is ~4/3·n³.
+fn gflops(n: usize, secs: f64) -> f64 {
+    4.0 / 3.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+fn reps_for(n: usize) -> usize {
+    ((3e8 / (n as f64).powi(3)) as usize).clamp(3, 30)
+}
+
+fn quick_smoke() -> i32 {
+    let n = 256;
+    let a = rand_sym(n, 1);
+    let t_scalar = time_min(3, || {
+        black_box(reduce_to_tridiag(TridiagPath::Scalar, &a));
+    });
+    let t_blocked = time_min(3, || {
+        black_box(reduce_to_tridiag(TridiagPath::Blocked, &a));
+    });
+    let ratio = t_scalar / t_blocked;
+    println!(
+        "quick {n}: scalar {:.2} GF/s, blocked {:.2} GF/s, blocked_over_scalar {ratio:.2}×",
+        gflops(n, t_scalar),
+        gflops(n, t_blocked)
+    );
+    // Both sides of the ratio come from the same host in the same run, so
+    // a slow CI runner cancels out and only a code regression moves it.
+    let doc = JsonValue::obj(vec![
+        ("mode", JsonValue::Str("quick".into())),
+        ("n", JsonValue::Num(n as f64)),
+        ("scalar_gflops", JsonValue::Num(gflops(n, t_scalar))),
+        ("blocked_gflops", JsonValue::Num(gflops(n, t_blocked))),
+        ("blocked_over_scalar", JsonValue::Num(ratio)),
+    ]);
+    match fci_bench::write_bench_json("eigh_sweep_quick", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            println!("FAIL: cannot write quick artifact: {e}");
+            return 1;
+        }
+    }
+    if t_blocked > t_scalar {
+        println!(
+            "FAIL: blocked reduction slower than scalar ({t_blocked:.4} s vs {t_scalar:.4} s)"
+        );
+        return 1;
+    }
+    println!("OK: blocked reduction not slower than scalar");
+    0
+}
+
+fn full_sweep() {
+    let sizes = [64usize, 128, 192, 256, 384, 512];
+    println!("tridiagonal reduction sweep (nominal 4/3·n³ flops):");
+    println!(
+        "{:>6} {:>13} {:>13} {:>9}",
+        "n", "scalar GF/s", "blocked GF/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut ratio_512 = 0.0;
+    for &n in &sizes {
+        let a = rand_sym(n, n as u64);
+        let reps = reps_for(n);
+        let t_scalar = time_min(reps, || {
+            black_box(reduce_to_tridiag(TridiagPath::Scalar, &a));
+        });
+        let t_blocked = time_min(reps, || {
+            black_box(reduce_to_tridiag(TridiagPath::Blocked, &a));
+        });
+        let ratio = t_scalar / t_blocked;
+        if n == 512 {
+            ratio_512 = ratio;
+        }
+        println!(
+            "{n:>6} {:>13.2} {:>13.2} {ratio:>8.2}×",
+            gflops(n, t_scalar),
+            gflops(n, t_blocked)
+        );
+        rows.push(JsonValue::obj(vec![
+            ("n", JsonValue::Num(n as f64)),
+            ("scalar_gflops", JsonValue::Num(gflops(n, t_scalar))),
+            ("blocked_gflops", JsonValue::Num(gflops(n, t_blocked))),
+            ("blocked_over_scalar", JsonValue::Num(ratio)),
+        ]));
+    }
+    println!("512 speedup blocked over scalar: {ratio_512:.2}×");
+
+    // Full-solver crossover: cyclic Jacobi vs tridiag+QL around the
+    // dispatch cutoff in `fci_linalg::eigh`.
+    println!("\neigh crossover (cutoff = {EIGH_JACOBI_CUTOFF}):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "n", "jacobi µs", "tridiag µs", "winner"
+    );
+    let mut cross_rows = Vec::new();
+    for n in [8usize, 16, 24, 32, 48, 64] {
+        let a = rand_sym(n, 1000 + n as u64);
+        let reps = ((2e7 / (n as f64).powi(3)) as usize).clamp(10, 3000);
+        let t_jacobi = time_min(reps, || {
+            black_box(eigh_jacobi(&a));
+        });
+        let t_tridiag = time_min(reps, || {
+            black_box(eigh_tridiag(&a));
+        });
+        let winner = if t_jacobi <= t_tridiag {
+            "jacobi"
+        } else {
+            "tridiag"
+        };
+        println!(
+            "{n:>6} {:>12.1} {:>12.1} {winner:>9}",
+            t_jacobi * 1e6,
+            t_tridiag * 1e6
+        );
+        cross_rows.push(JsonValue::obj(vec![
+            ("n", JsonValue::Num(n as f64)),
+            ("jacobi_us", JsonValue::Num(t_jacobi * 1e6)),
+            ("tridiag_us", JsonValue::Num(t_tridiag * 1e6)),
+            ("winner", JsonValue::Str(winner.into())),
+        ]));
+    }
+
+    let doc = JsonValue::obj(vec![
+        ("bench", JsonValue::Str("eigh_sweep".into())),
+        ("sizes", JsonValue::Arr(rows)),
+        ("blocked_over_scalar_512", JsonValue::Num(ratio_512)),
+        ("jacobi_cutoff", JsonValue::Num(EIGH_JACOBI_CUTOFF as f64)),
+        ("crossover", JsonValue::Arr(cross_rows)),
+    ]);
+    match fci_bench::write_bench_json("eigh_sweep", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("WARNING: could not write artifact: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quick") {
+        std::process::exit(quick_smoke());
+    }
+    full_sweep();
+}

@@ -3,10 +3,13 @@
 //!
 //! Modes:
 //!
-//! * (default) full sweep — measures all four kernels per size (naive
-//!   capped at 512³), records GF/s per kernel and the 512³ speedups of
-//!   the blocked/threaded engine over the seed kernel, writes the JSON
-//!   artifact;
+//! * (default) full sweep — measures all six kernels per size (naive
+//!   capped at 512³): the four historical engines plus `prepacked`
+//!   (threaded, A packed once outside the timing loop — the σ kernels'
+//!   steady state with a persistent [`PackedA`]) and `f32pack` (serial
+//!   packed path with f32 operand panels and f64 accumulation); records
+//!   GF/s per kernel and the 512³ speedups over the seed kernel, writes
+//!   the JSON artifact;
 //! * `--quick` — CI smoke: times seed, blocked (1 thread) and threaded
 //!   (auto) at 512³ only, writes the machine-tolerant speedup ratios to
 //!   `results/BENCH_gemm_sweep_quick.json` for `fcix-bench-diff`, and
@@ -22,7 +25,8 @@
 //! path) so the before/after speedup is measured, not remembered.
 
 use fci_linalg::{
-    dgemm_naive, dgemm_path, dgemm_with_threads, gemm_threads, GemmPath, Matrix, Trans,
+    dgemm_naive, dgemm_path, dgemm_prepacked, dgemm_with_threads, gemm_threads, GemmPath, Matrix,
+    PackedA, Trans,
 };
 use fci_obs::JsonValue;
 use std::hint::black_box;
@@ -281,13 +285,14 @@ fn full_sweep() {
     let sizes = [32usize, 64, 96, 128, 192, 256, 384, 512, 768, 1024];
     println!("gemm sweep (threads = {threads}):");
     println!(
-        "{:>6} {:>11} {:>11} {:>11} {:>11}",
-        "n", "naive", "seed", "blocked", "threaded"
+        "{:>6} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "n", "naive", "seed", "blocked", "threaded", "prepacked", "f32pack"
     );
     let mut rows = Vec::new();
     let mut seed_512 = 0.0;
     let mut blocked_512 = 0.0;
     let mut threaded_512 = 0.0;
+    let mut prepacked_512 = 0.0;
     for &n in &sizes {
         let flops = 2.0 * (n as f64).powi(3);
         let reps = reps_for(flops);
@@ -318,19 +323,42 @@ fn full_sweep() {
         let t_threaded = time_min(reps, || {
             dgemm_with_threads(threads, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c)
         });
+        // Steady state of a persistent packed operand: A packed once,
+        // every timed call reuses the panels (the σ-kernel scenario).
+        let pa = PackedA::pack(Trans::No, &a);
+        let t_prepacked = time_min(reps, || {
+            dgemm_prepacked(threads, 1.0, &pa, Trans::No, &b, 0.0, &mut c)
+        });
+        let t_f32 = time_min(reps, || {
+            dgemm_path(
+                GemmPath::PackedF32,
+                1,
+                Trans::No,
+                Trans::No,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            )
+        });
         let g_naive = t_naive.map(|t| gflops(n, t));
-        let (g_seed, g_blocked, g_threaded) = (
+        let (g_seed, g_blocked, g_threaded, g_prepacked, g_f32) = (
             gflops(n, t_seed),
             gflops(n, t_blocked),
             gflops(n, t_threaded),
+            gflops(n, t_prepacked),
+            gflops(n, t_f32),
         );
         if n == 512 {
             seed_512 = t_seed;
             blocked_512 = t_blocked;
             threaded_512 = t_threaded;
+            prepacked_512 = t_prepacked;
         }
         println!(
-            "{n:>6} {:>11} {g_seed:>11.2} {g_blocked:>11.2} {g_threaded:>11.2}",
+            "{n:>6} {:>11} {g_seed:>11.2} {g_blocked:>11.2} {g_threaded:>11.2} \
+             {g_prepacked:>11.2} {g_f32:>11.2}",
             g_naive.map_or("-".to_string(), |g| format!("{g:.2}")),
         );
         rows.push(JsonValue::obj(vec![
@@ -342,13 +370,17 @@ fn full_sweep() {
             ("seed_gflops", JsonValue::Num(g_seed)),
             ("blocked_gflops", JsonValue::Num(g_blocked)),
             ("threaded_gflops", JsonValue::Num(g_threaded)),
+            ("prepacked_gflops", JsonValue::Num(g_prepacked)),
+            ("f32_gflops", JsonValue::Num(g_f32)),
         ]));
     }
     let speedup_blocked = seed_512 / blocked_512;
     let speedup_threaded = seed_512 / threaded_512;
+    let prepacked_gain = threaded_512 / prepacked_512;
     println!(
         "512³ speedup over seed kernel: blocked {speedup_blocked:.2}×, \
-         threaded {speedup_threaded:.2}× (T = {threads})"
+         threaded {speedup_threaded:.2}× (T = {threads}); \
+         persistent pack over threaded: {prepacked_gain:.2}×"
     );
     let doc = JsonValue::obj(vec![
         ("bench", JsonValue::Str("gemm_sweep".to_string())),
@@ -361,6 +393,10 @@ fn full_sweep() {
         (
             "speedup_512_threaded_vs_seed",
             JsonValue::Num(speedup_threaded),
+        ),
+        (
+            "prepacked_over_threaded_512",
+            JsonValue::Num(prepacked_gain),
         ),
     ]);
     match fci_bench::write_bench_json("gemm_sweep", &doc) {

@@ -13,7 +13,7 @@
 //! | `wallclock`| no `Instant::now` / `SystemTime` outside `crates/obs` (simulated time must come from the cost model; real time only via the tracer) |
 //! | `unwrap`   | no `.unwrap()` / `.expect(` in hot-path or recovery code (`crates/ddi/src`, `crates/linalg/src`, `crates/core/src/sigma`, `crates/fault/src`, `crates/core/src/recovery.rs`, `crates/core/src/checkpoint.rs`, `crates/serve/src` — a scheduler that panics takes every queued tenant down with it); the mutex idiom `.lock().unwrap()` is allowed |
 //! | `println`  | no `println!` outside bins, tests, and the bench harness (library output goes through the tracer or return values) |
-//! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc GEMM modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`) outside tests — the σ hot path must not touch the heap after warm-up |
+//! | `alloc`    | no heap allocation (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `.to_vec()`, `.collect()`, `.reserve(`) in the zero-alloc kernel modules (`crates/linalg/src/gemm.rs`, `crates/linalg/src/arena.rs`, `crates/linalg/src/tridiag.rs`, `crates/linalg/src/cholqr.rs`) outside tests — the σ and eigensolver hot paths must not touch the heap after warm-up |
 //! | `metric-name` | literal metric names passed to the metrics plane (`.observe("…")`, `.counter_add(`, `.counter_incr(`, `.gauge_set(`, `.incr(`) must match `[a-z0-9_.]+` — the text exposition mangles anything else, and two spellings of one metric split its series |
 //! | `metric-wallclock` | on simulated-path crates (`crates/ddi`, `crates/core`, `crates/fault`, `crates/xsim`), a metric-recording call must not read host time (`now_us(`, `Instant::now`, `SystemTime`) in the same statement or on the same line — simulated metrics must come from the cost model, or the histogram mixes host jitter into X1 numbers |
 //!
@@ -98,6 +98,10 @@ impl LintConfig {
             zero_alloc_paths: vec![
                 "crates/linalg/src/gemm.rs".into(),
                 "crates/linalg/src/arena.rs".into(),
+                // The eigensolver kernels run inside the Davidson loop:
+                // after warm-up they must work out of the arena too.
+                "crates/linalg/src/tridiag.rs".into(),
+                "crates/linalg/src/cholqr.rs".into(),
             ],
             sim_paths: vec![
                 "crates/ddi/src".into(),

@@ -22,6 +22,7 @@
 
 use crate::detspace::DetSpace;
 use crate::hamiltonian::Hamiltonian;
+use crate::multiroot::{project_against, subspace_gram};
 use crate::sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 use crate::slater;
 use fci_ddi::DistMatrix;
@@ -345,12 +346,7 @@ fn davidson(
         iterations += 1;
 
         let m = basis.len();
-        let mut hsub = Matrix::zeros(m, m);
-        for i in 0..m {
-            for j in 0..m {
-                hsub[(i, j)] = basis[i].dot(&hbasis[j]);
-            }
-        }
+        let hsub = subspace_gram(&basis, &hbasis);
         // Symmetrize against accumulation noise.
         let hsub = Matrix::from_fn(m, m, |i, j| 0.5 * (hsub[(i, j)] + hsub[(j, i)]));
         let es = eigh(&hsub);
@@ -386,13 +382,10 @@ fn davidson(
             // the standard thick-restart tradeoff).
             continue;
         }
-        // Orthonormalize t against the basis (two MGS passes).
-        for _ in 0..2 {
-            for b in &basis {
-                let ov = b.dot(&t);
-                t.axpy(-ov, b);
-            }
-        }
+        // Orthonormalize t against the basis (two block-CGS passes, each
+        // a pair of DGEMMs over the whole basis).
+        project_against(&basis, &t);
+        project_against(&basis, &t);
         let tn = t.norm();
         if tn < 1e-12 {
             converged = res < opts.tol * 10.0;

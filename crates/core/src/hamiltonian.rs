@@ -24,9 +24,13 @@ use fci_ints::EriTensor;
 use fci_linalg::Matrix;
 use fci_scf::MoIntegrals;
 use fci_strings::pair_index;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique Hamiltonian identity counter (see [`Hamiltonian::id`]).
+static NEXT_HAM_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Hamiltonian data over an active orbital set.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Hamiltonian {
     /// Number of active orbitals.
     pub n: usize,
@@ -45,9 +49,40 @@ pub struct Hamiltonian {
     pub orb_sym: Vec<u8>,
     /// Number of irreps.
     pub n_irrep: usize,
+    /// Process-unique identity token (see [`Hamiltonian::id`]).
+    id: u64,
+}
+
+impl Clone for Hamiltonian {
+    /// A clone is a *different* Hamiltonian as far as operand caches are
+    /// concerned: it gets a fresh [`Hamiltonian::id`], because its
+    /// coupling matrices are separate storage the caller may mutate
+    /// independently of the original.
+    fn clone(&self) -> Self {
+        Hamiltonian {
+            n: self.n,
+            e_core: self.e_core,
+            h: self.h.clone(),
+            eri: self.eri.clone(),
+            v: self.v.clone(),
+            g: self.g.clone(),
+            orb_sym: self.orb_sym.clone(),
+            n_irrep: self.n_irrep,
+            id: NEXT_HAM_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl Hamiltonian {
+    /// Process-unique identity token, assigned at construction (clones
+    /// included). The σ kernels key their persistent packed-operand
+    /// caches on this: a cache entry built for one Hamiltonian is never
+    /// replayed against another, and a rebuilt/cloned Hamiltonian
+    /// naturally invalidates stale entries.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Build from MO integrals.
     pub fn new(mo: &MoIntegrals) -> Self {
         let n = mo.n_orb;
@@ -78,6 +113,7 @@ impl Hamiltonian {
             g,
             orb_sym: mo.orb_sym.clone(),
             n_irrep: mo.n_irrep,
+            id: NEXT_HAM_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -227,5 +263,15 @@ mod tests {
         let b = random_hamiltonian(4, 42);
         assert_eq!(a.h, b.h);
         assert!(a.v.max_abs_diff(&b.v) == 0.0);
+    }
+
+    #[test]
+    fn ids_are_unique_including_clones() {
+        let a = random_hamiltonian(3, 1);
+        let b = random_hamiltonian(3, 1);
+        let c = a.clone();
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_ne!(b.id(), c.id());
     }
 }

@@ -11,7 +11,7 @@
 use crate::diag::{DiagOptions, Preconditioner};
 use crate::sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 use fci_ddi::DistMatrix;
-use fci_linalg::{eigh, Matrix};
+use fci_linalg::{cholesky_lower, dgemm, eigh, trsm_right_ltrans, Matrix, Trans};
 
 /// Result of a multi-root diagonalization.
 #[derive(Debug)]
@@ -84,12 +84,7 @@ pub fn diagonalize_roots(
             iterations += 1;
         }
         let m = basis.len();
-        let mut hsub = Matrix::zeros(m, m);
-        for i in 0..m {
-            for j in 0..m {
-                hsub[(i, j)] = basis[i].dot(&hbasis[j]);
-            }
-        }
+        let hsub = subspace_gram(&basis, &hbasis);
         let hsub = Matrix::from_fn(m, m, |i, j| 0.5 * (hsub[(i, j)] + hsub[(j, i)]));
         let es = eigh(&hsub);
 
@@ -150,10 +145,111 @@ pub fn diagonalize_roots(
     }
 }
 
-/// Modified Gram–Schmidt of `v[start..]` against everything before and
-/// among themselves; drops vectors that lose their norm. Returns how many
-/// new vectors survive.
+/// Dense copy of rank `p`'s local slab of each vector in `v`, one vector
+/// per column.
+fn local_block(v: &[DistMatrix], p: usize) -> Matrix {
+    let m = v.len();
+    let len = v[0].with_local(p, |s| s.len());
+    let mut out = Matrix::zeros(len, m);
+    for (i, vi) in v.iter().enumerate() {
+        vi.with_local(p, |s| out.col_mut(i).copy_from_slice(s));
+    }
+    out
+}
+
+/// Gram matrix `XᵀY` of two lists of equal-shaped distributed vectors,
+/// accumulated rank by rank with DGEMM instead of `x.len()·y.len()`
+/// pairwise dot products. When `x` and `y` are the same slice, each
+/// rank's block is copied once and passed to DGEMM as both operands.
+pub(crate) fn subspace_gram(x: &[DistMatrix], y: &[DistMatrix]) -> Matrix {
+    let mut g = Matrix::zeros(x.len(), y.len());
+    if x.is_empty() || y.is_empty() {
+        return g;
+    }
+    let same = std::ptr::eq(x.as_ptr(), y.as_ptr()) && x.len() == y.len();
+    for p in 0..x[0].nproc() {
+        let xp = local_block(x, p);
+        if same {
+            dgemm(Trans::Yes, Trans::No, 1.0, &xp, &xp, 1.0, &mut g);
+        } else {
+            let yp = local_block(y, p);
+            dgemm(Trans::Yes, Trans::No, 1.0, &xp, &yp, 1.0, &mut g);
+        }
+    }
+    g
+}
+
+/// One classical Gram–Schmidt projection of `t` against `basis` (assumed
+/// orthonormal): `t ← t − B(Bᵀt)`, with both products done per rank by
+/// DGEMM so the coefficient vector is formed once for the whole basis.
+pub(crate) fn project_against(basis: &[DistMatrix], t: &DistMatrix) {
+    if basis.is_empty() {
+        return;
+    }
+    let m = basis.len();
+    let nproc = t.nproc();
+    let mut coeff = Matrix::zeros(m, 1);
+    for p in 0..nproc {
+        let bp = local_block(basis, p);
+        let tp = t.with_local(p, |s| Matrix::from_fn(s.len(), 1, |i, _| s[i]));
+        dgemm(Trans::Yes, Trans::No, 1.0, &bp, &tp, 1.0, &mut coeff);
+    }
+    for p in 0..nproc {
+        let bp = local_block(basis, p);
+        let mut corr = Matrix::zeros(bp.nrows(), 1);
+        dgemm(Trans::No, Trans::No, 1.0, &bp, &coeff, 0.0, &mut corr);
+        t.with_local(p, |s| {
+            for (si, ci) in s.iter_mut().zip(corr.as_slice()) {
+                *si -= ci;
+            }
+        });
+    }
+}
+
+/// Orthonormalize `v[start..]` against the (already orthonormal) prefix
+/// `v[..start]` and among themselves; drops vectors that lose their norm.
+/// Returns how many new vectors survive.
+///
+/// Two passes of block classical Gram–Schmidt with Cholesky-QR: project
+/// the block against the prefix (DGEMM), drop near-null columns, then
+/// orthonormalize the block by factoring its Gram matrix and applying
+/// `L⁻ᵀ` to the local slabs. A numerically singular Gram matrix (e.g.
+/// duplicated expansion vectors) fails the Cholesky pivot check, and we
+/// fall back to modified Gram–Schmidt, which sheds dependent vectors one
+/// at a time.
 fn orthonormalize(v: &mut Vec<DistMatrix>, start: usize) -> usize {
+    for _pass in 0..2 {
+        let mut k = start;
+        while k < v.len() {
+            project_against(&v[..start], &v[k]);
+            if v[k].norm() < 1e-10 {
+                v.remove(k);
+            } else {
+                k += 1;
+            }
+        }
+        if v.len() == start {
+            return 0;
+        }
+        let mut g = subspace_gram(&v[start..], &v[start..]);
+        if cholesky_lower(&mut g).is_err() {
+            return orthonormalize_mgs(v, start);
+        }
+        for p in 0..v[start].nproc() {
+            let mut xp = local_block(&v[start..], p);
+            trsm_right_ltrans(&g, &mut xp);
+            for (i, vi) in v[start..].iter().enumerate() {
+                vi.with_local(p, |s| s.copy_from_slice(xp.col(i)));
+            }
+        }
+    }
+    v.len() - start
+}
+
+/// Modified Gram–Schmidt fallback for rank-deficient blocks: orthogonalize
+/// `v[start..]` one vector at a time against everything before it, dropping
+/// vectors that lose their norm. Returns how many new vectors survive.
+fn orthonormalize_mgs(v: &mut Vec<DistMatrix>, start: usize) -> usize {
     let mut k = start;
     while k < v.len() {
         for _pass in 0..2 {
@@ -282,6 +378,83 @@ mod tests {
         );
         assert!(multi.converged[0] && single.converged);
         assert!((multi.energies[0] - single.e_elec).abs() < 1e-8);
+    }
+
+    /// 12-component test vector distributed as a 4×3 CI-shaped matrix.
+    fn dv(data: &[f64], nproc: usize) -> DistMatrix {
+        DistMatrix::from_dense(4, 3, nproc, data)
+    }
+
+    fn rand_data(seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..12)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orthonormalize_drops_prefix_duplicates_mid_basis() {
+        let nproc = 2;
+        let mut v = vec![dv(&rand_data(1), nproc), dv(&rand_data(2), nproc)];
+        assert_eq!(orthonormalize(&mut v, 0), 2);
+        // Append an exact duplicate of a prefix vector plus one genuinely
+        // new direction, then orthonormalize from mid-basis.
+        let dup = clone_dist(&v[0]);
+        v.push(dup);
+        v.push(dv(&rand_data(3), nproc));
+        let kept = orthonormalize(&mut v, 2);
+        assert_eq!(kept, 1, "prefix duplicate must be dropped");
+        assert_eq!(v.len(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                let ov = v[i].dot(&v[j]);
+                assert!((ov - want).abs() < 1e-10, "⟨{i}|{j}⟩ = {ov}");
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalize_rank_deficient_block_falls_back() {
+        // Two identical vectors inside one block make the Gram matrix
+        // singular: Cholesky must fail and the MGS fallback shed one.
+        let nproc = 3;
+        let a = rand_data(7);
+        let mut v = vec![dv(&a, nproc), dv(&a, nproc), dv(&rand_data(8), nproc)];
+        let kept = orthonormalize(&mut v, 0);
+        assert_eq!(kept, 2, "in-block duplicate must be shed");
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v[i].dot(&v[j]) - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_and_mgs_agree_on_span() {
+        let nproc = 2;
+        let data: Vec<Vec<f64>> = (0..4).map(|s| rand_data(100 + s)).collect();
+        let mut qr: Vec<DistMatrix> = data.iter().map(|d| dv(d, nproc)).collect();
+        let mut gs: Vec<DistMatrix> = data.iter().map(|d| dv(d, nproc)).collect();
+        assert_eq!(orthonormalize(&mut qr, 0), 4);
+        assert_eq!(orthonormalize_mgs(&mut gs, 0), 4);
+        // Both bases are orthonormal and span the same subspace: every
+        // CholQR vector projects to nothing outside the MGS basis.
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qr[i].dot(&qr[j]) - want).abs() < 1e-10);
+            }
+            let t = clone_dist(&qr[i]);
+            project_against(&gs, &t);
+            assert!(t.norm() < 1e-10, "vector {i} leaves the MGS span");
+        }
     }
 
     #[test]

@@ -27,13 +27,16 @@
 //! produces on the real machine.
 
 use super::SigmaCtx;
+use crate::hamiltonian::Hamiltonian;
 use crate::phase::charge_comm;
 use crate::taskpool::TaskPool;
 use fci_ddi::{Backend, CommStats, Corruption, DistMatrix, FaultPlan};
-use fci_linalg::{dgemm, Matrix, Trans};
+use fci_linalg::{
+    dgemm, dgemm_prepacked, gemm_prefers_packed, gemm_threads, Matrix, PackedA, Trans,
+};
 use fci_obs::Category;
 use fci_xsim::{Clock, MachineModel, RunReport};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Receives one α-column contribution of a task: `(column, values, stats)`.
 /// The default sink remote-accumulates into σ; the `fci-check` schedule
@@ -53,6 +56,11 @@ struct WorkBufs {
     d: Matrix,
     e_mat: Matrix,
     vk: Matrix,
+    /// Persistent packed `V_K` operands, one per Kα, keyed by the
+    /// Hamiltonian identity. Lives as long as the buffers do, so serial
+    /// steady-state Davidson iterations never rebuild or repack an
+    /// integral block (asserted by `vk_operands_packed_once_per_solve`).
+    pack: PackedCache,
 }
 
 impl WorkBufs {
@@ -66,7 +74,75 @@ impl WorkBufs {
             d: Matrix::zeros(nd, nkb),
             e_mat: Matrix::zeros(nd, nkb),
             vk: Matrix::zeros(nd, nd),
+            pack: PackedCache::empty(),
         }
+    }
+}
+
+/// Upper bound in bytes on one worker's packed-`V_K` cache:
+/// `FCIX_PACK_CACHE_MB` (≥1, in MiB) or 256 MiB. Resolved once. When the
+/// budget fills, remaining families simply keep the build-and-pack-per-call
+/// path — correctness never depends on a cache hit.
+fn pack_cache_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("FCIX_PACK_CACHE_MB")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&mb| mb >= 1)
+            .unwrap_or(256)
+            * (1 << 20)
+    })
+}
+
+/// Cache of packed `V_K` GEMM operands, indexed by Kα.
+///
+/// `V_K` depends only on the Hamiltonian and the family, so once packed
+/// it is valid for every σ application against that Hamiltonian. Entries
+/// fill deterministically in task-claim order (which the serial backend
+/// fixes) and are dropped wholesale when the Hamiltonian changes — the
+/// id key makes stale replay structurally impossible.
+struct PackedCache {
+    ham_id: u64,
+    bytes: usize,
+    panels: Vec<Option<PackedA>>,
+}
+
+impl PackedCache {
+    fn empty() -> Self {
+        PackedCache {
+            ham_id: 0,
+            bytes: 0,
+            panels: Vec::new(),
+        }
+    }
+
+    /// Point the cache at `(ham_id, nka)`, clearing it on any change
+    /// (Hamiltonian ids start at 1, so the fresh cache never matches).
+    fn sync(&mut self, ham_id: u64, nka: usize) {
+        if self.ham_id != ham_id || self.panels.len() != nka {
+            self.ham_id = ham_id;
+            self.bytes = 0;
+            self.panels.clear();
+            self.panels.resize_with(nka, || None);
+        }
+    }
+
+    /// Store a packed operand for `ka` if it fits the budget.
+    fn insert(&mut self, ka: usize, pa: PackedA) {
+        if self.bytes + pa.bytes() <= pack_cache_budget() {
+            self.bytes += pa.bytes();
+            self.panels[ka] = Some(pa);
+        }
+    }
+
+    /// `(cached entries, total pack operations across them)` — the
+    /// repack-elimination test asserts both equal Nα′ after many solves.
+    #[cfg(test)]
+    fn pack_totals(&self) -> (usize, usize) {
+        let entries = self.panels.iter().flatten().count();
+        let packs: usize = self.panels.iter().flatten().map(|p| p.packs()).sum();
+        (entries, packs)
     }
 }
 
@@ -167,27 +243,53 @@ fn process_task_into(
     }
     clock.charge_gather(model, touched as f64);
 
-    // (3) the integral block and the DGEMM.
-    for (qi, eq) in fam.iter().enumerate() {
-        for (pi, ep) in fam.iter().enumerate() {
-            let vrow = ep.p as usize * n + eq.p as usize;
-            for r in 0..n {
-                for s in 0..n {
-                    bufs.vk[(pi * n + r, qi * n + s)] = ham.v[(vrow, r * n + s)];
-                }
-            }
+    // (3) the integral block and the DGEMM. `V_K` depends only on
+    // (Hamiltonian, Kα), so above the GEMM packing crossover the worker
+    // packs it once into its persistent cache and replays the packed
+    // operand on every later σ application — Davidson iterates dozens of
+    // times against the same integrals, and on a hit both the nd×nd
+    // gather and the GEMM's per-call A-pack disappear. The simulated
+    // clock still charges the full build either way: the cache is a
+    // host-time optimization, invisible to the machine model (and hence
+    // to the simulated schedule, which is driven by those charges).
+    let use_pack = gemm_prefers_packed(nd, nkb, nd);
+    if use_pack {
+        bufs.pack.sync(ham.id(), space.alpha_nm1.len());
+    }
+    if !(use_pack && bufs.pack.panels[ka].is_some()) {
+        fill_vk(&mut bufs.vk, ham, fam, n);
+        if use_pack {
+            bufs.pack.insert(ka, PackedA::pack(Trans::No, &bufs.vk));
         }
     }
     clock.charge_memcpy(model, (nd * nd * 8) as f64);
-    dgemm(
-        Trans::No,
-        Trans::No,
-        1.0,
-        &bufs.vk,
-        &bufs.d,
-        0.0,
-        &mut bufs.e_mat,
-    );
+    let pa = if use_pack {
+        bufs.pack.panels[ka].as_ref()
+    } else {
+        None
+    };
+    match pa {
+        // Bitwise equal to the `dgemm` packed path below, which `Auto`
+        // selects for every shape where `use_pack` holds.
+        Some(pa) => dgemm_prepacked(
+            gemm_threads(),
+            1.0,
+            pa,
+            Trans::No,
+            &bufs.d,
+            0.0,
+            &mut bufs.e_mat,
+        ),
+        None => dgemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &bufs.vk,
+            &bufs.d,
+            0.0,
+            &mut bufs.e_mat,
+        ),
+    }
     clock.charge_dgemm(model, nd, nkb, nd);
 
     // (4) scatter through β families and accumulate.
@@ -214,6 +316,33 @@ fn process_task_into(
     }
     clock.charge_gather(model, (nq * nbstr) as f64);
     clock.charge_scalar(model, (2 * nq + 2 * nkb) as f64);
+}
+
+/// Fill `vk` with the family's integral block (the "INT" box of
+/// Fig. 2b): `V_K[(p̃·n+r), (q̃·n+s)] = (p_{p̃} q_{q̃} | r s)`.
+fn fill_vk(vk: &mut Matrix, ham: &Hamiltonian, fam: &[fci_strings::CreateEntry], n: usize) {
+    for (qi, eq) in fam.iter().enumerate() {
+        for (pi, ep) in fam.iter().enumerate() {
+            let vrow = ep.p as usize * n + eq.p as usize;
+            for r in 0..n {
+                for s in 0..n {
+                    vk[(pi * n + r, qi * n + s)] = ham.v[(vrow, r * n + s)];
+                }
+            }
+        }
+    }
+}
+
+/// Test hook: `(entries, total packs)` of the calling thread's cached
+/// serial working area (zeros when none exists yet).
+#[cfg(test)]
+pub(crate) fn serial_pack_totals() -> (usize, usize) {
+    SERIAL_BUFS.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .map(|(_, bufs)| bufs.pack.pack_totals())
+            .unwrap_or((0, 0))
+    })
 }
 
 /// Execute the work of one Kα family on `rank`, accumulating into σ.
@@ -672,6 +801,65 @@ mod tests {
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(min > 0.0, "an MSP sat completely idle: {times:?}");
         assert!(max < 3.0 * min, "imbalance too large: {times:?}");
+    }
+
+    #[test]
+    fn vk_operands_packed_once_per_solve_sequence() {
+        // DetSpace::c1(10,3,3): nd = 80, nkb = 45, so the V_K·D product
+        // sits above the packing crossover and every family's operand is
+        // cached. Repeated σ applications against the same Hamiltonian
+        // must leave exactly Nα′ cached operands, each packed exactly
+        // once — and must reproduce σ bitwise.
+        let ham = random_hamiltonian(10, 17);
+        let space = DetSpace::c1(10, 3, 3);
+        let nproc = 4;
+        let ddi = Ddi::new(nproc, Backend::Serial);
+        let model = MachineModel::cray_x1();
+        let ctx = SigmaCtx {
+            space: &space,
+            ham: &ham,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        let nd = (space.n_orb() - (space.alpha.n_elec() - 1)) * space.n_orb();
+        assert!(fci_linalg::gemm_prefers_packed(
+            nd,
+            space.beta_nm1.len(),
+            nd
+        ));
+        let c = space.guess(&ham, nproc);
+        let nka = space.alpha_nm1.len();
+        let sigma1 = space.zeros_ci(nproc);
+        mixed_spin_dgemm(&ctx, &c, &sigma1);
+        assert_eq!(
+            serial_pack_totals(),
+            (nka, nka),
+            "first solve fills the cache"
+        );
+        let sigma2 = space.zeros_ci(nproc);
+        mixed_spin_dgemm(&ctx, &c, &sigma2);
+        assert_eq!(
+            serial_pack_totals(),
+            (nka, nka),
+            "second solve repacks nothing"
+        );
+        assert_eq!(
+            sigma1.to_dense(),
+            sigma2.to_dense(),
+            "cached replay must be bitwise identical"
+        );
+        // A different Hamiltonian invalidates and refills the cache.
+        let ham2 = random_hamiltonian(10, 18);
+        let ctx2 = SigmaCtx {
+            space: &space,
+            ham: &ham2,
+            ddi: &ddi,
+            model: &model,
+            pool: PoolParams::default(),
+        };
+        mixed_spin_dgemm(&ctx2, &c, &space.zeros_ci(nproc));
+        assert_eq!(serial_pack_totals(), (nka, nka));
     }
 
     #[test]

@@ -16,11 +16,47 @@
 //! property the paper contrasts against the replicated-work MOC routine.
 
 use super::SigmaCtx;
+use crate::hamiltonian::Hamiltonian;
 use crate::phase::run_phase;
 use fci_ddi::DistMatrix;
-use fci_linalg::{dgemm, Matrix, Trans};
+use fci_linalg::{
+    dgemm, dgemm_prepacked, gemm_prefers_packed, gemm_threads, Matrix, PackedA, Trans,
+};
 use fci_strings::{Nm2Families, SinglesTable};
 use fci_xsim::RunReport;
+
+thread_local! {
+    /// Per-thread packed Ĝ operand, keyed by [`Hamiltonian::id`]. Ĝ is
+    /// constant for a Hamiltonian and multiplies a fresh D on every N−2
+    /// family of every σ application, so each worker thread packs it
+    /// exactly once and replays the packed form from then on.
+    static G_PACK: std::cell::RefCell<Option<(u64, PackedA)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the thread's packed Ĝ operand for `ham` — packing it on
+/// first use — or with `None` when the `m×n×k` product shape sits below
+/// the GEMM packing crossover (where `dgemm` would take the unpacked
+/// small path and a handle could not be replayed bitwise).
+fn with_g_pack<R>(
+    ham: &Hamiltonian,
+    m: usize,
+    n: usize,
+    k: usize,
+    f: impl FnOnce(Option<&PackedA>) -> R,
+) -> R {
+    if !gemm_prefers_packed(m, n, k) {
+        return f(None);
+    }
+    G_PACK.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_ref() {
+            Some((id, _)) if *id == ham.id() => {}
+            _ => *slot = Some((ham.id(), PackedA::pack(Trans::No, &ham.g))),
+        }
+        f(slot.as_ref().map(|(_, pa)| pa))
+    })
+}
 
 /// Apply the row-spin (same-spin + one-electron) half of σ for one spin
 /// channel. `c` and `sigma` must have rows indexed by that spin's strings.
@@ -73,36 +109,47 @@ pub fn half_sigma_dgemm(
             let Some(nm2) = nm2 else { return };
             let mut d = Matrix::zeros(npair, nloc);
             let mut e_mat = Matrix::zeros(npair, nloc);
-            for kf in 0..nm2.len() {
-                let fam = nm2.of(kf);
-                if fam.is_empty() {
-                    continue;
-                }
-                // Gather D rows (B matrix application).
-                for e in fam {
-                    let row = e.pair_index();
-                    let sgn = e.sign as f64;
-                    let from = e.to as usize;
-                    for k in 0..nloc {
-                        d[(row, k)] = sgn * cl[from + k * nrows];
+            // Ĝ is the same operand for every family and every σ
+            // application: above the packing crossover the thread packs
+            // it once and replays it (bitwise equal to the on-the-fly
+            // packed path `dgemm` would take for the same shape).
+            with_g_pack(ham, npair, nloc, npair, |gpack| {
+                for kf in 0..nm2.len() {
+                    let fam = nm2.of(kf);
+                    if fam.is_empty() {
+                        continue;
                     }
-                }
-                // The DGEMM: E = Ĝ · D.
-                dgemm(Trans::No, Trans::No, 1.0, &ham.g, &d, 0.0, &mut e_mat);
-                clock.charge_dgemm(model, npair, nloc, npair);
-                // Scatter (A matrix application) and clear D rows.
-                for e in fam {
-                    let row = e.pair_index();
-                    let sgn = e.sign as f64;
-                    let to = e.to as usize;
-                    for k in 0..nloc {
-                        sl[to + k * nrows] += sgn * e_mat[(row, k)];
-                        d[(row, k)] = 0.0;
+                    // Gather D rows (B matrix application).
+                    for e in fam {
+                        let row = e.pair_index();
+                        let sgn = e.sign as f64;
+                        let from = e.to as usize;
+                        for k in 0..nloc {
+                            d[(row, k)] = sgn * cl[from + k * nrows];
+                        }
                     }
+                    // The DGEMM: E = Ĝ · D.
+                    match gpack {
+                        Some(pa) => {
+                            dgemm_prepacked(gemm_threads(), 1.0, pa, Trans::No, &d, 0.0, &mut e_mat)
+                        }
+                        None => dgemm(Trans::No, Trans::No, 1.0, &ham.g, &d, 0.0, &mut e_mat),
+                    }
+                    clock.charge_dgemm(model, npair, nloc, npair);
+                    // Scatter (A matrix application) and clear D rows.
+                    for e in fam {
+                        let row = e.pair_index();
+                        let sgn = e.sign as f64;
+                        let to = e.to as usize;
+                        for k in 0..nloc {
+                            sl[to + k * nrows] += sgn * e_mat[(row, k)];
+                            d[(row, k)] = 0.0;
+                        }
+                    }
+                    clock.charge_scalar(model, 2.0 * fam.len() as f64);
+                    clock.charge_gather(model, (3 * fam.len() * nloc) as f64);
                 }
-                clock.charge_scalar(model, 2.0 * fam.len() as f64);
-                clock.charge_gather(model, (3 * fam.len() * nloc) as f64);
-            }
+            });
         });
     })
 }
@@ -224,6 +271,25 @@ mod tests {
                 assert!((a - b).abs() < 1e-11, "{a} vs {b} (nproc={nproc})");
             }
         }
+    }
+
+    #[test]
+    fn g_operand_packed_once_per_hamiltonian() {
+        let ham = random_hamiltonian(6, 1);
+        // Below the packing crossover: no handle.
+        assert!(!with_g_pack(&ham, 4, 4, 4, |p| p.is_some()));
+        // Above it: packed on first use, replayed (packs stays 1) after.
+        let m = ham.npair();
+        assert!(gemm_prefers_packed(m, 1000, m));
+        let first = with_g_pack(&ham, m, 1000, m, |p| p.map(|pa| pa.packs()));
+        let second = with_g_pack(&ham, m, 1000, m, |p| p.map(|pa| pa.packs()));
+        assert_eq!((first, second), (Some(1), Some(1)));
+        // A different Hamiltonian displaces the entry.
+        let ham2 = random_hamiltonian(6, 2);
+        assert_eq!(
+            with_g_pack(&ham2, m, 1000, m, |p| p.map(|pa| pa.packs())),
+            Some(1)
+        );
     }
 
     #[test]

@@ -21,18 +21,36 @@ pub struct Eigh {
     pub eigenvectors: Matrix,
 }
 
+/// Largest matrix order still solved by cyclic Jacobi; above this the
+/// two-stage tridiagonal route wins. The `eigh_sweep --quick` bench
+/// re-measures the crossover (Jacobi's many O(n³) sweeps lose to
+/// tridiagonalization in the low tens on every host measured; the
+/// boundary test below pins agreement of the two solvers at the cutoff).
+pub const EIGH_JACOBI_CUTOFF: usize = 24;
+
 /// Eigendecomposition of a symmetric matrix.
 ///
-/// Dispatches to cyclic Jacobi ([`eigh_jacobi`]) for small matrices and to
-/// Householder + implicit QL ([`crate::tridiag::eigh_tridiag`]) above a
-/// cutoff where the two-stage method is decisively faster. Reads the upper
-/// triangle; panics if `a` is not square.
+/// Dispatches to cyclic Jacobi ([`eigh_jacobi`]) for matrices up to
+/// [`EIGH_JACOBI_CUTOFF`] and to Householder + implicit QL
+/// ([`crate::tridiag::eigh_tridiag`]) above it, where the two-stage
+/// method is decisively faster. Reads the upper triangle; panics if `a`
+/// is not square. When the [`crate::probe`] eigensolver channel is
+/// enabled, the dispatch is timed and reported per shape.
 pub fn eigh(a: &Matrix) -> Eigh {
-    if a.nrows() > 24 {
+    // Host-time probe for per-shape eigensolver metrics; one relaxed
+    // atomic load when nobody is observing (same budget as the GEMM
+    // probe). This is real host kernel time by design — linalg sits
+    // below the simulated-clock layer.
+    let timer = crate::probe::eigh_active().then(std::time::Instant::now); // lint: allow(wallclock) — real host kernel time by design
+    let out = if a.nrows() > EIGH_JACOBI_CUTOFF {
         crate::tridiag::eigh_tridiag(a)
     } else {
         eigh_jacobi(a)
+    };
+    if let Some(t0) = timer {
+        crate::probe::emit_eigh(a.nrows(), t0.elapsed().as_secs_f64());
     }
+    out
 }
 
 /// Cyclic Jacobi diagonalization of a symmetric matrix.
@@ -226,6 +244,35 @@ mod tests {
             assert!((b * x + d * y - w * y).abs() < 1e-12);
             assert!((x * x + y * y - 1.0).abs() < 1e-12);
             assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dispatch_boundary_solvers_agree() {
+        // At n = CUTOFF the dispatch picks Jacobi, at CUTOFF+1 the
+        // tridiagonal route; both sides of the boundary must agree with
+        // the *other* solver to 1e-9 (eigenvalues) so retuning the
+        // cutoff can never change physics.
+        for &n in &[EIGH_JACOBI_CUTOFF, EIGH_JACOBI_CUTOFF + 1] {
+            let mut state = 777u64 + n as u64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+            let raw = Matrix::from_fn(n, n, |_, _| next());
+            let a = Matrix::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)]);
+            let ej = eigh_jacobi(&a);
+            let et = crate::tridiag::eigh_tridiag(&a);
+            for (x, y) in ej.eigenvalues.iter().zip(&et.eigenvalues) {
+                assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
+            }
+            // And the dispatched result matches both.
+            let ed = eigh(&a);
+            for (x, y) in ed.eigenvalues.iter().zip(&ej.eigenvalues) {
+                assert!((x - y).abs() < 1e-9, "dispatch n={n}: {x} vs {y}");
+            }
         }
     }
 

@@ -31,6 +31,23 @@
 //! skip packing and threading entirely via an unpacked fast path; the
 //! crossover is set from the in-repo `gemm_sweep --autotune` bench.
 //!
+//! **Persistent packed operands:** when the same A operand multiplies
+//! many different B's (the σ build reuses its coupling matrices every
+//! Davidson iteration), [`PackedA::pack`] packs op(A) once into an
+//! arena-backed handle and [`dgemm_prepacked`] consumes it directly,
+//! skipping the per-call `pack_a` entirely. The persistent layout is
+//! byte-identical to what the on-the-fly path feeds the microkernel
+//! (tight `kc·MR` panels), so results are bitwise equal to [`dgemm`].
+//! [`gemm_prefers_packed`] tells callers whether a shape would take the
+//! packed path at all — below the crossover the handle would be dead
+//! weight.
+//!
+//! A mixed-precision variant ([`GemmPath::PackedF32`]) packs both
+//! operands in f32 — halving pack bandwidth and cache footprint — while
+//! accumulating in f64. It is measured in `gemm_sweep` but never chosen
+//! by [`GemmPath::Auto`]: the f32 rounding of the inputs costs ~1e-7
+//! relative accuracy, unacceptable for production σ builds.
+//!
 //! Correctness is established by exhaustive small-size tests and property
 //! tests against [`dgemm_naive`].
 
@@ -80,6 +97,10 @@ pub enum GemmPath {
     Small,
     /// Force the packed blocked path.
     Packed,
+    /// Force the mixed-precision packed path: operands packed in f32,
+    /// accumulation in f64. Serial, bench-only — never chosen by `Auto`
+    /// (see module docs); `gemm_sweep` measures it against `Packed`.
+    PackedF32,
 }
 
 /// Default GEMM worker-thread count: `FCIX_GEMM_THREADS` if set (≥1),
@@ -232,7 +253,7 @@ pub fn dgemm_path(
     let small = match path {
         GemmPath::Auto => 2 * m * n * k <= SMALL_FLOPS,
         GemmPath::Small => true,
-        GemmPath::Packed => false,
+        GemmPath::Packed | GemmPath::PackedF32 => false,
     };
     // Host-time probe for per-shape throughput metrics; one relaxed
     // atomic load when nobody is observing. This is real (host) kernel
@@ -240,6 +261,8 @@ pub fn dgemm_path(
     let timer = crate::probe::active().then(std::time::Instant::now); // lint: allow(wallclock) — real host kernel time by design
     if small {
         small_dgemm(transa, transb, alpha, a, b, c, m, k, n);
+    } else if path == GemmPath::PackedF32 {
+        packed_dgemm_f32(transa, transb, alpha, a, b, c, m, k, n);
     } else {
         packed_dgemm(nthreads, transa, transb, alpha, a, b, c, m, k, n);
     }
@@ -367,6 +390,60 @@ struct WorkItem {
     q_hi: usize,
 }
 
+/// Work-item partition for the threaded macro kernel: MC row blocks ×
+/// column chunks of B panels. Shared by the on-the-fly and prepacked
+/// paths so both produce identical tile ownership — and therefore an
+/// identical per-tile summation order (the bitwise-equality contract
+/// between [`dgemm`] and [`dgemm_prepacked`]).
+struct Plan {
+    mblocks: usize,
+    npanels: usize,
+    nchunks: usize,
+    nitems: usize,
+    nt: usize,
+}
+
+fn plan(m: usize, n: usize, k: usize, nthreads: usize) -> Plan {
+    // The base chunking follows NC; when that yields fewer items than
+    // threads, chunks are split further (per-tile arithmetic — and hence
+    // the result — is independent of the partition; see module docs).
+    let npanels = n.div_ceil(NR);
+    let mblocks = m.div_ceil(MC);
+    let nthreads = nthreads.max(1);
+    let par = nthreads > 1 && 2 * m * n * k >= PAR_MIN_FLOPS;
+    let target_items = if par { nthreads } else { 1 };
+    let mut nchunks = n.div_ceil(NC);
+    if mblocks * nchunks < target_items {
+        nchunks = npanels.min(target_items.div_ceil(mblocks));
+    }
+    let nitems = mblocks * nchunks;
+    let nt = if par { nthreads.min(nitems) } else { 1 };
+    Plan {
+        mblocks,
+        npanels,
+        nchunks,
+        nitems,
+        nt,
+    }
+}
+
+impl Plan {
+    /// Work item `idx`: row block `idx % mblocks` of column chunk
+    /// `idx / mblocks`. Chunk boundaries round-robin the B panels
+    /// evenly; a chunk can be empty only when `nchunks > npanels`.
+    fn item(&self, idx: usize, m: usize) -> WorkItem {
+        let ci = idx / self.mblocks;
+        let ib = idx % self.mblocks;
+        let i0 = ib * MC;
+        WorkItem {
+            i0,
+            mc: MC.min(m - i0),
+            q_lo: ci * self.npanels / self.nchunks,
+            q_hi: (ci + 1) * self.npanels / self.nchunks,
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn packed_dgemm(
     nthreads: usize,
@@ -396,41 +473,13 @@ fn packed_dgemm(
         len: cs.len(),
     };
 
-    // Partition C into work items: MC row blocks × column chunks. The
-    // base chunking follows NC; when that yields fewer items than
-    // threads, chunks are split further (per-tile arithmetic — and hence
-    // the result — is independent of the partition; see module docs).
-    let mblocks = m.div_ceil(MC);
-    let nthreads = nthreads.max(1);
-    let par = nthreads > 1 && 2 * m * n * k >= PAR_MIN_FLOPS;
-    let target_items = if par { nthreads } else { 1 };
-    let mut nchunks = n.div_ceil(NC);
-    if mblocks * nchunks < target_items {
-        nchunks = npanels.min(target_items.div_ceil(mblocks));
-    }
-
     // Work items are enumerated by index (never materialized, so this
-    // path stays allocation-free): item `idx` is row block `idx % mblocks`
-    // of column chunk `idx / mblocks`. Chunk boundaries round-robin the
-    // B panels evenly; a chunk can be empty only when `nchunks > npanels`.
-    let nitems = mblocks * nchunks;
-    let item = |idx: usize| -> WorkItem {
-        let ci = idx / mblocks;
-        let ib = idx % mblocks;
-        let i0 = ib * MC;
-        WorkItem {
-            i0,
-            mc: MC.min(m - i0),
-            q_lo: ci * npanels / nchunks,
-            q_hi: (ci + 1) * npanels / nchunks,
-        }
-    };
-
-    let nt = if par { nthreads.min(nitems) } else { 1 };
-    if nt <= 1 {
+    // path stays allocation-free).
+    let pl = plan(m, n, k, nthreads);
+    if pl.nt <= 1 {
         let mut aguard = arena::acquire(MC * KC);
-        for idx in 0..nitems {
-            let it = item(idx);
+        for idx in 0..pl.nitems {
+            let it = pl.item(idx, m);
             if it.q_lo < it.q_hi {
                 run_item(
                     transa,
@@ -448,19 +497,19 @@ fn packed_dgemm(
         }
     } else {
         std::thread::scope(|scope| {
-            for t in 0..nt {
-                let item = &item;
+            for t in 0..pl.nt {
+                let pl = &pl;
                 scope.spawn(move || {
                     // Per-thread A packing buffer from the shared pool.
                     let mut aguard = arena::acquire(MC * KC);
                     let apack = aguard.as_mut_slice();
                     let mut idx = t;
-                    while idx < nitems {
-                        let it = item(idx);
+                    while idx < pl.nitems {
+                        let it = pl.item(idx, m);
                         if it.q_lo < it.q_hi {
                             run_item(transa, a, alpha, bpack, k, n, cout, cm, it, apack);
                         }
-                        idx += nt;
+                        idx += pl.nt;
                     }
                 });
             }
@@ -487,29 +536,53 @@ fn run_item(
     while l0 < k {
         let kc = KC.min(k - l0);
         pack_a(transa, a, it.i0, it.mc, l0, kc, apack);
-        for q in it.q_lo..it.q_hi {
-            let jr = q * NR;
-            let nr = NR.min(n - jr);
-            let bt = &bpack[q * (k * NR) + l0 * NR..][..kc * NR];
-            let mut ir = 0;
-            while ir < it.mc {
-                let mr = MR.min(it.mc - ir);
-                let at = &apack[(ir / MR) * (KC * MR)..][..kc * MR];
-                if mr == MR && nr == NR {
-                    micro_8x4(kc, alpha, at, bt, cout, it.i0 + ir, jr, cm);
-                } else {
-                    micro_edge(kc, alpha, at, bt, cout, it.i0 + ir, jr, cm, mr, nr);
-                }
-                ir += MR;
-            }
-        }
+        sweep_panels(alpha, apack, bpack, k, n, l0, kc, cout, cm, it);
         l0 += KC;
+    }
+}
+
+/// Inner two loops of the macro kernel for one packed KC block: sweep
+/// the item's B panels × MR tiles. `apack` holds the item's A rows for
+/// depths `[l0, l0+kc)` in tight `kc·MR` panels (on-the-fly or a
+/// [`PackedA`] block — byte-identical layouts, so both callers hit the
+/// microkernel with the same inputs in the same order).
+#[allow(clippy::too_many_arguments)]
+fn sweep_panels(
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    k: usize,
+    n: usize,
+    l0: usize,
+    kc: usize,
+    cout: COut,
+    cm: usize,
+    it: WorkItem,
+) {
+    for q in it.q_lo..it.q_hi {
+        let jr = q * NR;
+        let nr = NR.min(n - jr);
+        let bt = &bpack[q * (k * NR) + l0 * NR..][..kc * NR];
+        let mut ir = 0;
+        while ir < it.mc {
+            let mr = MR.min(it.mc - ir);
+            let at = &apack[(ir / MR) * (kc * MR)..][..kc * MR];
+            if mr == MR && nr == NR {
+                micro_8x4(kc, alpha, at, bt, cout, it.i0 + ir, jr, cm);
+            } else {
+                micro_edge(kc, alpha, at, bt, cout, it.i0 + ir, jr, cm, mr, nr);
+            }
+            ir += MR;
+        }
     }
 }
 
 /// Pack an `mc×kc` block of op(A) starting at (i0, l0) into microtile
 /// panels: panel `p` holds rows `[p·MR, p·MR+MR)` stored k-major
-/// (`apack[p·KC·MR + l·MR + r]`), zero-padded in the row direction.
+/// (`apack[p·kc·MR + l·MR + r]`), zero-padded in the row direction.
+/// Panels are **tight** (stride `kc·MR`, not `KC·MR`), which is what
+/// lets [`PackedA`] store all KC stripes of op(A) back to back with a
+/// purely arithmetic offset.
 fn pack_a(
     transa: Trans,
     a: &Matrix,
@@ -521,7 +594,7 @@ fn pack_a(
 ) {
     let npanels = mc.div_ceil(MR);
     for p in 0..npanels {
-        let base = p * (KC * MR);
+        let base = p * (kc * MR);
         let rmax = MR.min(mc - p * MR);
         for l in 0..kc {
             for r in 0..MR {
@@ -561,6 +634,414 @@ fn pack_b(transb: Trans, b: &Matrix, k: usize, n: usize, bpack: &mut [f64]) {
                 };
                 bpack[base + l * NR + s] = v;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistent packed A operands.
+// ---------------------------------------------------------------------
+
+/// Whether [`dgemm`]'s auto dispatch would take the packed path for an
+/// `m×n×k` product — i.e. whether preparing a [`PackedA`] for this
+/// shape can pay off at all. Below the crossover `dgemm` uses the
+/// unpacked small path, which never reads a packed operand, so a handle
+/// would be dead weight.
+#[inline]
+pub fn gemm_prefers_packed(m: usize, n: usize, k: usize) -> bool {
+    m > 0 && n > 0 && k > 0 && 2 * m * n * k > SMALL_FLOPS
+}
+
+/// op(A) packed once into the microkernel layout, for reuse across many
+/// [`dgemm_prepacked`] calls.
+///
+/// Layout: KC stripes back to back. Stripe `l0` (a multiple of `KC`,
+/// depth `kc = min(KC, k−l0)`) occupies `padded_m·kc` doubles starting
+/// at offset `padded_m·l0`, where `padded_m = ⌈m/MR⌉·MR` — valid
+/// because every stripe before the last has depth exactly `KC`. Within
+/// a stripe, row panel `p` sits at `p·kc·MR`, exactly as [`pack_a`]
+/// lays it out. The buffer comes from the [`crate::arena`] pool and
+/// returns there on drop.
+///
+/// The handle borrows nothing: it is an owned snapshot of op(A) at pack
+/// time. Callers caching one across solves must invalidate it when the
+/// source matrix changes (the σ caches key on `Hamiltonian::id`).
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    guard: arena::ScratchGuard,
+    packs: usize,
+}
+
+impl PackedA {
+    /// Pack all of op(A). One pass over the source; the returned handle
+    /// feeds [`dgemm_prepacked`] any number of times.
+    pub fn pack(transa: Trans, a: &Matrix) -> PackedA {
+        let (m, k) = match transa {
+            Trans::No => (a.nrows(), a.ncols()),
+            Trans::Yes => (a.ncols(), a.nrows()),
+        };
+        let padded_m = m.div_ceil(MR) * MR;
+        let mut guard = arena::acquire(padded_m * k);
+        let buf = guard.as_mut_slice();
+        let mut l0 = 0;
+        while l0 < k {
+            let kc = KC.min(k - l0);
+            pack_a(
+                transa,
+                a,
+                0,
+                m,
+                l0,
+                kc,
+                &mut buf[padded_m * l0..padded_m * (l0 + kc)],
+            );
+            l0 += KC;
+        }
+        PackedA {
+            m,
+            k,
+            guard,
+            packs: 1,
+        }
+    }
+
+    /// Rows of op(A).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Depth (columns of op(A)).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How many times this operand has been packed (always 1 for a live
+    /// handle — the repack-elimination tests sum this over a cache to
+    /// assert each operand was packed exactly once per lifetime).
+    #[inline]
+    pub fn packs(&self) -> usize {
+        self.packs
+    }
+
+    /// Heap footprint of the packed buffer in bytes (cache budgeting).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.m.div_ceil(MR) * MR * self.k * std::mem::size_of::<f64>()
+    }
+
+    /// The packed panels covering rows `i0..i0+mc` of the KC stripe at
+    /// depth `l0` (both MR/KC-aligned by construction of the work plan).
+    #[inline]
+    fn block(&self, i0: usize, mc: usize, l0: usize, kc: usize) -> &[f64] {
+        let padded_m = self.m.div_ceil(MR) * MR;
+        let base = padded_m * l0 + (i0 / MR) * (kc * MR);
+        &self.guard.as_slice()[base..base + mc.div_ceil(MR) * (kc * MR)]
+    }
+}
+
+/// `C := alpha · packed(A) · op(B) + beta · C` with a pre-packed A.
+///
+/// Identical semantics, partition, and per-tile summation order to
+/// [`dgemm_with_threads`] on the packed path — the result is **bitwise
+/// equal** at every thread count — but the per-call A packing traffic is
+/// gone; only op(B) is packed. This is the σ-build hot call: the same
+/// coupling operand multiplies a fresh B every Davidson iteration.
+pub fn dgemm_prepacked(
+    nthreads: usize,
+    alpha: f64,
+    pa: &PackedA,
+    transb: Trans,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, k) = (pa.m, pa.k);
+    let (kb, n) = match transb {
+        Trans::No => (b.nrows(), b.ncols()),
+        Trans::Yes => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(
+        k, kb,
+        "dgemm_prepacked inner dimensions differ: {k} vs {kb}"
+    );
+    assert_eq!(c.nrows(), m, "dgemm_prepacked C row count mismatch");
+    assert_eq!(c.ncols(), n, "dgemm_prepacked C column count mismatch");
+    // Same fast-exit / beta-pass ordering as `dgemm_path` (BLAS contract).
+    if m == 0 || n == 0 {
+        return;
+    }
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+    let timer = crate::probe::active().then(std::time::Instant::now); // lint: allow(wallclock) — real host kernel time by design
+
+    let npanels = n.div_ceil(NR);
+    let mut bguard = arena::acquire(npanels * k * NR);
+    let bpack: &mut [f64] = bguard.as_mut_slice();
+    pack_b(transb, b, k, n, bpack);
+    let bpack: &[f64] = bpack;
+
+    let cm = c.nrows();
+    let cs = c.as_mut_slice();
+    let cout = COut {
+        ptr: cs.as_mut_ptr(),
+        len: cs.len(),
+    };
+
+    let pl = plan(m, n, k, nthreads);
+    if pl.nt <= 1 {
+        for idx in 0..pl.nitems {
+            let it = pl.item(idx, m);
+            if it.q_lo < it.q_hi {
+                run_item_prepacked(pa, alpha, bpack, k, n, cout, cm, it);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..pl.nt {
+                let pl = &pl;
+                scope.spawn(move || {
+                    let mut idx = t;
+                    while idx < pl.nitems {
+                        let it = pl.item(idx, m);
+                        if it.q_lo < it.q_hi {
+                            run_item_prepacked(pa, alpha, bpack, k, n, cout, cm, it);
+                        }
+                        idx += pl.nt;
+                    }
+                });
+            }
+        });
+    }
+
+    if let Some(t0) = timer {
+        crate::probe::emit(m, n, k, t0.elapsed().as_secs_f64());
+    }
+}
+
+/// Macro kernel for one work item against a persistent [`PackedA`]:
+/// same ascending-`l0` block loop as [`run_item`], but the A panels are
+/// read straight out of the handle — no packing.
+#[allow(clippy::too_many_arguments)]
+fn run_item_prepacked(
+    pa: &PackedA,
+    alpha: f64,
+    bpack: &[f64],
+    k: usize,
+    n: usize,
+    cout: COut,
+    cm: usize,
+    it: WorkItem,
+) {
+    let mut l0 = 0;
+    while l0 < k {
+        let kc = KC.min(k - l0);
+        let apack = pa.block(it.i0, it.mc, l0, kc);
+        sweep_panels(alpha, apack, bpack, k, n, l0, kc, cout, cm, it);
+        l0 += KC;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mixed-precision packed path (bench-only; see module docs).
+// ---------------------------------------------------------------------
+
+/// Packed blocked multiply with f32 operand packing and f64
+/// accumulation. Serial (it exists to measure the memory-traffic side
+/// of the precision trade, not to win races); structure mirrors the
+/// five-loop f64 path with the thread plan collapsed to one item chain.
+#[allow(clippy::too_many_arguments)]
+fn packed_dgemm_f32(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let npanels = n.div_ceil(NR);
+    let mut bguard = arena::acquire_f32(npanels * k * NR);
+    let bpack: &mut [f32] = bguard.as_mut_slice();
+    pack_b_f32(transb, b, k, n, bpack);
+    let bpack: &[f32] = bpack;
+
+    let cm = c.nrows();
+    let cs = c.as_mut_slice();
+    let cout = COut {
+        ptr: cs.as_mut_ptr(),
+        len: cs.len(),
+    };
+
+    let mut aguard = arena::acquire_f32(MC * KC);
+    let apack = aguard.as_mut_slice();
+    let mut i0 = 0;
+    while i0 < m {
+        let mc = MC.min(m - i0);
+        let mut l0 = 0;
+        while l0 < k {
+            let kc = KC.min(k - l0);
+            pack_a_f32(transa, a, i0, mc, l0, kc, apack);
+            for q in 0..npanels {
+                let jr = q * NR;
+                let nr = NR.min(n - jr);
+                let bt = &bpack[q * (k * NR) + l0 * NR..][..kc * NR];
+                let mut ir = 0;
+                while ir < mc {
+                    let mr = MR.min(mc - ir);
+                    let at = &apack[(ir / MR) * (kc * MR)..][..kc * MR];
+                    if mr == MR && nr == NR {
+                        micro_8x4_f32(kc, alpha, at, bt, cout, i0 + ir, jr, cm);
+                    } else {
+                        micro_edge_f32(kc, alpha, at, bt, cout, i0 + ir, jr, cm, mr, nr);
+                    }
+                    ir += MR;
+                }
+            }
+            l0 += KC;
+        }
+        i0 += MC;
+    }
+}
+
+/// [`pack_a`] with the operand rounded to f32 (same tight `kc·MR`
+/// panel layout).
+fn pack_a_f32(
+    transa: Trans,
+    a: &Matrix,
+    i0: usize,
+    mc: usize,
+    l0: usize,
+    kc: usize,
+    apack: &mut [f32],
+) {
+    let npanels = mc.div_ceil(MR);
+    for p in 0..npanels {
+        let base = p * (kc * MR);
+        let rmax = MR.min(mc - p * MR);
+        for l in 0..kc {
+            for r in 0..MR {
+                let v = if r < rmax {
+                    let i = i0 + p * MR + r;
+                    match transa {
+                        Trans::No => a[(i, l0 + l)],
+                        Trans::Yes => a[(l0 + l, i)],
+                    }
+                } else {
+                    0.0
+                };
+                apack[base + l * MR + r] = v as f32;
+            }
+        }
+    }
+}
+
+/// [`pack_b`] with the operand rounded to f32 (same panel layout).
+fn pack_b_f32(transb: Trans, b: &Matrix, k: usize, n: usize, bpack: &mut [f32]) {
+    let npanels = n.div_ceil(NR);
+    for q in 0..npanels {
+        let base = q * (k * NR);
+        let smax = NR.min(n - q * NR);
+        for l in 0..k {
+            for s in 0..NR {
+                let v = if s < smax {
+                    let j = q * NR + s;
+                    match transb {
+                        Trans::No => b[(l, j)],
+                        Trans::Yes => b[(j, l)],
+                    }
+                } else {
+                    0.0
+                };
+                bpack[base + l * NR + s] = v as f32;
+            }
+        }
+    }
+}
+
+/// [`micro_8x4`] over f32 panels: each element is promoted to f64 at
+/// load; all multiplies and the accumulator stay in f64, so the only
+/// precision loss is the initial operand rounding.
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn micro_8x4_f32(
+    kc: usize,
+    alpha: f64,
+    at: &[f32],
+    bt: &[f32],
+    c: COut,
+    i0: usize,
+    j0: usize,
+    cm: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for l in 0..kc {
+        let ab = l * MR;
+        let bb = l * NR;
+        // SAFETY: `bt` was sliced to length >= kc*NR, so bb..bb+NR is in
+        // bounds for every l < kc.
+        let bv: [f64; NR] = std::array::from_fn(|s| unsafe { *bt.get_unchecked(bb + s) } as f64);
+        for r in 0..MR {
+            // SAFETY: `at` was sliced to length >= kc*MR; ab+r < kc*MR.
+            let ar = unsafe { *at.get_unchecked(ab + r) } as f64;
+            for s in 0..NR {
+                acc[r][s] = fmadd(ar, bv[s], acc[r][s]);
+            }
+        }
+    }
+    for s in 0..NR {
+        let cbase = (j0 + s) * cm + i0;
+        for r in 0..MR {
+            // SAFETY: the caller guarantees the full 8×4 tile lies inside
+            // C (serial path: no concurrent writers at all).
+            unsafe { c.add(cbase + r, alpha * acc[r][s]) };
+        }
+    }
+}
+
+/// [`micro_edge`] over f32 panels (bounds-checked; partial tiles).
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn micro_edge_f32(
+    kc: usize,
+    alpha: f64,
+    at: &[f32],
+    bt: &[f32],
+    c: COut,
+    i0: usize,
+    j0: usize,
+    cm: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for l in 0..kc {
+        let ab = l * MR;
+        let bb = l * NR;
+        for r in 0..mr {
+            let av = at[ab + r] as f64;
+            for s in 0..nr {
+                acc[r][s] += av * (bt[bb + s] as f64);
+            }
+        }
+    }
+    for s in 0..nr {
+        let cbase = (j0 + s) * cm + i0;
+        for r in 0..mr {
+            // SAFETY: r < mr and s < nr keep the store inside the partial
+            // tile, which lies inside C (serial path).
+            unsafe { c.add(cbase + r, alpha * acc[r][s]) };
         }
     }
 }
@@ -851,5 +1332,109 @@ mod tests {
             &mut c_packed,
         );
         assert!(c_small.max_abs_diff(&c_packed) < 1e-12 * 20.0);
+    }
+
+    #[test]
+    fn prepacked_matches_packed_bitwise() {
+        // The prepacked path must be *bitwise* equal to the on-the-fly
+        // packed path at every thread count — it feeds the microkernel
+        // the same panel bytes through the same work plan.
+        for &(ta, m, n, k) in &[
+            (Trans::No, 80usize, 45usize, 80usize), // the σ repack shape class
+            (Trans::Yes, 130, 37, 260),             // crosses MC and KC
+            (Trans::No, 8, 4, 600),                 // multi-stripe, single tile
+            (Trans::No, 129, 5, 257),               // edge tiles everywhere
+        ] {
+            let a = match ta {
+                Trans::No => rand_mat(m, k, 21 + m as u64),
+                Trans::Yes => rand_mat(k, m, 22 + n as u64),
+            };
+            let b = rand_mat(k, n, 23);
+            let c0 = rand_mat(m, n, 24);
+            let mut c_ref = c0.clone();
+            dgemm_path(
+                GemmPath::Packed,
+                1,
+                ta,
+                Trans::No,
+                1.25,
+                &a,
+                &b,
+                -0.5,
+                &mut c_ref,
+            );
+            let pa = PackedA::pack(ta, &a);
+            assert_eq!(pa.packs(), 1);
+            assert_eq!((pa.m(), pa.k()), (m, k));
+            for &nt in &[1usize, 2, 4] {
+                let mut c = c0.clone();
+                dgemm_prepacked(nt, 1.25, &pa, Trans::No, &b, -0.5, &mut c);
+                assert_eq!(c, c_ref, "{ta:?} m={m} n={n} k={k} nt={nt}");
+            }
+        }
+        // Transposed B and alpha/beta corners through the same handle.
+        let a = rand_mat(70, 90, 41);
+        let bt = rand_mat(30, 90, 42);
+        let c0 = rand_mat(70, 30, 43);
+        let pa = PackedA::pack(Trans::No, &a);
+        let mut c_ref = c0.clone();
+        dgemm_path(
+            GemmPath::Packed,
+            1,
+            Trans::No,
+            Trans::Yes,
+            2.0,
+            &a,
+            &bt,
+            1.0,
+            &mut c_ref,
+        );
+        let mut c = c0.clone();
+        dgemm_prepacked(1, 2.0, &pa, Trans::Yes, &bt, 1.0, &mut c);
+        assert_eq!(c, c_ref);
+        // alpha == 0: beta pass only, bitwise.
+        let mut c = c0.clone();
+        dgemm_prepacked(1, 0.0, &pa, Trans::Yes, &bt, -3.0, &mut c);
+        let expect = Matrix::from_fn(70, 30, |i, j| -3.0 * c0[(i, j)]);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn gemm_prefers_packed_tracks_auto_crossover() {
+        assert!(!gemm_prefers_packed(0, 10, 10));
+        assert!(!gemm_prefers_packed(10, 10, 10));
+        assert!(!gemm_prefers_packed(52, 52, 52)); // exactly SMALL_FLOPS: small path
+        assert!(gemm_prefers_packed(53, 53, 53));
+        assert!(gemm_prefers_packed(80, 45, 80));
+    }
+
+    #[test]
+    fn packed_f32_path_is_close_to_f64() {
+        // f32 operand rounding costs ~1e-7 relative per element; with
+        // k ≈ 100 inputs in [-0.5, 0.5] the worst-case accumulated error
+        // sits well under 1e-5 — and must be nonzero (the operands really
+        // were rounded).
+        for &(ta, tb, m, n, k) in &[
+            (Trans::No, Trans::No, 97usize, 61usize, 96usize),
+            (Trans::Yes, Trans::No, 64, 64, 70),
+            (Trans::No, Trans::Yes, 70, 33, 64),
+        ] {
+            let a = match ta {
+                Trans::No => rand_mat(m, k, 31),
+                Trans::Yes => rand_mat(k, m, 31),
+            };
+            let b = match tb {
+                Trans::No => rand_mat(k, n, 32),
+                Trans::Yes => rand_mat(n, k, 32),
+            };
+            let c0 = rand_mat(m, n, 33);
+            let mut c_ref = c0.clone();
+            dgemm_naive(ta, tb, 1.5, &a, &b, 0.25, &mut c_ref);
+            let mut c32 = c0.clone();
+            dgemm_path(GemmPath::PackedF32, 1, ta, tb, 1.5, &a, &b, 0.25, &mut c32);
+            let diff = c32.max_abs_diff(&c_ref);
+            assert!(diff < 5e-5, "f32 path error {diff} ({ta:?} {tb:?})");
+            assert!(diff > 0.0, "f32 packing should round the operands");
+        }
     }
 }

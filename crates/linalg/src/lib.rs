@@ -14,11 +14,17 @@
 //!   the FCI code assumes; CI coefficient blocks are (β-string × α-string)
 //!   column-major matrices),
 //! * [`dgemm`] — a blocked, cache-aware general matrix multiply with an
-//!   unrolled register microkernel, plus a [`dgemm_naive`] reference,
+//!   unrolled register microkernel, plus a [`dgemm_naive`] reference and
+//!   a persistent packed-operand form ([`PackedA`] / [`dgemm_prepacked`])
+//!   for operands reused across many products,
 //! * level-1 kernels ([`daxpy`], [`ddot`], [`dnrm2`], [`dscal`]),
-//! * a Jacobi symmetric eigensolver ([`eigh`]) used by the SCF and the
-//!   Davidson subspace method, and the analytic 2×2 solve ([`eigh_2x2`])
+//! * a two-stage symmetric eigensolver ([`eigh`]): cyclic Jacobi below
+//!   [`EIGH_JACOBI_CUTOFF`], blocked Householder tridiagonalization +
+//!   implicit QL above it, and the analytic 2×2 solve ([`eigh_2x2`])
 //!   at the heart of the automatically adjusted single-vector method,
+//! * Cholesky-QR block orthonormalization ([`cholqr2`] and the
+//!   [`cholesky_lower`] / [`trsm_right_ltrans`] building blocks the
+//!   distributed multiroot solver drives per rank),
 //! * an LU solver ([`lu_solve`]) for DIIS extrapolation.
 //!
 //! Everything is plain safe Rust except the microkernel's bounds-check-free
@@ -27,6 +33,7 @@
 
 pub mod arena;
 pub mod blas1;
+pub mod cholqr;
 pub mod eigen;
 pub mod gemm;
 pub mod matrix;
@@ -35,8 +42,14 @@ pub mod solve;
 pub mod tridiag;
 
 pub use blas1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, idamax};
-pub use eigen::{eigh, eigh_2x2, eigh_jacobi, Eigh};
-pub use gemm::{dgemm, dgemm_naive, dgemm_path, dgemm_with_threads, gemm_threads, GemmPath, Trans};
+pub use cholqr::{cholesky_lower, cholqr2, trsm_right_ltrans, CholError};
+pub use eigen::{eigh, eigh_2x2, eigh_jacobi, Eigh, EIGH_JACOBI_CUTOFF};
+pub use gemm::{
+    dgemm, dgemm_naive, dgemm_path, dgemm_prepacked, dgemm_with_threads, gemm_prefers_packed,
+    gemm_threads, GemmPath, PackedA, Trans,
+};
 pub use matrix::Matrix;
 pub use solve::{lu_factor, lu_solve, LuError};
-pub use tridiag::eigh_tridiag;
+pub use tridiag::{
+    eigh_tridiag, eigh_tridiag_path, reduce_to_tridiag, TqliError, Tridiag, TridiagPath,
+};

@@ -59,10 +59,70 @@ pub(crate) fn emit(m: usize, n: usize, k: usize, secs: f64) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Eigensolver channel: same write-once + relaxed-gate pattern, its own
+// slot so the serve layer can watch eigh dispatches independently of
+// GEMM (the metrics plane records them as separate series).
+// ---------------------------------------------------------------------
+
+/// Observation callback: `(n, seconds)` for one completed symmetric
+/// eigendecomposition dispatched through [`eigh`](crate::eigh).
+pub type EighObserver = Arc<dyn Fn(usize, f64) + Send + Sync>;
+
+static EIGH_OBSERVER: OnceLock<EighObserver> = OnceLock::new();
+static EIGH_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide eigensolver observer (write-once; returns
+/// `false` if one was already installed). Enable with
+/// [`set_eigh_enabled`].
+pub fn install_eigh(obs: EighObserver) -> bool {
+    EIGH_OBSERVER.set(obs).is_ok()
+}
+
+/// Turn eigensolver observation on or off (no-op until
+/// [`install_eigh`] has run).
+pub fn set_eigh_enabled(on: bool) {
+    EIGH_ACTIVE.store(on && EIGH_OBSERVER.get().is_some(), Ordering::Relaxed);
+}
+
+/// Whether the eigensolver probe is currently recording.
+#[inline]
+pub fn eigh_active() -> bool {
+    EIGH_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Report one timed eigendecomposition to the installed observer.
+#[inline]
+pub(crate) fn emit_eigh(n: usize, secs: f64) {
+    if let Some(obs) = EIGH_OBSERVER.get() {
+        obs(n, secs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn eigh_probe_gates_and_reports() {
+        static EIGH_HITS: AtomicUsize = AtomicUsize::new(0);
+        assert!(!eigh_active());
+        set_eigh_enabled(true); // no observer yet: stays off
+        assert!(!eigh_active());
+        assert!(install_eigh(Arc::new(|n, _secs| {
+            EIGH_HITS.fetch_add(n, Ordering::Relaxed);
+        })));
+        assert!(!install_eigh(Arc::new(|_, _| {})), "slot is write-once");
+        set_eigh_enabled(true);
+        assert!(eigh_active());
+        let a = crate::Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 + i as f64 } else { 0.1 });
+        let _ = crate::eigh(&a);
+        assert_eq!(EIGH_HITS.load(Ordering::Relaxed), 3);
+        set_eigh_enabled(false);
+        let _ = crate::eigh(&a);
+        assert_eq!(EIGH_HITS.load(Ordering::Relaxed), 3, "off means off");
+    }
 
     #[test]
     fn probe_gates_and_reports() {

@@ -170,6 +170,16 @@ fn run(mut cli: Cli) -> Result<bool, String> {
             greg.observe("linalg.gemm_s", &[("shape", &shape)], secs);
         }));
         fcix::linalg::probe::set_enabled(true);
+        let ereg = reg.clone();
+        fcix::linalg::probe::install_eigh(Arc::new(move |n, secs| {
+            // Nominal 4n³ flops: tridiagonal reduction (4/3 n³) plus the
+            // implicit-QL eigenvector accumulation (~3n³ rotations).
+            let gf = 4.0 * (n as f64).powi(3) / secs.max(1e-12) / 1e9;
+            let dim = n.to_string();
+            ereg.observe("linalg.eigh_gflops", &[("n", &dim)], gf);
+            ereg.observe("linalg.eigh_s", &[("n", &dim)], secs);
+        }));
+        fcix::linalg::probe::set_eigh_enabled(true);
     }
     let stop = Arc::new(AtomicBool::new(false));
     let snapshotter = match (&cli.metrics_out, &metrics) {
