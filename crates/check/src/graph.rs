@@ -43,7 +43,7 @@ use fci_obs::JsonValue;
 
 /// Hot-path roots the transitive analyses start from: the σ-task body
 /// and the GEMM dispatch/macro/micro kernels.
-pub const DEFAULT_ROOTS: [&str; 7] = [
+pub const DEFAULT_ROOTS: [&str; 9] = [
     "process_task_into",
     "dgemm",
     "packed_dgemm",
@@ -51,6 +51,9 @@ pub const DEFAULT_ROOTS: [&str; 7] = [
     "run_item",
     "micro_8x4",
     "micro_edge",
+    // The sparse engine's per-iteration kernels (crates/sparse).
+    "spmv_rows",
+    "scan_gradient",
 ];
 
 /// Method names resolved to std/core rather than workspace impls; calls

@@ -42,7 +42,8 @@ use crate::lint::FileCtx;
 use fci_obs::JsonValue;
 
 /// Directories `fcix-check locks` scans by default (workspace-relative).
-pub const DEFAULT_LOCK_PATHS: [&str; 2] = ["crates/serve/src", "crates/obs/src"];
+pub const DEFAULT_LOCK_PATHS: [&str; 3] =
+    ["crates/serve/src", "crates/obs/src", "crates/sparse/src"];
 
 /// What kind of synchronization primitive a field is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

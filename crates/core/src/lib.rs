@@ -77,6 +77,6 @@ pub use recovery::{solve_resilient, solve_resilient_prepared, RecoveryOptions, R
 pub use sigma::{apply_sigma, SigmaBreakdown, SigmaCtx, SigmaMethod};
 pub use solver::{
     build_space, solve, solve_prepared, solve_roots, solve_roots_prepared, FciOptions, FciResult,
-    FciRootsResult,
+    FciRootsResult, SolverKind,
 };
 pub use taskpool::{PoolParams, TaskPool};

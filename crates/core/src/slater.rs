@@ -39,7 +39,11 @@ fn diff_orbs(a: u64, b: u64) -> Vec<usize> {
 }
 
 /// Phase for a single excitation q→p on `mask` (q occupied, p empty).
-fn single_phase(mask: u64, p: usize, q: usize) -> f64 {
+///
+/// Public because the sparse engine (`fci-sparse`) computes Slater–Condon
+/// elements per connection with the excitation already identified, and
+/// must agree with [`element`] bit for bit.
+pub fn single_phase(mask: u64, p: usize, q: usize) -> f64 {
     let s1 = ann_phase(mask, q);
     let m1 = mask & !(1u64 << q);
     let s2 = ann_phase(m1, p); // creation phase = same counting rule
@@ -47,8 +51,9 @@ fn single_phase(mask: u64, p: usize, q: usize) -> f64 {
 }
 
 /// Phase for the same-spin double `q1,q2 → p1,p2` (operator
-/// `a†_{p1} a†_{p2} a_{q2} a_{q1}` applied to `mask`).
-fn double_phase(mask: u64, p1: usize, p2: usize, q1: usize, q2: usize) -> f64 {
+/// `a†_{p1} a†_{p2} a_{q2} a_{q1}` applied to `mask`). Public for the
+/// same reason as [`single_phase`].
+pub fn double_phase(mask: u64, p1: usize, p2: usize, q1: usize, q2: usize) -> f64 {
     let mut m = mask;
     let mut s = ann_phase(m, q1);
     m &= !(1u64 << q1);

@@ -11,6 +11,46 @@ use fci_scf::MoIntegrals;
 use fci_xsim::MachineModel;
 use std::sync::Arc;
 
+/// Which CI engine solves the eigenproblem.
+///
+/// `fci-core` only implements the dense path itself; the sparse variants
+/// live in `fci-sparse` (which depends on this crate), so the enum is
+/// pure configuration data here and the dispatch happens one layer up —
+/// in the `fcix` facade (`fcix::solve_any`) and in `fci-serve`'s job
+/// executor. Dense solvers ignore the field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Dense CI vector, GEMM-based σ (the paper's engine; the default).
+    Dense,
+    /// Sparse coordinate-descent FCI (CDFCI): hash-stored coefficients,
+    /// largest-gradient single-coordinate updates, connection-local work.
+    SparseCdfci,
+    /// Selected CI: importance-screened determinant space grown
+    /// adaptively, diagonalized by Davidson in the selected space.
+    SparseSelected,
+}
+
+impl SolverKind {
+    /// Stable lowercase name (used in job specs and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::Dense => "dense",
+            SolverKind::SparseCdfci => "cdfci",
+            SolverKind::SparseSelected => "selected",
+        }
+    }
+
+    /// Parse the stable name back ([`SolverKind::name`]).
+    pub fn from_name(s: &str) -> Option<SolverKind> {
+        match s {
+            "dense" => Some(SolverKind::Dense),
+            "cdfci" => Some(SolverKind::SparseCdfci),
+            "selected" => Some(SolverKind::SparseSelected),
+            _ => None,
+        }
+    }
+}
+
 /// Everything configurable about an FCI run.
 #[derive(Clone, Debug)]
 pub struct FciOptions {
@@ -44,6 +84,10 @@ pub struct FciOptions {
     /// recovered inside `solve`; permanent rank death needs
     /// [`crate::recovery::solve_resilient`].
     pub fault: Option<FaultConfig>,
+    /// Which CI engine to run. `fci-core`'s own entry points implement
+    /// only [`SolverKind::Dense`] and ignore this field; callers that can
+    /// see `fci-sparse` (the `fcix` facade, `fci-serve`) dispatch on it.
+    pub solver: SolverKind,
 }
 
 impl Default for FciOptions {
@@ -60,6 +104,7 @@ impl Default for FciOptions {
             obs: ObsConfig::off(),
             check: CheckConfig::off(),
             fault: None,
+            solver: SolverKind::Dense,
         }
     }
 }

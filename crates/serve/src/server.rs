@@ -30,9 +30,10 @@ use crate::spec::JobSpec;
 use crate::wal::{Replay, Wal, WalRecord};
 use fci_core::{
     build_space, solve_prepared, solve_resilient_prepared, solve_roots_prepared, DetSpace,
-    Hamiltonian, RecoveryOptions,
+    Hamiltonian, RecoveryOptions, SolverKind,
 };
 use fci_obs::{Category, ObsConfig, Tracer, TrackedCondvar, TrackedMutex};
+use fci_sparse::{solve_sparse, SparseOptions};
 use fci_strings::binomial;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -467,9 +468,9 @@ impl Server {
                 spec.n_alpha, spec.n_beta
             )));
         }
-        if spec.root > 0 && !spec.may_batch() {
+        if spec.root > 0 && !spec.may_batch() && spec.solver != SolverKind::SparseSelected {
             return Err(RejectReason::Invalid(
-                "excited-state jobs must be batchable Davidson".into(),
+                "excited-state jobs must be batchable Davidson or selected CI".into(),
             ));
         }
         let need = estimated_bytes(spec);
@@ -657,7 +658,41 @@ impl Server {
     ) {
         let spec = &q.spec;
         let opts = self.job_options(spec);
-        let (status, energy, converged, iterations, restarts) = if spec.root > 0 {
+        let (status, energy, converged, iterations, restarts) = if spec.solver != SolverKind::Dense
+        {
+            let so = SparseOptions {
+                threads: spec.nproc.max(1),
+                max_store: spec.sparse_cap,
+                eps: spec.eps,
+                tol: spec.tol,
+                max_outer: spec.max_iter.max(1),
+                nroots: spec.root + 1,
+                obs: opts.obs.clone(),
+                ..SparseOptions::default()
+            };
+            let r = solve_sparse(space, ham, spec.solver, &so);
+            if spec.root < r.energies.len() {
+                (
+                    JobStatus::Done,
+                    r.energies[spec.root],
+                    r.converged,
+                    r.iterations,
+                    0,
+                )
+            } else {
+                (
+                    JobStatus::Failed(format!(
+                        "sparse solve produced {} roots, job wants root {}",
+                        r.energies.len(),
+                        spec.root
+                    )),
+                    f64::NAN,
+                    false,
+                    0,
+                    0,
+                )
+            }
+        } else if spec.root > 0 {
             // An excited-state job that didn't coalesce still needs the
             // block solver — single-vector schemes only reach root 0.
             if spec.root >= sector_dim {
@@ -938,13 +973,24 @@ impl Server {
 
 /// Estimated working set of one job in bytes: integrals + coupling
 /// matrices + string tables + the diagonalizer's CI matrices.
+///
+/// Sparse jobs never allocate the dense CI vectors — their footprint is
+/// bounded by the `sparse_cap` determinant store, not the formal sector
+/// dimension, which is exactly what lets a 10⁸-determinant sector pass
+/// admission control that would reject the dense job.
 pub fn estimated_bytes(spec: &JobSpec) -> usize {
     let n = spec.problem.n_orb();
     let nsa = binomial(n, spec.n_alpha);
     let nsb = binomial(n, spec.n_beta);
-    let dim = nsa.saturating_mul(nsb);
     let ham = 8 * (2 * n * n * n * n + n * n);
     let tables = 8 * (nsa + nsb).saturating_mul(1 + n * n);
+    if spec.solver != SolverKind::Dense {
+        // Open-addressing store: ≤ 33 bytes/slot at ≤ 70% load plus the
+        // selected engine's CSR/subspace overhead — 64 bytes/determinant
+        // is a safe ceiling for both engines.
+        return ham + tables + spec.sparse_cap.saturating_mul(64);
+    }
+    let dim = nsa.saturating_mul(nsb);
     // Davidson keeps a bounded subspace of CI/σ vectors; single-vector
     // schemes keep ~4. Use the worst case the spec allows.
     let vectors = dim.saturating_mul(8 * 16);

@@ -7,7 +7,7 @@
 //! two jobs that describe the same integrals or the same determinant
 //! space agree on a cache key without ever comparing tensors.
 
-use fci_core::{DiagMethod, FciOptions};
+use fci_core::{DiagMethod, FciOptions, SolverKind};
 use fci_ddi::{FaultConfig, RankDeath};
 use fci_ints::EriTensor;
 use fci_linalg::Matrix;
@@ -243,6 +243,15 @@ pub struct JobSpec {
     pub root: usize,
     /// Eigensolver for unbatched execution.
     pub method: DiagMethod,
+    /// Engine choice: the dense DGEMM solver or one of the sparse
+    /// engines (`fci-sparse`). Sparse jobs are never batched.
+    pub solver: SolverKind,
+    /// Selection threshold ε for the selected-CI engine (ignored by the
+    /// others).
+    pub eps: f64,
+    /// Determinant-store cap for the sparse engines — the admission
+    /// control memory bound (ignored by the dense engine).
+    pub sparse_cap: usize,
     /// Virtual MSP count for the solve.
     pub nproc: usize,
     /// σ-evaluation cap.
@@ -273,6 +282,9 @@ impl JobSpec {
             excitation_level: None,
             root: 0,
             method: DiagMethod::Davidson,
+            solver: SolverKind::Dense,
+            eps: 1e-6,
+            sparse_cap: 2_000_000,
             nproc: 1,
             max_iter: 60,
             tol: 1e-9,
@@ -332,6 +344,7 @@ impl JobSpec {
     /// sharing one solve would change injection points).
     pub fn may_batch(&self) -> bool {
         self.batchable
+            && self.solver == SolverKind::Dense
             && self.method == DiagMethod::Davidson
             && !self.resilient
             && self.fault_seed.is_none()
@@ -341,6 +354,7 @@ impl JobSpec {
     pub fn fci_options(&self) -> FciOptions {
         let mut opts = FciOptions {
             method: self.method,
+            solver: self.solver,
             nproc: self.nproc,
             excitation_level: self.excitation_level,
             ..FciOptions::default()
@@ -367,6 +381,9 @@ impl JobSpec {
             ("irrep", JsonValue::Num(self.target_irrep as f64)),
             ("root", JsonValue::Num(self.root as f64)),
             ("method", JsonValue::Str(method_name(self.method).into())),
+            ("solver", JsonValue::Str(self.solver.name().into())),
+            ("eps", JsonValue::Num(self.eps)),
+            ("sparse_cap", JsonValue::Num(self.sparse_cap as f64)),
             ("nproc", JsonValue::Num(self.nproc as f64)),
             ("max_iter", JsonValue::Num(self.max_iter as f64)),
             ("tol", JsonValue::Num(self.tol)),
@@ -423,6 +440,17 @@ impl JobSpec {
         if let Some(m) = v.get("method").and_then(JsonValue::as_str) {
             job.method = method_from_name(m)?;
         }
+        // Absent on pre-sparse wire/WAL records: default to the dense
+        // engine so old logs replay unchanged.
+        if let Some(s) = v.get("solver").and_then(JsonValue::as_str) {
+            job.solver = SolverKind::from_name(s).ok_or_else(|| format!("unknown solver `{s}`"))?;
+        }
+        if let Some(e) = v.get_f64("eps") {
+            job.eps = e;
+        }
+        if let Some(c) = v.get_f64("sparse_cap") {
+            job.sparse_cap = c as usize;
+        }
         if let Some(n) = v.get_f64("nproc") {
             job.nproc = n as usize;
         }
@@ -449,10 +477,12 @@ impl JobSpec {
                     .ok_or("rank_death needs `after_ops`")? as u64,
             });
         }
-        if job.root > 0 && !job.may_batch() {
+        // Selected CI computes excited roots natively; other unbatched
+        // paths cannot.
+        if job.root > 0 && !job.may_batch() && job.solver != SolverKind::SparseSelected {
             return Err(format!(
                 "job `{}` wants root {} but is not batchable-Davidson; excited \
-                 states need the multi-root path",
+                 states need the multi-root path or the selected-CI engine",
                 job.id, job.root
             ));
         }
@@ -583,6 +613,26 @@ mod tests {
         assert_eq!(back.root, 1);
         assert_eq!(back.problem, job.problem);
         assert_eq!(back.batch_hash(), job.batch_hash());
+    }
+
+    #[test]
+    fn sparse_solver_roundtrips_and_never_batches() {
+        let mut job = JobSpec::new("s", hubbard4(), 2, 2);
+        job.solver = SolverKind::SparseCdfci;
+        job.eps = 3e-5;
+        job.sparse_cap = 123_456;
+        let back =
+            JobSpec::from_json(&JsonValue::parse(&job.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.solver, SolverKind::SparseCdfci);
+        assert_eq!(back.eps.to_bits(), job.eps.to_bits());
+        assert_eq!(back.sparse_cap, 123_456);
+        assert!(!back.may_batch(), "sparse jobs must not coalesce");
+        // Pre-sparse records carry no `solver` key: they parse as dense.
+        let legacy = JobSpec::new("old", hubbard4(), 2, 2);
+        let mut v = legacy.to_json().to_string();
+        v = v.replace("\"solver\":\"dense\",", "");
+        let old = JobSpec::from_json(&JsonValue::parse(&v).unwrap()).unwrap();
+        assert_eq!(old.solver, SolverKind::Dense);
     }
 
     #[test]

@@ -221,6 +221,72 @@ fn backpressure_and_admission_reject_with_reason() {
 }
 
 #[test]
+fn sparse_job_passes_admission_where_dense_is_rejected() {
+    use fci_core::SolverKind;
+    use fci_serve::estimated_bytes;
+    // Same sector, two engines. The sparse estimate is bounded by its
+    // determinant-store cap, not the formal dimension…
+    let mut dense = JobSpec::new("dense", hubbard(6, 4.0), 3, 3);
+    dense.batchable = false;
+    let mut sparse = dense.clone();
+    sparse.id = "sparse".into();
+    sparse.solver = SolverKind::SparseSelected;
+    sparse.sparse_cap = 500; // ≥ the 400-determinant sector: exact
+    sparse.eps = 1e-10;
+    let (need_dense, need_sparse) = (estimated_bytes(&dense), estimated_bytes(&sparse));
+    assert!(
+        need_sparse < need_dense,
+        "sparse estimate {need_sparse} must undercut dense {need_dense}"
+    );
+    // …so a budget between the two admits the sparse job and rejects the
+    // dense one. This is the regression the sparse branch exists for.
+    let tight = ServeConfig {
+        mem_budget: need_sparse,
+        ..cfg("sparse-admit", 1)
+    };
+    let report = serve(tight, vec![dense.clone(), sparse]);
+    assert_eq!(report.summary.jobs_done, 1);
+    assert_eq!(report.summary.jobs_rejected, 1);
+    assert!(matches!(
+        report.rejected[0].1,
+        RejectReason::MemoryBudget { .. }
+    ));
+    let r = report.result("sparse").unwrap();
+    assert_eq!(r.status, JobStatus::Done);
+    assert!(r.converged);
+    // And the admitted sparse solve is the real answer: it matches the
+    // dense engine run under an unconstrained budget to μHa accuracy.
+    let reference = serve(cfg("sparse-admit-ref", 1), vec![dense]);
+    let e_ref = reference.result("dense").unwrap().energy;
+    assert!(
+        (r.energy - e_ref).abs() < 1e-6,
+        "sparse {} vs dense {e_ref}",
+        r.energy
+    );
+}
+
+#[test]
+fn cdfci_job_runs_end_to_end() {
+    use fci_core::SolverKind;
+    let mut j = JobSpec::new("cd", hubbard(6, 4.0), 3, 3);
+    j.solver = SolverKind::SparseCdfci;
+    j.tol = 1e-10;
+    let reference = serve(
+        cfg("cdfci-ref", 1),
+        vec![JobSpec::new("d", hubbard(6, 4.0), 3, 3)],
+    );
+    let report = serve(cfg("cdfci", 2), vec![j]);
+    let r = report.result("cd").unwrap();
+    assert_eq!(r.status, JobStatus::Done);
+    let e_ref = reference.result("d").unwrap().energy;
+    assert!(
+        (r.energy - e_ref).abs() < 1e-6,
+        "cdfci {} vs dense {e_ref}",
+        r.energy
+    );
+}
+
+#[test]
 fn cancellation_and_graceful_shutdown() {
     // Deterministic lifecycle: everything happens before workers start.
     let server = fci_serve::Server::new(cfg("cancel", 1));

@@ -1,0 +1,699 @@
+//! Selected CI: importance-screened space growth + truncated Davidson.
+//!
+//! The variational determinant set `V` starts at the reference and grows
+//! by rounds: diagonalize `H` restricted to `V`, then admit every
+//! determinant `j ∉ V` with `max_i |H_ji·c_i| > ε` (the heat-bath/CIPSI
+//! selection criterion, screening connections of the current wave
+//! function). Each round's eigenproblem runs over an explicit CSR of
+//! `H_VV` — built row-parallel from the on-the-fly connection generator
+//! — with a Davidson iteration whose subspace eigenproblems go through
+//! `fci_linalg::eigh` and whose warm-start block is orthonormalized by
+//! CholQR² when possible (MGS fallback). Small selected spaces skip the
+//! iteration entirely and call the dense `eigh`.
+//!
+//! Convergence: the outer loop stops when either no candidate passes the
+//! threshold (the ε-selected space is exhausted — for small ε this is
+//! the full sector and the energy is exact FCI) or every tracked root's
+//! energy moves by less than `tol` between rounds with the inner
+//! Davidson converged. Growth is hard-capped at `max_store`
+//! determinants — the memory bound.
+//!
+//! Reachable sector: because `H` conserves spatial symmetry, growing by
+//! nonzero connections from a single reference can only populate the
+//! reference determinant's symmetry block. Ground states land in the
+//! reference's block, but when `nroots > 1` the excited roots reported
+//! here are the *block's* spectrum — full-space roots belonging to
+//! other irreps are invisible by construction (water/STO-3G: selection
+//! from the closed-shell A₁ reference saturates at the 65-determinant
+//! A₁ block of the 225-determinant C1 space, and "root 1" is the full
+//! space's root 3). Excited states of another irrep need a reference in
+//! that block.
+//!
+//! Thread-count determinism: CSR rows and candidate weights are pure
+//! per-row functions merged in row order; the candidate aggregation is a
+//! per-thread max-merge whose result is order-independent, read out in
+//! sorted determinant order; the Davidson recurrence itself is serial
+//! apart from the row-partitioned mat-vec.
+
+use crate::connect::{exc_element, reference_det, ConnGen, Exc};
+use crate::store::{CoefMap, Det, DetSet};
+use crate::{kernel, spmv, tracer_for, SparseOptions, SparseResult, SweepStat};
+use fci_core::detspace::DetSpace;
+use fci_core::hamiltonian::Hamiltonian;
+use fci_linalg::{cholqr2, ddot, dnrm2, dscal, eigh, Matrix};
+use fci_obs::Category;
+
+/// Below this selected-space size the inner eigenproblem is solved
+/// densely (exact, robust, and cheaper than iterating).
+const DENSE_CUTOFF: usize = 128;
+
+/// Selected-CI solve for `opts.nroots` roots.
+pub fn solve_selected(space: &DetSpace, ham: &Hamiltonian, opts: &SparseOptions) -> SparseResult {
+    let tracer = tracer_for(&opts.obs);
+    let threads = opts.threads.max(1);
+    let nroots = opts.nroots.max(1);
+    let refdet = reference_det(space, ham);
+    let mut v = DetSet::from_vec(vec![refdet]);
+    let mut prev: Option<(DetSet, Vec<Vec<f64>>)> = None;
+    let mut prev_e: Vec<f64> = Vec::new();
+    let mut history: Vec<SweepStat> = Vec::new();
+    let mut energies: Vec<f64> = vec![ham.diagonal_element(refdet.a, refdet.b) + ham.e_core];
+    let mut vectors: Vec<Vec<f64>> = vec![vec![1.0]];
+    let mut converged = false;
+    let mut total_inner = 0usize;
+    let mut peak = 0usize;
+    let mut dropped = 0usize;
+    tracer.instant(
+        None,
+        "selected_begin",
+        Category::Other,
+        &[("eps", opts.eps), ("nroots", nroots as f64)],
+    );
+
+    for outer in 0..opts.max_outer {
+        let t0 = tracer.now_us();
+        let m = v.len();
+        let csr = build_csr(threads, space, ham, &v, opts.h_cut);
+        let warm = scatter_warm(&prev, &v);
+        let (evals, vecs, inner_conv, inner_iters) =
+            davidson(threads, &csr, nroots.min(m), &warm, opts);
+        total_inner += inner_iters;
+        energies = evals.iter().map(|e| e + ham.e_core).collect();
+        vectors = vecs;
+        let bytes = csr.mem_bytes() + v.mem_bytes() + vectors.len() * m * 8;
+        peak = peak.max(bytes);
+        let stat = SweepStat {
+            sweep: outer,
+            support: m,
+            energy: energies[0],
+            elapsed_us: tracer.now_us() - t0,
+        };
+        history.push(stat);
+        tracer.instant(
+            None,
+            "selected_outer",
+            Category::Other,
+            &[
+                ("outer", outer as f64),
+                ("support", m as f64),
+                ("energy", energies[0]),
+                ("nnz", csr.cols.len() as f64),
+            ],
+        );
+        if let Some(mt) = tracer.metrics() {
+            mt.gauge_set("sparse.selected.support", &[], m as f64);
+            mt.gauge_set("sparse.selected.nnz", &[], csr.cols.len() as f64);
+            mt.gauge_set("sparse.selected.energy", &[], energies[0]);
+            mt.observe("sparse.selected.outer_us", &[], stat.elapsed_us);
+        }
+
+        // Outer convergence requires EVERY tracked root to have settled:
+        // the ground state routinely stabilizes rounds before an excited
+        // root's support has grown in, and stopping on root 0 alone
+        // would freeze the others at wrong energies.
+        let settled = outer > 0
+            && prev_e.len() == energies.len()
+            && energies
+                .iter()
+                .zip(&prev_e)
+                .all(|(e, p)| (e - p).abs() < opts.tol);
+        if inner_conv && settled {
+            converged = true;
+            break;
+        }
+        prev_e.clone_from(&energies);
+        if m >= opts.max_store {
+            break; // truncated: the memory bound stops growth
+        }
+        let cands = select_candidates(
+            threads,
+            space,
+            ham,
+            &v,
+            &vectors,
+            opts.eps,
+            opts.h_cut,
+            opts.max_store,
+            &mut dropped,
+        );
+        if cands.is_empty() {
+            converged = inner_conv;
+            break;
+        }
+        let room = opts.max_store - m;
+        let added: Vec<Det> = if cands.len() > room {
+            // Keep the heaviest candidates; ties broken by determinant
+            // order so the cut is deterministic.
+            let mut ranked = cands;
+            ranked.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            ranked.truncate(room);
+            ranked.into_iter().map(|(d, _)| d).collect()
+        } else {
+            cands.into_iter().map(|(d, _)| d).collect()
+        };
+        prev = Some((v.clone(), vectors.clone()));
+        v = v.union(&DetSet::from_vec(added));
+    }
+
+    tracer.instant(
+        None,
+        "selected_end",
+        Category::Other,
+        &[
+            ("support", v.len() as f64),
+            ("energy", energies[0]),
+            ("inner_iters", total_inner as f64),
+        ],
+    );
+    SparseResult {
+        energies,
+        converged,
+        iterations: total_inner,
+        support: v.len(),
+        formal_dim: space.alpha.len() as f64 * space.beta.len() as f64,
+        peak_bytes: peak,
+        dropped,
+        history,
+    }
+}
+
+/// CSR of the strict off-diagonal of `H` restricted to `V`, plus the
+/// diagonal. Row contents depend only on the row (enumeration order of
+/// the connection generator), so the row-parallel build is
+/// partition-invariant and chunks concatenate in row order.
+struct Csr {
+    rowptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    diag: Vec<f64>,
+}
+
+impl Csr {
+    fn mem_bytes(&self) -> usize {
+        self.rowptr.len() * 8 + self.cols.len() * 4 + self.vals.len() * 8 + self.diag.len() * 8
+    }
+}
+
+fn build_csr(threads: usize, space: &DetSpace, ham: &Hamiltonian, v: &DetSet, h_cut: f64) -> Csr {
+    let m = v.len();
+    let nchunks = if threads <= 1 || m < 256 { 1 } else { threads };
+    let mut parts: Vec<(Vec<usize>, Vec<u32>, Vec<f64>)> = Vec::new();
+    parts.resize_with(nchunks, || (Vec::new(), Vec::new(), Vec::new()));
+    let mut diag = vec![0.0; m];
+    std::thread::scope(|s| {
+        let mut drest = diag.as_mut_slice();
+        for (k, part) in parts.iter_mut().enumerate() {
+            let (lo, hi) = kernel::range_of(m, nchunks, k);
+            let (dhead, dtail) = drest.split_at_mut(hi - lo);
+            drest = dtail;
+            s.spawn(move || {
+                let mut cg = ConnGen::for_space(space);
+                let mut excs: Vec<Exc> = Vec::new();
+                let (rlen, cols, vals) = part;
+                for r in lo..hi {
+                    let dr = v.det(r);
+                    dhead[r - lo] = ham.diagonal_element(dr.a, dr.b);
+                    cg.excitations_into(dr, &mut excs);
+                    let mut cnt = 0usize;
+                    for &e in &excs {
+                        let j = e.apply(dr);
+                        if let Some(c) = v.rank(j) {
+                            let h = exc_element(ham, dr, e);
+                            if h.abs() > h_cut {
+                                cols.push(c as u32);
+                                vals.push(h);
+                                cnt += 1;
+                            }
+                        }
+                    }
+                    rlen.push(cnt);
+                }
+            });
+        }
+    });
+    let mut rowptr = Vec::with_capacity(m + 1);
+    rowptr.push(0usize);
+    let mut total = 0usize;
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for (rlen, c, vl) in parts {
+        for l in rlen {
+            total += l;
+            rowptr.push(total);
+        }
+        cols.extend_from_slice(&c);
+        vals.extend_from_slice(&vl);
+    }
+    Csr {
+        rowptr,
+        cols,
+        vals,
+        diag,
+    }
+}
+
+/// Scatter the previous round's eigenvectors into the grown space by
+/// determinant rank (old members keep their coefficients, new ones zero).
+fn scatter_warm(prev: &Option<(DetSet, Vec<Vec<f64>>)>, v: &DetSet) -> Vec<Vec<f64>> {
+    let mut warm = Vec::new();
+    if let Some((old_v, old_vecs)) = prev {
+        for ov in old_vecs {
+            let mut w = vec![0.0; v.len()];
+            for (i, &d) in old_v.as_slice().iter().enumerate() {
+                if let Some(r) = v.rank(d) {
+                    w[r] = ov[i];
+                }
+            }
+            warm.push(w);
+        }
+    }
+    warm
+}
+
+/// Indices of the `k` lowest-diagonal rows, ties by index — the
+/// deterministic unit-vector guesses.
+fn lowest_diag(diag: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..diag.len()).collect();
+    idx.sort_unstable_by(|&a, &b| diag[a].total_cmp(&diag[b]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Davidson over the CSR: returns (eigenvalues, eigenvectors, converged,
+/// mat-vec count) for the lowest `nr` roots.
+fn davidson(
+    threads: usize,
+    csr: &Csr,
+    nr: usize,
+    warm: &[Vec<f64>],
+    opts: &SparseOptions,
+) -> (Vec<f64>, Vec<Vec<f64>>, bool, usize) {
+    let m = csr.diag.len();
+    if m <= DENSE_CUTOFF {
+        // Dense path: exact diagonalization of the selected block.
+        let mut h = Matrix::zeros(m, m);
+        for r in 0..m {
+            h[(r, r)] = csr.diag[r];
+            for t in csr.rowptr[r]..csr.rowptr[r + 1] {
+                h[(r, csr.cols[t] as usize)] = csr.vals[t];
+            }
+        }
+        let eig = eigh(&h);
+        let mut vecs = Vec::new();
+        for r in 0..nr.min(m) {
+            let mut x = vec![0.0; m];
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi = eig.eigenvectors[(i, r)];
+            }
+            vecs.push(x);
+        }
+        let evals = eig.eigenvalues[..nr.min(m)].to_vec();
+        return (evals, vecs, true, 1);
+    }
+
+    let max_sub = (3 * nr + 9).min(m);
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut sigma: Vec<Vec<f64>> = Vec::new();
+    seed_basis(&mut basis, warm, &csr.diag, nr, m);
+    let mut matvecs = 0usize;
+    let mut evals = vec![0.0f64; nr];
+    let mut ritz: Vec<Vec<f64>> = Vec::new();
+    let mut conv = false;
+
+    for _ in 0..opts.inner_max_iter {
+        while sigma.len() < basis.len() {
+            let mut y = vec![0.0; m];
+            spmv(
+                threads,
+                &csr.rowptr,
+                &csr.cols,
+                &csr.vals,
+                &csr.diag,
+                &basis[sigma.len()],
+                &mut y,
+            );
+            sigma.push(y);
+            matvecs += 1;
+        }
+        let k = basis.len();
+        let mut gm = Matrix::zeros(k, k);
+        for p in 0..k {
+            for q in 0..=p {
+                let g = ddot(&basis[p], &sigma[q]);
+                gm[(p, q)] = g;
+                gm[(q, p)] = g;
+            }
+        }
+        let eig = eigh(&gm);
+        for (r, e) in evals.iter_mut().enumerate() {
+            *e = eig.eigenvalues[r];
+        }
+        ritz.clear();
+        let mut residuals: Vec<Vec<f64>> = Vec::new();
+        let mut worst = 0.0f64;
+        for (r, &eval) in evals.iter().enumerate().take(nr) {
+            let mut x = vec![0.0; m];
+            let mut res = vec![0.0; m];
+            for j in 0..k {
+                let y = eig.eigenvectors[(j, r)];
+                for i in 0..m {
+                    x[i] += y * basis[j][i];
+                    res[i] += y * sigma[j][i];
+                }
+            }
+            for i in 0..m {
+                res[i] -= eval * x[i];
+            }
+            worst = worst.max(dnrm2(&res));
+            ritz.push(x);
+            residuals.push(res);
+        }
+        if worst < opts.inner_tol {
+            conv = true;
+            break;
+        }
+        if k + nr > max_sub {
+            // Collapse to the Ritz block and restart (σ recomputed).
+            basis.clear();
+            sigma.clear();
+            for x in &ritz {
+                push_orthonormal(&mut basis, x, &csr.diag, m);
+            }
+            if basis.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let mut grew = false;
+        for (r, res) in residuals.iter().enumerate() {
+            if dnrm2(res) < opts.inner_tol {
+                continue;
+            }
+            let mut t = vec![0.0; m];
+            for i in 0..m {
+                let mut den = evals[r] - csr.diag[i];
+                if den.abs() < 1e-8 {
+                    den = if den < 0.0 { -1e-8 } else { 1e-8 };
+                }
+                t[i] = res[i] / den;
+            }
+            if push_orthonormal(&mut basis, &t, &csr.diag, m) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break; // stagnated — return the best Ritz data we have
+        }
+    }
+    if ritz.is_empty() {
+        // No iteration happened (degenerate); fall back to the seeds.
+        ritz = basis.clone();
+        ritz.truncate(nr);
+    }
+    (evals, ritz, conv, matvecs)
+}
+
+/// Seed the Davidson basis: warm-start block orthonormalized by CholQR²
+/// (MGS fallback on rank deficiency), topped up with unit vectors on the
+/// lowest-diagonal rows until `nr` vectors are in place.
+fn seed_basis(basis: &mut Vec<Vec<f64>>, warm: &[Vec<f64>], diag: &[f64], nr: usize, m: usize) {
+    if warm.len() > 1 {
+        let mut block = Matrix::zeros(m, warm.len());
+        for (j, w) in warm.iter().enumerate() {
+            for (i, &wi) in w.iter().enumerate() {
+                block[(i, j)] = wi;
+            }
+        }
+        if cholqr2(&mut block).is_ok() {
+            for j in 0..warm.len() {
+                let mut x = vec![0.0; m];
+                for (i, xi) in x.iter_mut().enumerate() {
+                    *xi = block[(i, j)];
+                }
+                basis.push(x);
+            }
+        }
+    }
+    if basis.is_empty() {
+        for w in warm {
+            push_orthonormal(basis, w, diag, m);
+        }
+    }
+    if basis.len() < nr {
+        for &i in &lowest_diag(diag, m) {
+            if basis.len() >= nr {
+                break;
+            }
+            let mut u = vec![0.0; m];
+            u[i] = 1.0;
+            push_orthonormal(basis, &u, diag, m);
+        }
+    }
+}
+
+/// Two-pass MGS projection of `x` against `basis`; appends the
+/// normalized remainder when it is numerically independent. Returns
+/// whether a vector was added. (`diag`/`m` only break pathological
+/// all-zero candidates via a deterministic unit fallback — none today.)
+fn push_orthonormal(basis: &mut Vec<Vec<f64>>, x: &[f64], _diag: &[f64], m: usize) -> bool {
+    let mut t = x.to_vec();
+    for _ in 0..2 {
+        for b in basis.iter() {
+            let c = ddot(b, &t);
+            for i in 0..m {
+                t[i] -= c * b[i];
+            }
+        }
+    }
+    let n = dnrm2(&t);
+    if n > 1e-10 {
+        dscal(1.0 / n, &mut t);
+        basis.push(t);
+        true
+    } else {
+        false
+    }
+}
+
+/// Candidate determinants outside `V` with `max_{r,i} |H_ji·c_i^{(r)}|`
+/// above ε, as `(det, weight)` sorted by determinant. Thread-local
+/// max-aggregation maps are merged by another max — associative and
+/// commutative, so the result is partition-independent; the sorted
+/// read-out makes the order canonical. Aggregation is bounded at
+/// `2·max_store` entries per thread; overflow counts into `dropped`.
+#[allow(clippy::too_many_arguments)]
+fn select_candidates(
+    threads: usize,
+    space: &DetSpace,
+    ham: &Hamiltonian,
+    v: &DetSet,
+    coefs: &[Vec<f64>],
+    eps: f64,
+    h_cut: f64,
+    max_store: usize,
+    dropped: &mut usize,
+) -> Vec<(Det, f64)> {
+    let m = v.len();
+    let nchunks = if threads <= 1 || m < 256 { 1 } else { threads };
+    let cap = max_store.saturating_mul(2).max(1024);
+    let mut parts: Vec<(CoefMap, usize)> = Vec::new();
+    parts.resize_with(nchunks, || (CoefMap::with_capacity(1024), 0));
+    std::thread::scope(|s| {
+        for (k, part) in parts.iter_mut().enumerate() {
+            let (lo, hi) = kernel::range_of(m, nchunks, k);
+            s.spawn(move || {
+                let mut cg = ConnGen::for_space(space);
+                let mut excs: Vec<Exc> = Vec::new();
+                let (lmap, lost) = part;
+                for r in lo..hi {
+                    // Largest |c| over roots drives the row screen.
+                    let mut cmax = 0.0f64;
+                    for c in coefs {
+                        cmax = cmax.max(c[r].abs());
+                    }
+                    if cmax < 1e-12 {
+                        continue;
+                    }
+                    let dr = v.det(r);
+                    cg.excitations_into(dr, &mut excs);
+                    for &e in &excs {
+                        let j = e.apply(dr);
+                        if v.rank(j).is_some() {
+                            continue;
+                        }
+                        let h = exc_element(ham, dr, e);
+                        if h.abs() <= h_cut || h.abs() * cmax <= eps {
+                            continue;
+                        }
+                        let mut w = 0.0f64;
+                        for c in coefs {
+                            w = w.max((h * c[r]).abs());
+                        }
+                        if w <= eps {
+                            continue;
+                        }
+                        if lmap.find(j).is_none() && lmap.len() >= cap {
+                            *lost += 1;
+                            continue;
+                        }
+                        let slot = lmap.slot_or_insert(j);
+                        let cur = lmap.vals_mut();
+                        if w > cur[slot][0] {
+                            cur[slot][0] = w;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Merge the per-thread maxima (order-independent) and read out in
+    // canonical determinant order.
+    let mut merged = CoefMap::with_capacity(parts.iter().map(|(p, _)| p.len()).sum::<usize>());
+    for (lmap, lost) in &parts {
+        *dropped += lost;
+        for (d, w) in lmap.sorted_entries() {
+            let slot = merged.slot_or_insert(d);
+            let cur = merged.vals_mut();
+            if w[0] > cur[slot][0] {
+                cur[slot][0] = w[0];
+            }
+        }
+    }
+    merged
+        .sorted_entries()
+        .into_iter()
+        .map(|(d, w)| (d, w[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fci_core::hamiltonian::random_hamiltonian;
+    use fci_core::slater;
+    use fci_linalg::eigh as dense_eigh;
+
+    fn dense_spectrum(space: &DetSpace, ham: &Hamiltonian) -> Vec<f64> {
+        let h = slater::dense_h(space, ham);
+        dense_eigh(&h)
+            .eigenvalues
+            .iter()
+            .map(|e| e + ham.e_core)
+            .collect()
+    }
+
+    #[test]
+    fn tight_eps_recovers_dense_fci() {
+        let ham = random_hamiltonian(6, 5);
+        let space = DetSpace::c1(6, 3, 2);
+        let opts = SparseOptions {
+            eps: 1e-10,
+            tol: 1e-11,
+            ..SparseOptions::default()
+        };
+        let res = solve_selected(&space, &ham, &opts);
+        let exact = dense_spectrum(&space, &ham);
+        assert!(res.converged);
+        assert!(
+            (res.energy() - exact[0]).abs() < 1e-8,
+            "selected {} vs dense {}",
+            res.energy(),
+            exact[0]
+        );
+        // The ε-exhausted space is the full sector here.
+        assert_eq!(res.support, space.sector_dim());
+    }
+
+    #[test]
+    fn loose_eps_truncates_but_stays_close() {
+        let ham = random_hamiltonian(6, 5);
+        let space = DetSpace::c1(6, 3, 3);
+        let opts = SparseOptions {
+            eps: 1e-3,
+            tol: 1e-10,
+            ..SparseOptions::default()
+        };
+        let res = solve_selected(&space, &ham, &opts);
+        let exact = dense_spectrum(&space, &ham);
+        assert!(res.support < space.sector_dim());
+        assert!((res.energy() - exact[0]).abs() < 5e-2);
+    }
+
+    #[test]
+    fn multiroot_matches_dense_spectrum() {
+        let ham = random_hamiltonian(5, 21);
+        let space = DetSpace::c1(5, 2, 2);
+        let opts = SparseOptions {
+            eps: 1e-10,
+            tol: 1e-11,
+            nroots: 3,
+            ..SparseOptions::default()
+        };
+        let res = solve_selected(&space, &ham, &opts);
+        let exact = dense_spectrum(&space, &ham);
+        assert_eq!(res.energies.len(), 3);
+        for (r, e) in res.energies.iter().enumerate() {
+            assert!((e - exact[r]).abs() < 1e-7, "root {r}: {e} vs {}", exact[r]);
+        }
+    }
+
+    #[test]
+    fn multiroot_iterative_davidson_matches_dense() {
+        // 400 determinants: past DENSE_CUTOFF, so the subspace iteration
+        // (not the dense fallback) carries the eigenproblem.
+        let ham = random_hamiltonian(6, 21);
+        let space = DetSpace::c1(6, 3, 3);
+        let opts = SparseOptions {
+            eps: 1e-10,
+            tol: 1e-11,
+            nroots: 3,
+            ..SparseOptions::default()
+        };
+        let res = solve_selected(&space, &ham, &opts);
+        let exact = dense_spectrum(&space, &ham);
+        assert_eq!(res.energies.len(), 3);
+        for (r, e) in res.energies.iter().enumerate() {
+            assert!((e - exact[r]).abs() < 1e-7, "root {r}: {e} vs {}", exact[r]);
+        }
+    }
+
+    #[test]
+    fn growth_respects_max_store() {
+        let ham = random_hamiltonian(6, 2);
+        let space = DetSpace::c1(6, 3, 3);
+        let opts = SparseOptions {
+            eps: 1e-10,
+            max_store: 50,
+            ..SparseOptions::default()
+        };
+        let res = solve_selected(&space, &ham, &opts);
+        assert!(res.support <= 50);
+        assert!(res.history.len() >= 2, "should have grown at least once");
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_invariant() {
+        let ham = random_hamiltonian(6, 13);
+        let space = DetSpace::c1(6, 3, 2);
+        let run = |threads: usize| {
+            let opts = SparseOptions {
+                threads,
+                eps: 1e-6,
+                tol: 1e-10,
+                nroots: 2,
+                ..SparseOptions::default()
+            };
+            solve_selected(&space, &ham, &opts)
+        };
+        let r1 = run(1);
+        let r2 = run(2);
+        let r4 = run(4);
+        for r in 0..2 {
+            assert_eq!(r1.energies[r].to_bits(), r2.energies[r].to_bits());
+            assert_eq!(r1.energies[r].to_bits(), r4.energies[r].to_bits());
+        }
+        assert_eq!(r1.support, r2.support);
+        assert_eq!(r1.support, r4.support);
+        assert_eq!(r1.history.len(), r4.history.len());
+    }
+}
